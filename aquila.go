@@ -1,0 +1,273 @@
+// Package aquila is the public API of this repository: a library-OS runtime,
+// reproduced from "Memory-Mapped I/O on Steroids" (EuroSys '21), that gives
+// applications a customizable, low-overhead memory-mapped I/O path.
+//
+// Because a Go runtime cannot execute in non-root ring 0, the system runs on
+// a deterministic simulated machine (see DESIGN.md): all costs are simulated
+// cycles at the paper's 2.4 GHz testbed clock, all concurrency is simulated
+// threads, and both worlds under study — the Linux kernel I/O stack and the
+// Aquila library OS — are full implementations over that machine.
+//
+// Typical use:
+//
+//	sys := aquila.New(aquila.Options{
+//		Device:     aquila.DevicePMem,
+//		CacheBytes: 64 << 20,
+//	})
+//	sys.Do(func(p *aquila.Proc) {
+//		f := sys.NS.Create(p, "data", 16<<20)
+//		m := sys.NS.Mmap(p, f, 16<<20)
+//		m.Store(p, 0, []byte("hello"))
+//		m.Msync(p)
+//	})
+//	fmt.Println(sys.Seconds(), "simulated seconds")
+package aquila
+
+import (
+	"fmt"
+
+	"aquila/internal/core"
+	"aquila/internal/host"
+	"aquila/internal/iface"
+	"aquila/internal/sim/cpu"
+	"aquila/internal/sim/device"
+	simengine "aquila/internal/sim/engine"
+	"aquila/internal/spdk"
+)
+
+// Re-exported application-facing types: programs written against these run
+// unmodified over Aquila or the Linux baseline.
+type (
+	// Proc is a simulated thread.
+	Proc = simengine.Proc
+	// File is explicit-I/O file access.
+	File = iface.File
+	// Mapping is memory-mapped access.
+	Mapping = iface.Mapping
+	// Namespace creates/opens files and mappings.
+	Namespace = iface.Namespace
+	// Advice is the madvise hint set.
+	Advice = iface.Advice
+)
+
+// madvise hints, re-exported.
+const (
+	AdviceNormal     = iface.AdviceNormal
+	AdviceRandom     = iface.AdviceRandom
+	AdviceSequential = iface.AdviceSequential
+	AdviceWillNeed   = iface.AdviceWillNeed
+	AdviceDontNeed   = iface.AdviceDontNeed
+)
+
+// DeviceKind selects the storage device model.
+type DeviceKind int
+
+// Storage devices of the paper's testbed (§5).
+const (
+	// DevicePMem is the DRAM-backed pmem block device.
+	DevicePMem DeviceKind = iota
+	// DeviceNVMe is the Optane P4800X-class NVMe SSD.
+	DeviceNVMe
+)
+
+// EngineKind selects Aquila's device-access method (§3.3, Fig 8c).
+type EngineKind int
+
+// I/O engines.
+const (
+	// EngineAuto picks DAX for pmem and SPDK for NVMe (the paper's
+	// preferred configurations).
+	EngineAuto EngineKind = iota
+	// EngineDAX is direct load/store access to pmem with AVX2 copies.
+	EngineDAX
+	// EngineSPDK is user-space NVMe via SPDK + Blobstore.
+	EngineSPDK
+	// EngineHostDirect issues direct I/O through the host kernel
+	// (HOST-pmem / HOST-NVMe): one vmcall + syscall per I/O.
+	EngineHostDirect
+)
+
+// Mode selects which world serves the Namespace.
+type Mode int
+
+// Execution modes.
+const (
+	// ModeAquila runs the application over the Aquila library OS.
+	ModeAquila Mode = iota
+	// ModeLinuxMmap runs over Linux mmap (kernel page cache, ring-3 faults).
+	ModeLinuxMmap
+	// ModeLinuxDirect runs over Linux O_DIRECT read/write syscalls
+	// (mappings are still served by Linux mmap).
+	ModeLinuxDirect
+)
+
+// Options configures a System.
+type Options struct {
+	// CPUs is the simulated CPU count (default 32, the paper's testbed).
+	CPUs int
+	// NUMANodes defaults to 2.
+	NUMANodes int
+	// Seed makes runs reproducible (default 1).
+	Seed int64
+	// Mode selects the world (default ModeAquila).
+	Mode Mode
+	// Device selects the storage device (default DevicePMem).
+	Device DeviceKind
+	// Engine selects Aquila's I/O engine (default EngineAuto).
+	Engine EngineKind
+	// CacheBytes is the DRAM I/O cache size (Aquila cache or host page
+	// cache cgroup limit). Default 64 MB.
+	CacheBytes uint64
+	// MaxCacheBytes bounds dynamic cache growth (Aquila only).
+	MaxCacheBytes uint64
+	// DeviceBytes is the storage capacity (default 1 GB).
+	DeviceBytes uint64
+	// Params overrides Aquila's cost/policy table.
+	Params *core.Params
+	// Trace captures an execution trace; export it with
+	// Sim.WriteChromeTrace.
+	Trace bool
+}
+
+func (o *Options) fill() {
+	if o.CPUs == 0 {
+		o.CPUs = 32
+	}
+	if o.NUMANodes == 0 {
+		o.NUMANodes = 2
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.CacheBytes == 0 {
+		o.CacheBytes = 64 << 20
+	}
+	if o.DeviceBytes == 0 {
+		o.DeviceBytes = 1 << 30
+	}
+	if o.MaxCacheBytes < o.CacheBytes {
+		o.MaxCacheBytes = o.CacheBytes
+	}
+}
+
+// System is one booted world: a simulated machine, a host OS, optionally an
+// Aquila runtime, and the Namespace applications program against.
+type System struct {
+	Opts Options
+	// Sim is the discrete-event engine; use it for custom spawning.
+	Sim *simengine.Engine
+	// Host is the simulated Linux instance (always present: it is the
+	// baseline world and Aquila's hypervisor).
+	Host *host.OS
+	// RT is the Aquila runtime (nil in Linux modes).
+	RT *core.Runtime
+	// NS is the namespace applications use.
+	NS Namespace
+	// PMem / NVMe expose the raw devices for inspection.
+	PMem *device.PMem
+	NVMe *device.NVMe
+}
+
+// New boots a System with the given options.
+func New(opts Options) *System {
+	opts.fill()
+	s := &System{Opts: opts}
+	s.Sim = simengine.New(simengine.Config{
+		NumCPUs: opts.CPUs, NumNUMANodes: opts.NUMANodes, Seed: opts.Seed,
+		Trace: opts.Trace,
+	})
+	var disk *host.Disk
+	switch opts.Device {
+	case DevicePMem:
+		s.PMem = device.NewPMem(opts.DeviceBytes, device.DefaultPMemConfig())
+		disk = host.NewPMemDisk("pmem0", s.PMem)
+	case DeviceNVMe:
+		s.NVMe = device.NewNVMe(opts.DeviceBytes, device.DefaultNVMeConfig())
+		disk = host.NewNVMeDisk("nvme0", s.NVMe)
+	default:
+		panic(fmt.Sprintf("aquila: unknown device kind %d", opts.Device))
+	}
+	s.Host = host.NewOS(s.Sim, disk, opts.CacheBytes)
+
+	switch opts.Mode {
+	case ModeLinuxMmap:
+		s.NS = &host.Namespace{OS: s.Host, Direct: false}
+	case ModeLinuxDirect:
+		s.NS = &host.Namespace{OS: s.Host, Direct: true}
+	case ModeAquila:
+		s.Do(func(p *Proc) {
+			eng := s.buildEngine(p)
+			s.RT = core.NewRuntime(p, s.Host, eng, core.Config{
+				CacheBytes:    opts.CacheBytes,
+				MaxCacheBytes: opts.MaxCacheBytes,
+				Params:        opts.Params,
+			})
+			s.NS = &core.Namespace{RT: s.RT}
+		})
+	default:
+		panic(fmt.Sprintf("aquila: unknown mode %d", opts.Mode))
+	}
+	return s
+}
+
+func (s *System) buildEngine(p *Proc) core.IOEngine {
+	kind := s.Opts.Engine
+	if kind == EngineAuto {
+		if s.Opts.Device == DevicePMem {
+			kind = EngineDAX
+		} else {
+			kind = EngineSPDK
+		}
+	}
+	switch kind {
+	case EngineDAX:
+		return core.NewDAXEngine(s.Host)
+	case EngineSPDK:
+		if s.NVMe == nil {
+			panic("aquila: SPDK engine requires DeviceNVMe")
+		}
+		// SPDK takes the NVMe device over from the kernel: it must be
+		// dedicated to this process (§3.3).
+		return core.NewSPDKEngine(spdk.NewFileMap(spdk.NewBlobstore(spdk.NewDriver(s.NVMe))))
+	case EngineHostDirect:
+		return core.NewHostEngine(s.Host)
+	default:
+		panic(fmt.Sprintf("aquila: unknown engine kind %d", kind))
+	}
+}
+
+// Do runs fn as a single simulated thread on CPU 0 and waits for completion.
+func (s *System) Do(fn func(p *Proc)) {
+	s.Sim.Spawn(0, "main", fn)
+	s.Sim.Run()
+}
+
+// Run spawns `threads` simulated threads (one per CPU, round-robin) running
+// fn(threadID, proc) and waits for all of them. It returns the elapsed
+// simulated cycles of the parallel phase.
+func (s *System) Run(threads int, fn func(t int, p *Proc)) uint64 {
+	start := s.Sim.Now()
+	for i := 0; i < threads; i++ {
+		i := i
+		s.Sim.SpawnAt(i%s.Opts.CPUs, fmt.Sprintf("worker-%d", i), start, func(p *Proc) {
+			fn(i, p)
+		})
+	}
+	s.Sim.Run()
+	return s.Sim.Now() - start
+}
+
+// Seconds returns the total simulated wall-clock time so far.
+func (s *System) Seconds() float64 { return cpu.CyclesToSeconds(s.Sim.Now()) }
+
+// ThroughputOpsPerSec converts an operation count over elapsed cycles to
+// operations per simulated second.
+func ThroughputOpsPerSec(ops uint64, cycles uint64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	return float64(ops) / cpu.CyclesToSeconds(cycles)
+}
+
+// CyclesToMicros re-exports the cycle-to-microsecond conversion.
+func CyclesToMicros(c uint64) float64 { return cpu.CyclesToMicros(c) }

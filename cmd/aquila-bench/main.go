@@ -1,0 +1,67 @@
+// Command aquila-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	aquila-bench -list
+//	aquila-bench -exp fig5a,fig7 [-scale 1.0]
+//	aquila-bench -exp all
+//
+// Every experiment prints the same rows/series the paper reports, plus notes
+// stating the paper's headline numbers next to the measured ones. Scale 1.0
+// is the default scaled-down configuration documented in EXPERIMENTS.md;
+// smaller scales run faster with coarser numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"aquila/internal/harness"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list experiments and exit")
+		exp    = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		scale  = flag.Float64("scale", 1.0, "experiment scale (dataset/ops multiplier)")
+		format = flag.String("format", "table", "output format: table or csv")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.All() {
+			fmt.Printf("%-8s %s\n         paper: %s\n", e.ID, e.Title, e.Paper)
+		}
+		return
+	}
+
+	var ids []string
+	if *exp == "all" {
+		for _, e := range harness.All() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(*exp, ",")
+	}
+
+	for _, id := range ids {
+		e, ok := harness.Find(strings.TrimSpace(id))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
+			os.Exit(1)
+		}
+		fmt.Printf("# %s — %s\n# paper: %s\n", e.ID, e.Title, e.Paper)
+		start := time.Now()
+		for _, r := range e.Run(*scale) {
+			if *format == "csv" {
+				fmt.Print(r.CSV())
+			} else {
+				fmt.Println(r)
+			}
+		}
+		fmt.Printf("# (%s wall-clock)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+}

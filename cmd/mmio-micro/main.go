@@ -1,0 +1,115 @@
+// Command mmio-micro runs the paper's page-fault microbenchmark (§5):
+// threads issuing loads at page-granular random offsets within a mapped
+// region, with every access taking a page fault.
+//
+//	mmio-micro -mode aquila -device pmem -threads 16 -cache 64 -dataset 768
+//	mmio-micro -mode mmap -shared=false ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"aquila"
+	"aquila/internal/metrics"
+)
+
+func main() {
+	var (
+		modeS   = flag.String("mode", "aquila", "world: aquila or mmap")
+		device  = flag.String("device", "pmem", "device: pmem or nvme")
+		threads = flag.Int("threads", 1, "threads")
+		cacheMB = flag.Uint64("cache", 32, "DRAM cache (MB)")
+		dataMB  = flag.Uint64("dataset", 128, "dataset size (MB)")
+		ops     = flag.Int("ops", 10000, "operations per thread")
+		shared  = flag.Bool("shared", true, "one shared file (vs per-thread files)")
+		seed    = flag.Int64("seed", 1, "deterministic seed")
+		trace   = flag.String("trace", "", "write a chrome://tracing JSON of the run to this file")
+	)
+	flag.Parse()
+
+	mode := aquila.ModeAquila
+	switch *modeS {
+	case "aquila":
+	case "mmap":
+		mode = aquila.ModeLinuxMmap
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *modeS)
+		os.Exit(1)
+	}
+	dev := aquila.DevicePMem
+	if *device == "nvme" {
+		dev = aquila.DeviceNVMe
+	}
+	cache := *cacheMB << 20
+	dataset := *dataMB << 20
+
+	sys := aquila.New(aquila.Options{
+		Mode: mode, Device: dev, CacheBytes: cache,
+		DeviceBytes: dataset + 128<<20, Seed: *seed,
+		Trace: *trace != "",
+	})
+	maps := make([]aquila.Mapping, *threads)
+	sys.Do(func(p *aquila.Proc) {
+		if *shared {
+			f := sys.NS.Create(p, "micro", dataset)
+			m := sys.NS.Mmap(p, f, dataset)
+			m.Advise(p, aquila.AdviceRandom)
+			for t := range maps {
+				maps[t] = m
+			}
+		} else {
+			per := dataset / uint64(*threads) &^ 4095
+			for t := range maps {
+				f := sys.NS.Create(p, fmt.Sprintf("micro-%d", t), per)
+				maps[t] = sys.NS.Mmap(p, f, per)
+				maps[t].Advise(p, aquila.AdviceRandom)
+			}
+		}
+	})
+	lats := make([]*metrics.Histogram, *threads)
+	var total uint64
+	elapsed := sys.Run(*threads, func(t int, p *aquila.Proc) {
+		lat := metrics.NewHistogram()
+		lats[t] = lat
+		rng := rand.New(rand.NewSource(*seed + int64(t)*101))
+		buf := make([]byte, 8)
+		pages := maps[t].Size() / 4096
+		for i := 0; i < *ops; i++ {
+			pg := uint64(rng.Int63n(int64(pages)))
+			t0 := p.Now()
+			maps[t].Load(p, pg*4096, buf)
+			lat.Record(p.Now() - t0)
+		}
+		total += uint64(*ops)
+	})
+	all := metrics.NewHistogram()
+	for _, l := range lats {
+		all.Merge(l)
+	}
+	fmt.Printf("mode=%s device=%s threads=%d shared=%v cache=%dMB dataset=%dMB\n",
+		*modeS, *device, *threads, *shared, *cacheMB, *dataMB)
+	fmt.Printf("faults=%d  throughput=%.1f Kops/s  avg=%.0f cycles (%.2fus)  p99=%.2fus  p99.9=%.2fus\n",
+		total, aquila.ThroughputOpsPerSec(total, elapsed)/1e3,
+		all.Mean(), all.Mean()/2400, float64(all.P99())/2400, float64(all.P999())/2400)
+	if sys.RT != nil {
+		fmt.Printf("aquila: major=%d minor=%d wp=%d evictions=%d shootdown-batches=%d\n",
+			sys.RT.Stats.MajorFaults, sys.RT.Stats.MinorFaults, sys.RT.Stats.WPFaults,
+			sys.RT.Stats.Evictions, sys.RT.Stats.ShootdownBatches)
+	}
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := sys.Sim.WriteChromeTrace(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", *trace)
+	}
+}

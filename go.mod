@@ -1,0 +1,3 @@
+module aquila
+
+go 1.22

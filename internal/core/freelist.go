@@ -1,0 +1,180 @@
+package core
+
+import (
+	"aquila/internal/sim/engine"
+	"aquila/internal/sim/mem"
+)
+
+// freelist is Aquila's hierarchical two-level page allocator (§3.2): a
+// lock-free queue per core backed by a queue per NUMA node. A core looks, in
+// order, at its own queue, its local NUMA queue, then remote NUMA queues.
+// Movement between levels happens in large batches (FreelistBatch) so the
+// shared queues are touched rarely; combined with lock-free queues this keeps
+// contention negligible, which the model reflects by charging only per-op
+// costs and no lock queueing.
+type freelist struct {
+	rt    *Runtime
+	cores [][]*mem.Frame // per-core stacks
+	nodes [][]*mem.Frame // per-NUMA stacks
+	// free counts pages across all queues.
+	free int
+
+	// single/singleLock implement the SingleQueueFreelist ablation: one
+	// shared queue under a lock, the contended design §3.2 avoids.
+	single     []*mem.Frame
+	singleLock *engine.Mutex
+}
+
+func newFreelist(rt *Runtime) *freelist {
+	fl := &freelist{rt: rt}
+	fl.cores = make([][]*mem.Frame, rt.e.NumCPUs())
+	fl.nodes = make([][]*mem.Frame, rt.e.NumNUMANodes())
+	if rt.P.SingleQueueFreelist {
+		fl.singleLock = engine.NewMutex(rt.e, "freelist_single")
+	}
+	return fl
+}
+
+// fill seeds the NUMA queues with freshly granted frames.
+func (fl *freelist) fill(frames []*mem.Frame) {
+	if fl.singleLock != nil {
+		fl.single = append(fl.single, frames...)
+	} else {
+		for _, f := range frames {
+			fl.nodes[f.Node] = append(fl.nodes[f.Node], f)
+		}
+	}
+	fl.free += len(frames)
+}
+
+// Free returns the number of free pages across all queues.
+func (fl *freelist) Free() int { return fl.free }
+
+// pop allocates one frame for the calling core, or returns nil when every
+// queue is empty (the caller must evict).
+func (fl *freelist) pop(p *engine.Proc) *mem.Frame {
+	if fl.singleLock != nil {
+		return fl.popSingle(p)
+	}
+	core := p.CPU()
+	fl.rt.charge(p, "alloc", fl.rt.P.FreelistPop)
+	if q := fl.cores[core]; len(q) > 0 {
+		f := q[len(q)-1]
+		fl.cores[core] = q[:len(q)-1]
+		fl.free--
+		return f
+	}
+	// Refill from the local NUMA queue in a batch.
+	local := p.Node()
+	if fl.refill(p, core, local) {
+		q := fl.cores[core]
+		f := q[len(q)-1]
+		fl.cores[core] = q[:len(q)-1]
+		fl.free--
+		return f
+	}
+	// Remote NUMA queues.
+	for d := 1; d < len(fl.nodes); d++ {
+		nd := (local + d) % len(fl.nodes)
+		fl.rt.charge(p, "alloc", fl.rt.C.NUMARemoteAccess)
+		if fl.refill(p, core, nd) {
+			q := fl.cores[core]
+			f := q[len(q)-1]
+			fl.cores[core] = q[:len(q)-1]
+			fl.free--
+			return f
+		}
+	}
+	return nil
+}
+
+// refill moves up to FreelistBatch pages from a NUMA queue to a core queue.
+// The queue mutation happens before any cycle charging: charging yields, and
+// two cores refilling from the same node queue across a yield would both
+// take the same frames.
+func (fl *freelist) refill(p *engine.Proc, core, node int) bool {
+	nq := fl.nodes[node]
+	if len(nq) == 0 {
+		return false
+	}
+	n := fl.rt.P.FreelistBatch
+	if n > len(nq) {
+		n = len(nq)
+	}
+	fl.cores[core] = append(fl.cores[core], nq[len(nq)-n:]...)
+	fl.nodes[node] = nq[:len(nq)-n]
+	fl.rt.charge(p, "alloc", fl.rt.P.FreelistMove*uint64(n))
+	return true
+}
+
+// popSingle and pushSingle are the single-shared-queue ablation paths.
+func (fl *freelist) popSingle(p *engine.Proc) *mem.Frame {
+	fl.singleLock.Lock(p)
+	fl.rt.charge(p, "alloc", fl.rt.P.FreelistPop)
+	var f *mem.Frame
+	if n := len(fl.single); n > 0 {
+		f = fl.single[n-1]
+		fl.single = fl.single[:n-1]
+		fl.free--
+	}
+	fl.singleLock.Unlock(p)
+	return f
+}
+
+func (fl *freelist) pushSingle(p *engine.Proc, f *mem.Frame) {
+	fl.singleLock.Lock(p)
+	fl.rt.charge(p, "alloc", fl.rt.P.FreelistPop)
+	fl.single = append(fl.single, f)
+	fl.free++
+	fl.singleLock.Unlock(p)
+}
+
+// push returns an evicted frame to the evicting core's queue, spilling a
+// batch to the NUMA queue when the core queue exceeds its threshold (§3.2).
+func (fl *freelist) push(p *engine.Proc, f *mem.Frame) {
+	if fl.singleLock != nil {
+		fl.pushSingle(p, f)
+		return
+	}
+	core := p.CPU()
+	fl.cores[core] = append(fl.cores[core], f)
+	fl.free++
+	if len(fl.cores[core]) > fl.rt.P.CoreQueueLimit {
+		n := fl.rt.P.FreelistBatch
+		if n > len(fl.cores[core]) {
+			n = len(fl.cores[core])
+		}
+		q := fl.cores[core]
+		for _, fr := range q[len(q)-n:] {
+			fl.nodes[fr.Node] = append(fl.nodes[fr.Node], fr)
+		}
+		fl.cores[core] = q[:len(q)-n]
+		fl.rt.charge(p, "alloc", fl.rt.P.FreelistMove*uint64(n))
+	}
+}
+
+// drain removes up to n frames from the queues (cache shrink), preferring
+// NUMA queues.
+func (fl *freelist) drain(n int) []*mem.Frame {
+	var out []*mem.Frame
+	for n > len(out) && len(fl.single) > 0 {
+		out = append(out, fl.single[len(fl.single)-1])
+		fl.single = fl.single[:len(fl.single)-1]
+	}
+	for node := range fl.nodes {
+		for n > len(out) && len(fl.nodes[node]) > 0 {
+			q := fl.nodes[node]
+			out = append(out, q[len(q)-1])
+			fl.nodes[node] = q[:len(q)-1]
+		}
+	}
+	for core := range fl.cores {
+		for n > len(out) && len(fl.cores[core]) > 0 {
+			q := fl.cores[core]
+			out = append(out, q[len(q)-1])
+			fl.cores[core] = q[:len(q)-1]
+		}
+	}
+	fl.free -= len(out)
+	return out
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+
+	"aquila/internal/sim/pagetable"
+)
+
+// CheckInvariants audits Aquila's cross-structure consistency at a quiescent
+// point. Tests call it after heavy workloads.
+func (rt *Runtime) CheckInvariants() error {
+	// Frame conservation: every granted frame is either cached or free.
+	resident := len(rt.pages)
+	free := rt.fl.Free()
+	if free < 0 {
+		return fmt.Errorf("freelist negative: %d", free)
+	}
+	if uint64(resident+free) != rt.limitPages {
+		return fmt.Errorf("resident %d + free %d != limit %d", resident, free, rt.limitPages)
+	}
+	dirtyInTrees := 0
+	for core, tree := range rt.dirty {
+		var err error
+		tree.Ascend(func(key uint64, pg *Page) bool {
+			dirtyInTrees++
+			if !pg.dirty {
+				err = fmt.Errorf("core %d dirty tree holds clean page (%s,%d)",
+					core, pg.file.name, pg.idx)
+				return false
+			}
+			if key != dirtyKey(pg) {
+				err = fmt.Errorf("dirty tree key %d != dirtyKey %d", key, dirtyKey(pg))
+				return false
+			}
+			if rt.pages[pg.Key()] != pg {
+				err = fmt.Errorf("dirty tree holds evicted page (%s,%d)",
+					pg.file.name, pg.idx)
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	dirtyPages := 0
+	for key, pg := range rt.pages {
+		if pg.Key() != key {
+			return fmt.Errorf("page (%s,%d) under wrong key", pg.file.name, pg.idx)
+		}
+		if !pg.resident {
+			return fmt.Errorf("non-resident page (%s,%d) still in hash", pg.file.name, pg.idx)
+		}
+		if pg.frame == nil {
+			return fmt.Errorf("page (%s,%d) has no frame", pg.file.name, pg.idx)
+		}
+		if pg.io != nil && !pg.io.Fired() {
+			return fmt.Errorf("page (%s,%d) has in-flight I/O at quiesce", pg.file.name, pg.idx)
+		}
+		if pg.dirty {
+			dirtyPages++
+		}
+		for _, va := range pg.vas {
+			e, ok := rt.PT.Lookup(va)
+			if !ok {
+				return fmt.Errorf("page (%s,%d): rmap va %#x unmapped", pg.file.name, pg.idx, va)
+			}
+			if e.Frame != pg.frame.ID {
+				return fmt.Errorf("page (%s,%d): pte frame %d != %d",
+					pg.file.name, pg.idx, e.Frame, pg.frame.ID)
+			}
+			// Dirty discipline: a writable PTE implies a dirty page.
+			if e.Flags.Has(pagetable.FlagWritable) && !pg.dirty {
+				return fmt.Errorf("page (%s,%d): writable PTE on clean page",
+					pg.file.name, pg.idx)
+			}
+		}
+	}
+	if dirtyPages != dirtyInTrees {
+		return fmt.Errorf("dirty pages %d != dirty-tree entries %d", dirtyPages, dirtyInTrees)
+	}
+	return nil
+}

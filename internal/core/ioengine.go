@@ -1,0 +1,300 @@
+package core
+
+import (
+	"fmt"
+
+	"aquila/internal/host"
+	"aquila/internal/sim/cpu"
+	"aquila/internal/sim/device"
+	"aquila/internal/sim/engine"
+	"aquila/internal/sim/mem"
+	"aquila/internal/spdk"
+)
+
+// IOEngine is Aquila's pluggable device-access layer (§3.3): applications
+// choose how cache misses and write-backs reach storage. The four engines of
+// Figure 8(c) are provided; custom engines implement this interface.
+type IOEngine interface {
+	// Name identifies the engine ("DAX-pmem", "SPDK-NVMe", ...).
+	Name() string
+	// Create makes the backing object for a new file of the given size.
+	Create(p *engine.Proc, name string, size uint64) any
+	// Open resolves an existing name.
+	Open(p *engine.Proc, name string) (any, uint64)
+	// Delete removes the backing object.
+	Delete(p *engine.Proc, name string)
+	// ReadRun fills frames with the content of pages [pageIdx,
+	// pageIdx+len(frames)) of f, charging the engine's full access cost.
+	ReadRun(p *engine.Proc, f *fileState, pageIdx uint64, frames []*mem.Frame)
+	// WriteRun persists frames to pages starting at pageIdx.
+	WriteRun(p *engine.Proc, f *fileState, pageIdx uint64, frames []*mem.Frame)
+	// DirectRead and DirectWrite bypass the cache entirely (explicit file
+	// I/O under Aquila, used e.g. by LSM compactions).
+	DirectRead(p *engine.Proc, f *fileState, off uint64, buf []byte)
+	DirectWrite(p *engine.Proc, f *fileState, off uint64, buf []byte)
+}
+
+// readFrames / writeFrames helpers: move content between device store and
+// frames with the zero-page fast path.
+func fillFrame(st *device.Store, off uint64, fr *mem.Frame) {
+	if st.HasRange(off, pageSize) {
+		st.ReadAt(off, fr.Data())
+	} else if fr.HasData() {
+		fr.Reset()
+	}
+}
+
+func flushFrame(st *device.Store, off uint64, fr *mem.Frame) {
+	if fr.HasData() {
+		st.WriteAt(off, fr.Data())
+	}
+}
+
+// DAXEngine is direct access to byte-addressable NVM (§3.3): the device is
+// DAX-mapped in non-root ring 0 and I/O is the AVX2-streaming memcpy with a
+// single FPU state save/restore per fault. Metadata operations are forwarded
+// to the host OS.
+type DAXEngine struct {
+	OS    *host.OS
+	PMem  *device.PMem
+	costs cpu.Costs
+}
+
+// NewDAXEngine builds the DAX-pmem engine over a host whose disk is pmem.
+func NewDAXEngine(os *host.OS) *DAXEngine {
+	if !os.Disk().PMem {
+		panic("core: DAX engine requires a pmem host disk")
+	}
+	return &DAXEngine{OS: os, costs: cpu.Default()}
+}
+
+// Name implements IOEngine.
+func (e *DAXEngine) Name() string { return "DAX-pmem" }
+
+// Create implements IOEngine: metadata ops go to the host via vmcall.
+func (e *DAXEngine) Create(p *engine.Proc, name string, size uint64) any {
+	e.OS.HV.VMCall(p, 0)
+	return e.OS.FS.Create(p, name, size)
+}
+
+// Open implements IOEngine.
+func (e *DAXEngine) Open(p *engine.Proc, name string) (any, uint64) {
+	e.OS.HV.VMCall(p, 0)
+	f := e.OS.FS.Open(p, name)
+	return f, f.Size()
+}
+
+// Delete implements IOEngine.
+func (e *DAXEngine) Delete(p *engine.Proc, name string) {
+	e.OS.HV.VMCall(p, 0)
+	e.OS.FS.Delete(p, name)
+}
+
+func (e *DAXEngine) file(f *fileState) *host.FSFile { return f.backing.(*host.FSFile) }
+
+// ReadRun implements IOEngine: one optimized memcpy per run.
+func (e *DAXEngine) ReadRun(p *engine.Proc, f *fileState, pageIdx uint64, frames []*mem.Frame) {
+	hf := e.file(f)
+	for i, fr := range frames {
+		fillFrame(e.OS.Disk().Content, hf.DevOffset((pageIdx+uint64(i))*pageSize), fr)
+	}
+	bytes := len(frames) * pageSize
+	p.AdvanceSystem(e.costs.MemcpyAVX2(bytes))
+	done := e.OS.Disk().Timing.Submit(p.Now(), bytes, false)
+	p.WaitUntil(done, engine.KindIOWait)
+}
+
+// WriteRun implements IOEngine.
+func (e *DAXEngine) WriteRun(p *engine.Proc, f *fileState, pageIdx uint64, frames []*mem.Frame) {
+	hf := e.file(f)
+	for i, fr := range frames {
+		flushFrame(e.OS.Disk().Content, hf.DevOffset((pageIdx+uint64(i))*pageSize), fr)
+	}
+	bytes := len(frames) * pageSize
+	p.AdvanceSystem(e.costs.MemcpyAVX2(bytes))
+	done := e.OS.Disk().Timing.Submit(p.Now(), bytes, true)
+	p.WaitUntil(done, engine.KindIOWait)
+}
+
+// DirectRead implements IOEngine: load/memcpy straight from the DAX mapping.
+func (e *DAXEngine) DirectRead(p *engine.Proc, f *fileState, off uint64, buf []byte) {
+	e.OS.Disk().Content.ReadAt(e.file(f).DevOffset(off), buf)
+	p.AdvanceSystem(e.costs.MemcpyAVX2(len(buf)))
+}
+
+// DirectWrite implements IOEngine.
+func (e *DAXEngine) DirectWrite(p *engine.Proc, f *fileState, off uint64, buf []byte) {
+	hf := e.file(f)
+	e.OS.Disk().Content.WriteAt(hf.DevOffset(off), buf)
+	if off+uint64(len(buf)) > hf.Size() {
+		hf.SetSize(off + uint64(len(buf)))
+	}
+	p.AdvanceSystem(e.costs.MemcpyAVX2(len(buf)))
+}
+
+// SPDKEngine accesses a dedicated NVMe device from non-root ring 0 through
+// the user-space SPDK driver and the Blobstore file abstraction (§3.3): no
+// syscalls, no vmcalls, polled completions.
+type SPDKEngine struct {
+	FM *spdk.FileMap
+}
+
+// NewSPDKEngine builds the SPDK-NVMe engine over a blobstore file map.
+func NewSPDKEngine(fm *spdk.FileMap) *SPDKEngine { return &SPDKEngine{FM: fm} }
+
+// Name implements IOEngine.
+func (e *SPDKEngine) Name() string { return "SPDK-NVMe" }
+
+// Create implements IOEngine: files are blobs, created at runtime.
+func (e *SPDKEngine) Create(p *engine.Proc, name string, size uint64) any {
+	return e.FM.Create(p, name, size)
+}
+
+// Open implements IOEngine.
+func (e *SPDKEngine) Open(p *engine.Proc, name string) (any, uint64) {
+	b := e.FM.Open(p, name)
+	return b, b.Size()
+}
+
+// Delete implements IOEngine.
+func (e *SPDKEngine) Delete(p *engine.Proc, name string) { e.FM.Delete(p, name) }
+
+func (e *SPDKEngine) blob(f *fileState) *spdk.Blob { return f.backing.(*spdk.Blob) }
+
+// ReadRun implements IOEngine: one polled NVMe I/O per device-contiguous
+// extent (blob clusters are 1 MB, so page runs rarely split).
+func (e *SPDKEngine) ReadRun(p *engine.Proc, f *fileState, pageIdx uint64, frames []*mem.Frame) {
+	b := e.blob(f)
+	bs := e.FM.Blobstore()
+	drv := bs.Drv()
+	for i := 0; i < len(frames); {
+		off := (pageIdx + uint64(i)) * pageSize
+		// Pages within one cluster are device-contiguous.
+		inCluster := int((spdk.ClusterSize - off%spdk.ClusterSize) / pageSize)
+		n := len(frames) - i
+		if n > inCluster {
+			n = inCluster
+		}
+		for j := 0; j < n; j++ {
+			fillFrame(drv.Device().Store, bs.DevOff(b, off+uint64(j)*pageSize), frames[i+j])
+		}
+		drv.ReadTimed(p, n*pageSize)
+		i += n
+	}
+}
+
+// WriteRun implements IOEngine.
+func (e *SPDKEngine) WriteRun(p *engine.Proc, f *fileState, pageIdx uint64, frames []*mem.Frame) {
+	b := e.blob(f)
+	bs := e.FM.Blobstore()
+	drv := bs.Drv()
+	for i := 0; i < len(frames); {
+		off := (pageIdx + uint64(i)) * pageSize
+		inCluster := int((spdk.ClusterSize - off%spdk.ClusterSize) / pageSize)
+		n := len(frames) - i
+		if n > inCluster {
+			n = inCluster
+		}
+		for j := 0; j < n; j++ {
+			flushFrame(drv.Device().Store, bs.DevOff(b, off+uint64(j)*pageSize), frames[i+j])
+		}
+		drv.WriteTimed(p, n*pageSize)
+		i += n
+	}
+}
+
+// DirectRead implements IOEngine.
+func (e *SPDKEngine) DirectRead(p *engine.Proc, f *fileState, off uint64, buf []byte) {
+	e.FM.Blobstore().ReadBlob(p, e.blob(f), off, buf)
+}
+
+// DirectWrite implements IOEngine.
+func (e *SPDKEngine) DirectWrite(p *engine.Proc, f *fileState, off uint64, buf []byte) {
+	b := e.blob(f)
+	e.FM.Blobstore().WriteBlob(p, b, off, buf)
+	if off+uint64(len(buf)) > b.Size() {
+		e.FM.Blobstore().SetSize(b, off+uint64(len(buf)))
+	}
+}
+
+// HostEngine issues Aquila's device I/O through the host kernel with direct
+// I/O syscalls — the HOST-pmem / HOST-NVMe baselines of Fig 8(c), each I/O
+// paying a vmcall on top of the syscall.
+type HostEngine struct {
+	OS *host.OS
+}
+
+// NewHostEngine builds the HOST-* engine for whatever disk the host has.
+func NewHostEngine(os *host.OS) *HostEngine { return &HostEngine{OS: os} }
+
+// Name implements IOEngine.
+func (e *HostEngine) Name() string {
+	if e.OS.Disk().PMem {
+		return "HOST-pmem"
+	}
+	return "HOST-NVMe"
+}
+
+// Create implements IOEngine.
+func (e *HostEngine) Create(p *engine.Proc, name string, size uint64) any {
+	e.OS.HV.VMCall(p, 0)
+	return e.OS.FS.Create(p, name, size)
+}
+
+// Open implements IOEngine.
+func (e *HostEngine) Open(p *engine.Proc, name string) (any, uint64) {
+	e.OS.HV.VMCall(p, 0)
+	f := e.OS.FS.Open(p, name)
+	return f, f.Size()
+}
+
+// Delete implements IOEngine.
+func (e *HostEngine) Delete(p *engine.Proc, name string) {
+	e.OS.HV.VMCall(p, 0)
+	e.OS.FS.Delete(p, name)
+}
+
+func (e *HostEngine) file(f *fileState) *host.FSFile { return f.backing.(*host.FSFile) }
+
+// ReadRun implements IOEngine.
+func (e *HostEngine) ReadRun(p *engine.Proc, f *fileState, pageIdx uint64, frames []*mem.Frame) {
+	hf := e.file(f)
+	for i, fr := range frames {
+		fillFrame(e.OS.Disk().Content, hf.DevOffset((pageIdx+uint64(i))*pageSize), fr)
+	}
+	e.OS.DirectIOTimed(p, len(frames)*pageSize, false)
+}
+
+// WriteRun implements IOEngine.
+func (e *HostEngine) WriteRun(p *engine.Proc, f *fileState, pageIdx uint64, frames []*mem.Frame) {
+	hf := e.file(f)
+	for i, fr := range frames {
+		flushFrame(e.OS.Disk().Content, hf.DevOffset((pageIdx+uint64(i))*pageSize), fr)
+	}
+	e.OS.DirectIOTimed(p, len(frames)*pageSize, true)
+}
+
+// DirectRead implements IOEngine.
+func (e *HostEngine) DirectRead(p *engine.Proc, f *fileState, off uint64, buf []byte) {
+	e.OS.DirectReadHost(p, e.file(f), off, buf)
+}
+
+// DirectWrite implements IOEngine.
+func (e *HostEngine) DirectWrite(p *engine.Proc, f *fileState, off uint64, buf []byte) {
+	hf := e.file(f)
+	e.OS.DirectWriteHost(p, hf, off, buf)
+	if off+uint64(len(buf)) > hf.Size() {
+		hf.SetSize(off + uint64(len(buf)))
+	}
+}
+
+// backingSize returns the size recorded by the engine backing.
+func backingSize(b any) uint64 {
+	switch x := b.(type) {
+	case *host.FSFile:
+		return x.Size()
+	case *spdk.Blob:
+		return x.Size()
+	}
+	panic(fmt.Sprintf("core: unknown backing %T", b))
+}

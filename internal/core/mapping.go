@@ -1,0 +1,262 @@
+package core
+
+import (
+	"fmt"
+
+	"aquila/internal/iface"
+	"aquila/internal/sim/engine"
+	"aquila/internal/sim/mem"
+	"aquila/internal/sim/pagetable"
+)
+
+// AqMapping is a memory mapping under Aquila, compatible with Linux mmap
+// semantics (shared, file-backed) but served by the ring-0 mmio path.
+type AqMapping struct {
+	rt   *Runtime
+	r    *Region
+	size uint64
+	dead bool
+}
+
+var _ iface.Mapping = (*AqMapping)(nil)
+
+// Size implements iface.Mapping.
+func (m *AqMapping) Size() uint64 { return m.size }
+
+// Advise implements iface.Mapping. madvise is intercepted in ring 0: it is a
+// function call, not a syscall (§4.4).
+func (m *AqMapping) Advise(p *engine.Proc, advice iface.Advice) {
+	p.AdvanceSystem(m.rt.P.MsyncEntry)
+	m.r.Advice = advice
+}
+
+// Load implements iface.Mapping.
+func (m *AqMapping) Load(p *engine.Proc, off uint64, buf []byte) {
+	m.checkRange(off, len(buf))
+	for n := 0; n < len(buf); {
+		va := m.r.Start + off + uint64(n)
+		po := int(va % pageSize)
+		chunk := pageSize - po
+		if chunk > len(buf)-n {
+			chunk = len(buf) - n
+		}
+		frame := m.rt.resolve(p, va, false)
+		copyOut(buf[n:n+chunk], frame, po)
+		p.AdvanceUser(loadStoreCost(chunk))
+		n += chunk
+	}
+}
+
+// Store implements iface.Mapping.
+func (m *AqMapping) Store(p *engine.Proc, off uint64, buf []byte) {
+	if m.r.ReadOnly {
+		panic(fmt.Sprintf("core: store to read-only mapping of %q (SIGSEGV)", m.r.File.name))
+	}
+	m.checkRange(off, len(buf))
+	for n := 0; n < len(buf); {
+		va := m.r.Start + off + uint64(n)
+		po := int(va % pageSize)
+		chunk := pageSize - po
+		if chunk > len(buf)-n {
+			chunk = len(buf) - n
+		}
+		frame := m.rt.resolve(p, va, true)
+		copy(frame.Data()[po:po+chunk], buf[n:n+chunk])
+		p.AdvanceUser(loadStoreCost(chunk))
+		n += chunk
+	}
+}
+
+// Msync implements iface.Mapping.
+func (m *AqMapping) Msync(p *engine.Proc) {
+	m.rt.msyncFile(p, m.r.File)
+}
+
+// MsyncRange implements iface.Mapping: intercepted in ring 0 and served from
+// the per-core dirty trees, whose device-offset ordering makes the range
+// collection a bounded in-order walk.
+func (m *AqMapping) MsyncRange(p *engine.Proc, off, length uint64) {
+	m.rt.msyncFileRange(p, m.r.File, off, length)
+}
+
+// Mprotect changes the mapping's protection (§4.4: intercepted in ring 0, a
+// function call rather than a syscall). Downgrading to read-only rewrites
+// live PTEs and issues one batched shootdown; upgrading back is lazy (the
+// next store takes a write-protect fault).
+func (m *AqMapping) Mprotect(p *engine.Proc, readOnly bool) {
+	p.AdvanceSystem(m.rt.P.MsyncEntry)
+	if readOnly && !m.r.ReadOnly {
+		changed := 0
+		for va := m.r.Start; va < m.r.End; va += pageSize {
+			if e, ok := m.rt.PT.Lookup(va); ok && e.Flags.Has(pagetable.FlagWritable) {
+				m.rt.PT.Protect(va, pagetable.FlagUser|pagetable.FlagAccessed)
+				m.rt.charge(p, "map-pte", m.rt.C.PTEUpdate)
+				changed++
+			}
+		}
+		if changed > 0 {
+			m.rt.shootdown(p)
+		}
+	}
+	m.r.ReadOnly = readOnly
+}
+
+// Mremap grows or shrinks the mapping (§4.4). Growth relocates the region to
+// a fresh virtual range, moving live PTEs (one batched shootdown for the old
+// range); shrinking unmaps the tail. The mapping's pages stay cached either
+// way.
+func (m *AqMapping) Mremap(p *engine.Proc, newSize uint64) {
+	rt := m.rt
+	rt.Host.HV.VMCall(p, 1500) // range updates interact with root ring 0
+	newPages := (newSize + pageSize - 1) / pageSize
+	oldPages := m.r.Pages()
+	switch {
+	case newPages == oldPages:
+	case newPages < oldPages:
+		// Shrink in place: unmap the tail.
+		unmapped := 0
+		for va := m.r.Start + newPages*pageSize; va < m.r.End; va += pageSize {
+			if rt.PT.Unmap(va) {
+				rt.charge(p, "unmap", rt.C.PTEUpdate)
+				unmapped++
+				idx := (va - m.r.Start) / pageSize
+				if pg := rt.pages[pageKey{m.r.File.id, idx}]; pg != nil {
+					removeVAFrom(pg, va)
+				}
+			}
+		}
+		if unmapped > 0 {
+			rt.shootdown(p)
+		}
+		rt.vs.Remove(m.r)
+		m.r.End = m.r.Start + newPages*pageSize
+		rt.vs.Insert(m.r)
+		rt.charge(p, "vspace", 4*rt.P.RadixLookup)
+	default:
+		// Grow: relocate to a fresh range, moving live translations.
+		newStart := rt.nextVA
+		rt.nextVA += (newPages + 16) * pageSize
+		moved := 0
+		for i := uint64(0); i < oldPages; i++ {
+			oldVA := m.r.Start + i*pageSize
+			if e, ok := rt.PT.Lookup(oldVA); ok {
+				rt.PT.Unmap(oldVA)
+				rt.PT.Map(newStart+i*pageSize, e.Frame, e.Flags, pagetable.Size4K)
+				rt.charge(p, "map-pte", 2*rt.C.PTEUpdate)
+				idx := i
+				if pg := rt.pages[pageKey{m.r.File.id, idx}]; pg != nil {
+					removeVAFrom(pg, oldVA)
+					pg.vas = append(pg.vas, newStart+i*pageSize)
+				}
+				moved++
+			}
+		}
+		if moved > 0 {
+			rt.shootdown(p)
+		}
+		rt.vs.Remove(m.r)
+		m.r.Start, m.r.End = newStart, newStart+newPages*pageSize
+		rt.vs.Insert(m.r)
+		rt.charge(p, "vspace", 8*rt.P.RadixLookup)
+	}
+	m.size = newSize
+}
+
+// Munmap implements iface.Mapping.
+func (m *AqMapping) Munmap(p *engine.Proc) {
+	if m.dead {
+		return
+	}
+	m.dead = true
+	m.rt.munmapRegion(p, m.r)
+}
+
+func (m *AqMapping) checkRange(off uint64, n int) {
+	if off+uint64(n) > m.size {
+		panic(fmt.Sprintf("core: mapping access [%d,%d) beyond size %d", off, off+uint64(n), m.size))
+	}
+}
+
+// loadStoreCost is the user-side cost of moving n bytes through cached
+// mappings (plain loads/stores at DRAM bandwidth).
+func loadStoreCost(n int) uint64 { return uint64(n)/16 + 2 }
+
+func copyOut(dst []byte, f *mem.Frame, off int) {
+	if f.HasData() {
+		copy(dst, f.Data()[off:off+len(dst)])
+		return
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+}
+
+// AqFile is explicit file I/O under Aquila: intercepted in ring 0 and issued
+// directly through the configured I/O engine, bypassing the DRAM cache.
+// Intended for write-once data such as LSM tables; mixing cached mappings
+// and direct writes to the same live pages is the application's
+// responsibility, exactly as with O_DIRECT on Linux.
+type AqFile struct {
+	rt *Runtime
+	f  *fileState
+}
+
+var _ iface.File = (*AqFile)(nil)
+
+// Name implements iface.File.
+func (af *AqFile) Name() string { return af.f.name }
+
+// Size implements iface.File.
+func (af *AqFile) Size() uint64 { return backingSize(af.f.backing) }
+
+// Pread implements iface.File.
+func (af *AqFile) Pread(p *engine.Proc, buf []byte, off uint64) {
+	af.rt.Engine.DirectRead(p, af.f, off, buf)
+}
+
+// Pwrite implements iface.File.
+func (af *AqFile) Pwrite(p *engine.Proc, buf []byte, off uint64) {
+	af.rt.Engine.DirectWrite(p, af.f, off, buf)
+	if off+uint64(len(buf)) > af.f.size {
+		af.f.size = off + uint64(len(buf))
+	}
+}
+
+// Fsync implements iface.File: engine writes are synchronous and unbuffered,
+// so this only orders metadata (blob size xattrs etc.).
+func (af *AqFile) Fsync(p *engine.Proc) {
+	p.AdvanceSystem(af.rt.P.MsyncEntry)
+}
+
+// Namespace adapts a Runtime to iface.Namespace so applications written
+// against the shared interfaces run unmodified over Aquila.
+type Namespace struct {
+	RT *Runtime
+}
+
+var _ iface.Namespace = (*Namespace)(nil)
+
+// Create implements iface.Namespace.
+func (ns *Namespace) Create(p *engine.Proc, name string, size uint64) iface.File {
+	return &AqFile{rt: ns.RT, f: ns.RT.CreateFile(p, name, size)}
+}
+
+// Open implements iface.Namespace.
+func (ns *Namespace) Open(p *engine.Proc, name string) iface.File {
+	return &AqFile{rt: ns.RT, f: ns.RT.OpenFile(p, name)}
+}
+
+// Exists implements iface.Namespace.
+func (ns *Namespace) Exists(name string) bool { return ns.RT.FileExists(name) }
+
+// Delete implements iface.Namespace.
+func (ns *Namespace) Delete(p *engine.Proc, name string) { ns.RT.DeleteFile(p, name) }
+
+// Mmap implements iface.Namespace.
+func (ns *Namespace) Mmap(p *engine.Proc, f iface.File, size uint64) iface.Mapping {
+	af, ok := f.(*AqFile)
+	if !ok {
+		panic("core: Mmap of non-Aquila file")
+	}
+	return ns.RT.Mmap(p, af.f, size)
+}

@@ -1,0 +1,86 @@
+// Package core implements the Aquila library OS: the custom mmio path that
+// runs, together with the application, in VMX non-root ring 0.
+//
+// Common-path operations (§3: page faults ①, DRAM cache replacement ②,
+// device access ③) execute entirely in the guest: the fault handler costs a
+// ring-0 exception instead of a ring-3 trap, cache lookups go through a
+// lock-free hash table, frames come from a two-level (per-core/per-NUMA)
+// freelist, dirty pages live in per-core red-black trees sorted by device
+// offset, and evictions unmap in batches of 512 pages with a single
+// rate-limited posted-IPI TLB shootdown. Uncommon operations (file-mapping
+// management ④, cache resizing ⑤) interact with the hypervisor via vmcalls.
+package core
+
+// Params are Aquila's software-path cost constants (cycles) and policy knobs.
+type Params struct {
+	// ExceptionEntry is the handler-entry work beyond the bare ring-0
+	// exception: switching to the dedicated exception stack and copying
+	// the exception frame back to the application stack (§4.2).
+	ExceptionEntry uint64
+	// RadixLookup is a vspace radix-tree lookup (RadixVM-style, §3.4).
+	RadixLookup uint64
+	// EntryLock is locking one radix entry against concurrent faults.
+	EntryLock uint64
+	// HashLookup is a lock-free hash table probe (ASCYLIB-style, §3.2).
+	HashLookup uint64
+	// HashInsert is a lock-free hash table insertion.
+	HashInsert uint64
+	// HashRemove is a lock-free hash table removal.
+	HashRemove uint64
+	// FreelistPop is popping a frame from the per-core freelist queue.
+	FreelistPop uint64
+	// FreelistMove is moving one page between freelist levels (amortized
+	// over the 4096-page batches of §3.2).
+	FreelistMove uint64
+	// LRUAppend is recording the fault in the per-core LRU structure.
+	LRUAppend uint64
+	// DirtyTreeOp is an insert/remove on a per-core dirty red-black tree.
+	DirtyTreeOp uint64
+	// FaultAccounting is residual fault bookkeeping (statistics, madvise
+	// checks, permission computation).
+	FaultAccounting uint64
+	// MsyncEntry is the intercepted msync entry cost: a plain function
+	// call, not a protection-domain switch (§4.4).
+	MsyncEntry uint64
+
+	// EvictBatch is the synchronous eviction batch size (§3.2: 512).
+	EvictBatch int
+	// FreelistBatch is the page count moved between freelist levels
+	// (§3.2: 4096).
+	FreelistBatch int
+	// CoreQueueLimit is the per-core free-queue threshold above which
+	// pages spill to the NUMA queue.
+	CoreQueueLimit int
+	// ReadAheadPages is the madvise(SEQUENTIAL)-driven readahead window.
+	ReadAheadPages int
+	// WritebackMaxRun caps the size of one merged writeback I/O, in pages.
+	WritebackMaxRun int
+	// SingleQueueFreelist replaces the two-level per-core/per-NUMA
+	// freelist with one lock-protected shared queue — the design §3.2
+	// argues against. Ablation knob; default false.
+	SingleQueueFreelist bool
+}
+
+// DefaultParams returns the calibrated Aquila parameter set.
+func DefaultParams() Params {
+	return Params{
+		ExceptionEntry:  450,
+		RadixLookup:     220,
+		EntryLock:       75,
+		HashLookup:      250,
+		HashInsert:      280,
+		HashRemove:      220,
+		FreelistPop:     100,
+		FreelistMove:    25,
+		LRUAppend:       70,
+		DirtyTreeOp:     260,
+		FaultAccounting: 500,
+		MsyncEntry:      120,
+
+		EvictBatch:      512,
+		FreelistBatch:   4096,
+		CoreQueueLimit:  8192,
+		ReadAheadPages:  16,
+		WritebackMaxRun: 128,
+	}
+}

@@ -1,0 +1,47 @@
+package core
+
+// NewSequentialDetector builds a ReadaheadPolicy that discovers sequential
+// access automatically instead of relying on madvise: per file, the window
+// starts at zero, doubles on each sequential fault up to maxWindow, and
+// collapses on a non-sequential one — the classic ondemand-readahead shape,
+// offered here as one more plug-in policy for the customization hook (the
+// default policy stays madvise-driven, as the paper describes).
+func NewSequentialDetector(maxWindow int) ReadaheadPolicy {
+	if maxWindow <= 0 {
+		maxWindow = 32
+	}
+	type state struct {
+		lastIdx uint64
+		window  int
+	}
+	perFile := make(map[uint64]*state)
+	return func(r *Region, idx uint64) int {
+		st := perFile[r.File.id]
+		if st == nil {
+			st = &state{}
+			perFile[r.File.id] = st
+		}
+		sequential := idx == st.lastIdx+1
+		// The faulting index is `idx`; the previous window may have
+		// prefetched past it, so also accept faults that land just past
+		// the old window as sequential.
+		if !sequential && st.window > 0 &&
+			idx > st.lastIdx && idx <= st.lastIdx+uint64(st.window)+1 {
+			sequential = true
+		}
+		if sequential {
+			if st.window == 0 {
+				st.window = 2
+			} else {
+				st.window *= 2
+			}
+			if st.window > maxWindow {
+				st.window = maxWindow
+			}
+		} else {
+			st.window = 0
+		}
+		st.lastIdx = idx
+		return st.window
+	}
+}

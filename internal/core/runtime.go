@@ -1,0 +1,721 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"aquila/internal/host"
+	"aquila/internal/iface"
+	"aquila/internal/metrics"
+	"aquila/internal/sim/cpu"
+	"aquila/internal/sim/engine"
+	"aquila/internal/sim/mem"
+	"aquila/internal/sim/pagetable"
+)
+
+// Stats are Aquila's operation counters.
+type Stats struct {
+	MajorFaults      uint64
+	MinorFaults      uint64
+	WPFaults         uint64
+	Evictions        uint64
+	WrittenBack      uint64
+	ShootdownBatches uint64
+	ReadaheadPages   uint64
+}
+
+// VictimPolicy selects pages to evict; the default is the built-in LRU
+// approximation. Applications may install their own (cache customization,
+// contribution 1 of the paper).
+type VictimPolicy func(p *engine.Proc, n int) []*Page
+
+// ReadaheadPolicy returns how many pages beyond the faulting one to read,
+// given the region's madvise state. The default honors AdviceSequential /
+// AdviceWillNeed with Params.ReadAheadPages and reads nothing otherwise.
+type ReadaheadPolicy func(r *Region, idx uint64) int
+
+// Config parameterizes a Runtime.
+type Config struct {
+	// CacheBytes is the initial DRAM I/O cache size.
+	CacheBytes uint64
+	// MaxCacheBytes bounds dynamic growth (default: CacheBytes).
+	MaxCacheBytes uint64
+	// Params overrides the cost/policy table (nil: defaults).
+	Params *Params
+}
+
+// Runtime is one Aquila instance: the library OS state of a single process
+// running in non-root ring 0.
+type Runtime struct {
+	e      *engine.Engine
+	C      cpu.Costs
+	P      Params
+	Host   *host.OS
+	Engine IOEngine
+
+	PT   *pagetable.Table
+	TLBs *cpu.TLBSet
+	vs   *vspace
+
+	// pages is the lock-free hash table of all cached pages (§3.2);
+	// per-operation costs are charged explicitly, with no lock queueing.
+	pages map[pageKey]*Page
+	dirty []*rbTree // per-core dirty trees, keyed by device order
+	fl    *freelist
+	lru   *lruApprox
+	// framePool is the granted guest-physical memory.
+	framePool  *mem.Allocator
+	limitPages uint64
+	gpaBase    uint64
+
+	files  map[string]*fileState
+	nextID uint64
+	nextVA uint64
+
+	// evictSel serializes victim selection only (never held across I/O).
+	evictSel    *engine.Mutex
+	evictStalls int
+	// mmMask tracks CPUs that have faulted in this address space; batched
+	// shootdowns target only these.
+	mmMask []bool
+
+	// Victims and Readahead are the customization hooks. Prefer, when
+	// set, biases the default LRU victim selection toward pages it
+	// returns true for (scan resistance, file priorities, ...).
+	Victims   VictimPolicy
+	Readahead ReadaheadPolicy
+	Prefer    func(*Page) bool
+
+	// Break attributes fault-path cycles to components (Figs 7, 8).
+	Break *metrics.Breakdown
+	Stats Stats
+}
+
+// NewRuntime boots Aquila: enters non-root ring 0 (Dune-style), obtains the
+// initial DRAM cache grant from the hypervisor and initializes all
+// common-path structures. hostOS provides the hypervisor and, for the DAX
+// and HOST-* engines, the backing filesystem.
+func NewRuntime(p *engine.Proc, hostOS *host.OS, eng IOEngine, cfg Config) *Runtime {
+	if cfg.MaxCacheBytes < cfg.CacheBytes {
+		cfg.MaxCacheBytes = cfg.CacheBytes
+	}
+	params := DefaultParams()
+	if cfg.Params != nil {
+		params = *cfg.Params
+	}
+	rt := &Runtime{
+		e:        hostOS.E,
+		C:        cpu.Default(),
+		P:        params,
+		Host:     hostOS,
+		Engine:   eng,
+		PT:       pagetable.New(2),
+		TLBs:     cpu.NewTLBSet(hostOS.E.NumCPUs(), 1536, 41),
+		vs:       &vspace{},
+		pages:    make(map[pageKey]*Page),
+		files:    make(map[string]*fileState),
+		nextVA:   0x6000_0000_0000,
+		gpaBase:  16 << 30,
+		evictSel: engine.NewMutex(hostOS.E, "aquila_evict_select"),
+		Break:    metrics.NewBreakdown(),
+	}
+	rt.framePool = mem.NewAllocator(cfg.MaxCacheBytes, hostOS.E.NumNUMANodes())
+	rt.fl = newFreelist(rt)
+	rt.lru = newLRU(rt)
+	rt.dirty = make([]*rbTree, hostOS.E.NumCPUs())
+	for i := range rt.dirty {
+		rt.dirty[i] = &rbTree{}
+	}
+	rt.Victims = rt.lru.selectVictims
+	rt.Readahead = rt.defaultReadahead
+	rt.mmMask = make([]bool, hostOS.E.NumCPUs())
+
+	// Entering Aquila: one vmcall to set up VMCS/EPT state (Dune enter).
+	hostOS.HV.VMCall(p, 5000)
+	rt.grow(p, cfg.CacheBytes)
+	return rt
+}
+
+// CacheLimitPages returns the current cache size in pages.
+func (rt *Runtime) CacheLimitPages() uint64 { return rt.limitPages }
+
+// ResidentPages returns the number of cached pages.
+func (rt *Runtime) ResidentPages() int { return len(rt.pages) }
+
+// FreePages returns the free-list population.
+func (rt *Runtime) FreePages() int { return rt.fl.Free() }
+
+// charge advances p by cyc system cycles and attributes them to a breakdown
+// category.
+func (rt *Runtime) charge(p *engine.Proc, cat string, cyc uint64) {
+	p.AdvanceSystem(cyc)
+	rt.Break.Add(cat, cyc)
+}
+
+// grow grants more DRAM from the hypervisor in 1 GB units (§3.5) and feeds
+// the freelist.
+func (rt *Runtime) grow(p *engine.Proc, bytes uint64) {
+	const gig = 1 << 30
+	granted := (bytes + gig - 1) / gig * gig
+	wantPages := bytes / pageSize
+	if rt.limitPages+wantPages > rt.framePool.Capacity() {
+		wantPages = rt.framePool.Capacity() - rt.limitPages
+	}
+	rt.Host.HV.GrantRegion(p, rt.gpaBase, granted)
+	rt.gpaBase += granted
+	var frames []*mem.Frame
+	perNode := int(wantPages) / rt.e.NumNUMANodes()
+	for n := 0; n < rt.e.NumNUMANodes(); n++ {
+		want := perNode
+		if n == 0 {
+			want = int(wantPages) - perNode*(rt.e.NumNUMANodes()-1)
+		}
+		frames = append(frames, rt.framePool.AllocN(n, want)...)
+	}
+	rt.fl.fill(frames)
+	rt.limitPages += uint64(len(frames))
+}
+
+// ResizeCache dynamically grows or shrinks the DRAM cache (§3.5). Shrinking
+// evicts down to the new size and returns memory to the hypervisor.
+func (rt *Runtime) ResizeCache(p *engine.Proc, newBytes uint64) {
+	newPages := newBytes / pageSize
+	if newPages > rt.limitPages {
+		rt.grow(p, (newPages-rt.limitPages)*pageSize)
+		return
+	}
+	toRemove := int(rt.limitPages - newPages)
+	for rt.fl.Free() < toRemove {
+		rt.evict(p)
+	}
+	const gig = 1 << 30
+	frames := rt.fl.drain(toRemove)
+	for _, f := range frames {
+		rt.framePool.Release(f)
+	}
+	rt.limitPages -= uint64(len(frames))
+	reclaim := uint64(len(frames)) * pageSize / gig * gig
+	if reclaim > 0 {
+		rt.gpaBase -= reclaim
+		rt.Host.HV.ReclaimRegion(p, rt.gpaBase, reclaim)
+	}
+}
+
+// CreateFile creates a file through the configured I/O engine.
+func (rt *Runtime) CreateFile(p *engine.Proc, name string, size uint64) *fileState {
+	if _, ok := rt.files[name]; ok {
+		panic(fmt.Sprintf("core: create of existing file %q", name))
+	}
+	rt.nextID++
+	f := &fileState{id: rt.nextID, name: name, size: size}
+	f.backing = rt.Engine.Create(p, name, size)
+	rt.files[name] = f
+	return f
+}
+
+// FileExists reports whether a name resolves, in this runtime or in the
+// engine's backing namespace.
+func (rt *Runtime) FileExists(name string) bool {
+	if _, ok := rt.files[name]; ok {
+		return true
+	}
+	switch e := rt.Engine.(type) {
+	case *DAXEngine:
+		return e.OS.FS.Exists(name)
+	case *HostEngine:
+		return e.OS.FS.Exists(name)
+	case *SPDKEngine:
+		return e.FM.Exists(name)
+	}
+	return false
+}
+
+// OpenFile opens an existing file.
+func (rt *Runtime) OpenFile(p *engine.Proc, name string) *fileState {
+	if f, ok := rt.files[name]; ok {
+		f.size = backingSize(f.backing)
+		return f
+	}
+	backing, size := rt.Engine.Open(p, name)
+	rt.nextID++
+	f := &fileState{id: rt.nextID, name: name, size: size, backing: backing}
+	rt.files[name] = f
+	return f
+}
+
+// DeleteFile removes a file: its cached pages are dropped (frames recycled),
+// its dirty entries discarded, and the backing object released.
+func (rt *Runtime) DeleteFile(p *engine.Proc, name string) {
+	f, ok := rt.files[name]
+	if !ok {
+		rt.Engine.Delete(p, name)
+		return
+	}
+	// Drop cached pages. Pages under I/O wait their owners; mapped pages
+	// must have been unmapped by Munmap already.
+	var drop []*Page
+	for key, pg := range rt.pages {
+		if key.fid != f.id {
+			continue
+		}
+		for pg.io != nil && !pg.io.Fired() {
+			pg.io.Wait(p)
+		}
+		drop = append(drop, pg)
+	}
+	for _, pg := range drop {
+		if len(pg.vas) > 0 {
+			panic(fmt.Sprintf("core: delete of %q with live mappings", name))
+		}
+		if pg.dirty {
+			rt.dirty[pg.dirtyCore].Delete(dirtyKey(pg))
+			pg.dirty = false
+		}
+		pg.resident = false
+		delete(rt.pages, pg.Key())
+		rt.charge(p, "cache-lookup", rt.P.HashRemove)
+		if pg.frame != nil {
+			rt.fl.push(p, pg.frame)
+			pg.frame = nil
+		}
+	}
+	delete(rt.files, name)
+	rt.Engine.Delete(p, name)
+}
+
+// Mmap maps the first size bytes of f. Virtual address range updates are the
+// uncommon-path operation ④: they interact with root ring 0 via vmcall.
+func (rt *Runtime) Mmap(p *engine.Proc, f *fileState, size uint64) *AqMapping {
+	rt.Host.HV.VMCall(p, 1500)
+	pages := (size + pageSize - 1) / pageSize
+	start := rt.nextVA
+	rt.nextVA += (pages + 16) * pageSize
+	r := &Region{Start: start, End: start + pages*pageSize, File: f}
+	rt.vs.Insert(r)
+	rt.charge(p, "vspace", 4*rt.P.RadixLookup)
+	return &AqMapping{rt: rt, r: r, size: size}
+}
+
+// munmapRegion tears a region down: vmcall, radix removal, batched unmap +
+// shootdown, and write-back of the file's dirty pages.
+func (rt *Runtime) munmapRegion(p *engine.Proc, r *Region) {
+	rt.Host.HV.VMCall(p, 1500)
+	unmapped := 0
+	for va := r.Start; va < r.End; va += pageSize {
+		if rt.PT.Unmap(va) {
+			rt.charge(p, "unmap", rt.C.PTEUpdate)
+			unmapped++
+			idx := (va - r.Start) / pageSize
+			if pg := rt.pages[pageKey{r.File.id, idx}]; pg != nil {
+				removeVAFrom(pg, va)
+			}
+		}
+	}
+	if unmapped > 0 {
+		rt.shootdown(p)
+	}
+	rt.vs.Remove(r)
+	rt.charge(p, "vspace", 4*rt.P.RadixLookup)
+	rt.msyncFile(p, r.File)
+}
+
+func removeVAFrom(pg *Page, va uint64) {
+	for i, x := range pg.vas {
+		if x == va {
+			pg.vas = append(pg.vas[:i], pg.vas[i+1:]...)
+			return
+		}
+	}
+}
+
+// resolve returns the frame currently backing va with the required
+// permission, re-validating the translation after each access attempt: a
+// concurrent eviction between the fault path returning and the caller's
+// copy may have recycled the frame.
+func (rt *Runtime) resolve(p *engine.Proc, va uint64, write bool) *mem.Frame {
+	for {
+		frame := rt.access(p, va, write)
+		if e, ok := rt.PT.Lookup(va); ok && e.Frame == frame.ID &&
+			(!write || e.Flags.Has(pagetable.FlagWritable)) {
+			return frame
+		}
+	}
+}
+
+// access resolves a virtual address: TLB hit (free), TLB refill (2-D walk
+// under virtualization), or the ring-0 fault path.
+func (rt *Runtime) access(p *engine.Proc, va uint64, write bool) *mem.Frame {
+	vpn := va >> mem.PageShift
+	tlb := rt.TLBs.CPU(p.CPU())
+	asid := rt.PT.ASID()
+	if tlb.Lookup(asid, vpn) {
+		if e, ok := rt.PT.Lookup(va); ok {
+			if !write || e.Flags.Has(pagetable.FlagWritable) {
+				return rt.framePool.Frame(e.Frame)
+			}
+			return rt.wpFault(p, va)
+		}
+		tlb.InvalidatePage(asid, vpn)
+	}
+	if e, ok := rt.PT.Lookup(va); ok {
+		// TLB refill: guest-PT x EPT two-dimensional walk.
+		p.AdvanceUser(rt.C.TLBRefill + rt.C.EPTWalkExtra)
+		tlb.Insert(asid, vpn)
+		if !write || e.Flags.Has(pagetable.FlagWritable) {
+			return rt.framePool.Frame(e.Frame)
+		}
+		return rt.wpFault(p, va)
+	}
+	return rt.fault(p, va, write)
+}
+
+// wpFault handles the first store to a read-only-mapped page: a ring-0
+// exception that only marks the page dirty (§3.2 dirty tracking).
+func (rt *Runtime) wpFault(p *engine.Proc, va uint64) *mem.Frame {
+	va &^= uint64(pageSize - 1)
+	rt.mmMask[p.CPU()] = true
+	rt.Stats.WPFaults++
+	rt.charge(p, "exception", rt.C.ExceptionRing0+rt.P.ExceptionEntry)
+	rt.charge(p, "vspace", rt.P.RadixLookup)
+	r := rt.vs.Find(va)
+	if r == nil {
+		panic(fmt.Sprintf("core: wp fault outside mapping: %#x", va))
+	}
+	idx := (va - r.Start) / pageSize
+	rt.charge(p, "cache-lookup", rt.P.HashLookup)
+	pg := rt.pages[pageKey{r.File.id, idx}]
+	if pg == nil || (pg.io != nil && !pg.io.Fired()) {
+		return rt.fault(p, va, true) // raced with eviction
+	}
+	pg.pins++
+	defer func() { pg.pins-- }()
+	rt.markDirty(p, pg)
+	rt.PT.Protect(va, pagetable.FlagUser|pagetable.FlagWritable|pagetable.FlagAccessed|pagetable.FlagDirty)
+	rt.charge(p, "map-pte", rt.C.PTEUpdate+rt.C.TLBInvalidatePage)
+	tlb := rt.TLBs.CPU(p.CPU())
+	tlb.InvalidatePage(rt.PT.ASID(), va>>mem.PageShift)
+	tlb.Insert(rt.PT.ASID(), va>>mem.PageShift)
+	return rt.framePool.Frame(pg.frame.ID)
+}
+
+// markDirty inserts a page into the calling core's dirty red-black tree,
+// keyed by device order for write-back merging.
+func (rt *Runtime) markDirty(p *engine.Proc, pg *Page) {
+	if pg.dirty {
+		return
+	}
+	pg.dirty = true
+	pg.dirtyCore = p.CPU()
+	rt.dirty[p.CPU()].Insert(dirtyKey(pg), pg)
+	rt.charge(p, "dirty-track", rt.P.DirtyTreeOp)
+}
+
+func dirtyKey(pg *Page) uint64 { return pg.file.id<<40 | pg.idx }
+
+// defaultReadahead honors madvise hints: sequential and willneed regions
+// read ahead, everything else reads exactly the faulting page. This is the
+// deliberate contrast to the kernel's always-on read-around (§6.1).
+func (rt *Runtime) defaultReadahead(r *Region, idx uint64) int {
+	switch r.Advice {
+	case iface.AdviceSequential, iface.AdviceWillNeed:
+		return rt.P.ReadAheadPages - 1
+	default:
+		return 0
+	}
+}
+
+// fault is Aquila's page-fault handler: a ring-0 exception, a lock-free
+// lookup, and — on a miss — allocation (with synchronous batched eviction),
+// device I/O through the configured engine, and PTE installation.
+func (rt *Runtime) fault(p *engine.Proc, va uint64, write bool) *mem.Frame {
+	va &^= uint64(pageSize - 1)
+	rt.mmMask[p.CPU()] = true
+	rt.charge(p, "exception", rt.C.ExceptionRing0+rt.P.ExceptionEntry)
+	rt.charge(p, "vspace", rt.P.RadixLookup+rt.P.EntryLock)
+	r := rt.vs.Find(va)
+	if r == nil {
+		panic(fmt.Sprintf("core: page fault outside mapping: %#x", va))
+	}
+	f := r.File
+	idx := (va - r.Start) / pageSize
+
+	var pg *Page
+	for {
+		rt.charge(p, "cache-lookup", rt.P.HashLookup)
+		if existing := rt.pages[pageKey{f.id, idx}]; existing != nil {
+			if existing.io != nil && !existing.io.Fired() {
+				existing.io.Wait(p)
+				continue // re-check: may have been evicted meanwhile
+			}
+			pg = existing
+			rt.Stats.MinorFaults++
+			rt.lru.record(p, pg)
+			break
+		}
+		pg = rt.majorFault(p, r, f, idx)
+		break
+	}
+	// Pin across PTE installation: the remaining handler work yields, and
+	// eviction recycling this frame mid-fault would map a stale frame.
+	pg.pins++
+	defer func() { pg.pins-- }()
+
+	flags := pagetable.FlagUser | pagetable.FlagAccessed
+	if write {
+		flags |= pagetable.FlagWritable | pagetable.FlagDirty
+		rt.markDirty(p, pg)
+	}
+	if _, mapped := rt.PT.Lookup(va); !mapped {
+		rt.PT.Map(va, pg.frame.ID, flags, pagetable.Size4K)
+		pg.vas = append(pg.vas, va)
+	} else {
+		rt.PT.Protect(va, flags)
+	}
+	rt.charge(p, "map-pte", rt.C.PTEUpdate)
+	rt.TLBs.CPU(p.CPU()).Insert(rt.PT.ASID(), va>>mem.PageShift)
+	rt.charge(p, "accounting", rt.P.FaultAccounting)
+	return rt.framePool.Frame(pg.frame.ID)
+}
+
+// majorFault claims (f, idx) plus any readahead window, reads the owned
+// pages through the I/O engine and returns the target page.
+func (rt *Runtime) majorFault(p *engine.Proc, r *Region, f *fileState, idx uint64) *Page {
+	rt.Stats.MajorFaults++
+	filePages := (f.size + pageSize - 1) / pageSize
+	if filePages == 0 {
+		filePages = r.Pages()
+	}
+	hi := idx + 1 + uint64(rt.Readahead(r, idx))
+	if hi > filePages {
+		hi = filePages
+	}
+	if hi <= idx {
+		hi = idx + 1
+	}
+	var mine []*Page
+	var target *Page
+	for i := idx; i < hi; i++ {
+		key := pageKey{f.id, i}
+		if existing := rt.pages[key]; existing != nil {
+			if i == idx {
+				target = existing
+			}
+			continue
+		}
+		pg := &Page{
+			file: f, idx: i, resident: true,
+			io: engine.NewEvent(rt.e, fmt.Sprintf("aqio:%s:%d", f.name, i)),
+		}
+		rt.charge(p, "cache-insert", rt.P.HashInsert)
+		rt.pages[key] = pg
+		pg.frame = rt.allocFrame(p)
+		if i == idx {
+			target = pg
+		} else {
+			rt.Stats.ReadaheadPages++
+		}
+		mine = append(mine, pg)
+		rt.lru.record(p, pg)
+	}
+	// Read owned pages in contiguous runs.
+	for i := 0; i < len(mine); {
+		j := i + 1
+		for j < len(mine) && mine[j].idx == mine[j-1].idx+1 {
+			j++
+		}
+		run := mine[i:j]
+		frames := make([]*mem.Frame, len(run))
+		for k, pg := range run {
+			frames[k] = pg.frame
+		}
+		t0 := p.Now()
+		rt.Engine.ReadRun(p, f, run[0].idx, frames)
+		rt.Break.Add("device-io", p.Now()-t0)
+		i = j
+	}
+	doneAt := p.Now()
+	for _, pg := range mine {
+		pg.io.Fire(doneAt)
+		pg.io = nil
+	}
+	if target.io != nil && !target.io.Fired() {
+		target.io.Wait(p)
+		// The page may have been evicted while we waited; retry path.
+		if !target.resident {
+			return rt.majorFault(p, r, f, idx)
+		}
+	}
+	return target
+}
+
+// allocFrame pops a frame from the freelist, evicting synchronously in
+// batches when all queues are empty (§3.2).
+func (rt *Runtime) allocFrame(p *engine.Proc) *mem.Frame {
+	for {
+		if fr := rt.fl.pop(p); fr != nil {
+			return fr
+		}
+		rt.evict(p)
+	}
+}
+
+// evict selects a batch of victims (short critical section), unmaps them
+// with one batched TLB shootdown, writes dirty ones back in device order
+// with merged I/Os, and recycles the frames.
+func (rt *Runtime) evict(p *engine.Proc) {
+	rt.evictSel.Lock(p)
+	victims := rt.Victims(p, rt.P.EvictBatch)
+	rt.evictSel.Unlock(p)
+	// Per-victim selection cost (lock-free CAS pops + hash removal),
+	// charged outside the selection section: it does not serialize.
+	rt.charge(p, "evict-select", rt.P.HashRemove*uint64(len(victims)))
+	if len(victims) == 0 {
+		// All pages busy (in-flight I/O); let owners progress.
+		rt.evictStalls++
+		if rt.evictStalls > 10000 {
+			panic("core: eviction starved — cache too small for in-flight windows")
+		}
+		p.Yield()
+		return
+	}
+	rt.evictStalls = 0
+	unmapped := 0
+	for _, v := range victims {
+		for _, va := range v.vas {
+			if rt.PT.Unmap(va) {
+				rt.charge(p, "unmap", rt.C.PTEUpdate)
+				unmapped++
+			}
+		}
+		v.vas = nil
+	}
+	if unmapped > 0 {
+		rt.shootdown(p)
+	}
+	var dirtyV []*Page
+	for _, v := range victims {
+		if v.dirty {
+			rt.dirty[v.dirtyCore].Delete(dirtyKey(v))
+			rt.charge(p, "dirty-track", rt.P.DirtyTreeOp)
+			v.dirty = false
+			dirtyV = append(dirtyV, v)
+		}
+	}
+	rt.writeSorted(p, dirtyV)
+	doneAt := p.Now()
+	for _, v := range victims {
+		delete(rt.pages, v.Key())
+		v.io.Fire(doneAt)
+		v.io = nil
+		rt.fl.push(p, v.frame)
+		v.frame = nil
+	}
+	rt.Stats.Evictions += uint64(len(victims))
+}
+
+// shootdown performs Aquila's batched TLB invalidation (§4.1): one
+// rate-limited (vmexit) send covering the whole batch, posted IPIs to every
+// other core, vmexit-less receive.
+func (rt *Runtime) shootdown(p *engine.Proc) {
+	rt.Stats.ShootdownBatches++
+	targets := make([]int, 0, rt.e.NumCPUs())
+	for c := 0; c < rt.e.NumCPUs(); c++ {
+		if rt.mmMask[c] {
+			targets = append(targets, c)
+		}
+	}
+	t0 := p.Now()
+	rt.Host.HV.SendShootdownIPIs(p, targets, rt.C.IPIReceive+rt.C.TLBFlushAll)
+	for _, c := range targets {
+		rt.TLBs.CPU(c).FlushAll()
+	}
+	p.AdvanceSystem(rt.C.TLBFlushAll)
+	rt.Break.Add("tlb-shootdown", p.Now()-t0)
+}
+
+// writeSorted writes dirty pages in device-offset order, merging adjacent
+// pages into large I/Os (§3.2 write-back).
+func (rt *Runtime) writeSorted(p *engine.Proc, pages []*Page) {
+	if len(pages) == 0 {
+		return
+	}
+	sort.Slice(pages, func(i, j int) bool { return dirtyKey(pages[i]) < dirtyKey(pages[j]) })
+	// Write-protect live mappings (page_mkclean) so post-writeback stores
+	// take a wp fault and re-dirty the page.
+	protected := 0
+	for _, pg := range pages {
+		for _, va := range pg.vas {
+			if rt.PT.Protect(va, pagetable.FlagUser|pagetable.FlagAccessed) {
+				rt.charge(p, "writeback", rt.C.PTEUpdate)
+				protected++
+			}
+		}
+	}
+	if protected > 0 {
+		rt.shootdown(p)
+	}
+	i := 0
+	for i < len(pages) {
+		j := i + 1
+		for j < len(pages) && j-i < rt.P.WritebackMaxRun &&
+			pages[j].file == pages[i].file && pages[j].idx == pages[j-1].idx+1 {
+			j++
+		}
+		run := pages[i:j]
+		frames := make([]*mem.Frame, len(run))
+		for k, pg := range run {
+			frames[k] = pg.frame
+		}
+		t0 := p.Now()
+		rt.Engine.WriteRun(p, run[0].file, run[0].idx, frames)
+		rt.Break.Add("writeback", p.Now()-t0)
+		rt.Stats.WrittenBack += uint64(len(run))
+		i = j
+	}
+}
+
+// msyncFile writes back all dirty pages of one file. Intercepted in ring 0:
+// costs a function call, not a protection-domain switch (§4.4).
+func (rt *Runtime) msyncFile(p *engine.Proc, f *fileState) {
+	rt.msyncFileRange(p, f, 0, ^uint64(0))
+}
+
+// msyncFileRange writes back dirty pages of f overlapping [off, off+length).
+func (rt *Runtime) msyncFileRange(p *engine.Proc, f *fileState, off, length uint64) {
+	rt.charge(p, "msync", rt.P.MsyncEntry)
+	lo := off / pageSize
+	hi := uint64(^uint64(0))
+	if length < ^uint64(0)-off {
+		hi = (off + length + pageSize - 1) / pageSize
+	}
+	var dirtyPages []*Page
+	for core := range rt.dirty {
+		var keys []uint64
+		rt.dirty[core].Ascend(func(key uint64, pg *Page) bool {
+			if pg.file == f && pg.idx >= lo && pg.idx < hi {
+				keys = append(keys, key)
+				dirtyPages = append(dirtyPages, pg)
+			}
+			return true
+		})
+		for _, k := range keys {
+			rt.dirty[core].Delete(k)
+		}
+		if len(keys) > 0 {
+			rt.charge(p, "dirty-track", rt.P.DirtyTreeOp*uint64(len(keys)))
+		}
+	}
+	for _, pg := range dirtyPages {
+		pg.dirty = false
+	}
+	rt.writeSorted(p, dirtyPages)
+}
+
+// DirtyPages returns the number of dirty pages across all cores (tests).
+func (rt *Runtime) DirtyPages() int {
+	n := 0
+	for _, t := range rt.dirty {
+		n += t.Len()
+	}
+	return n
+}

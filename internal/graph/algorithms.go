@@ -1,0 +1,250 @@
+package graph
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"aquila/internal/sim/engine"
+)
+
+// Additional Ligra algorithms beyond BFS: PageRank and label-propagation
+// Connected Components. Like BFS, all per-vertex state lives in the Heap, so
+// with a mapped heap every access exercises the mmio path under study; both
+// follow Ligra's vertexMap/edgeMap structure with parallel supersteps.
+
+// parallelFor runs fn over [0, n) split across `threads` simulated workers
+// spawned from p's engine, and waits for all of them.
+func parallelFor(e *engine.Engine, p *engine.Proc, name string, n uint32, threads int,
+	fn func(wp *engine.Proc, lo, hi uint32)) {
+	if threads < 1 {
+		threads = 1
+	}
+	wg := engine.NewWaitGroup(e, name)
+	wg.Add(threads)
+	per := (n + uint32(threads) - 1) / uint32(threads)
+	workerCPU := func(i int) int {
+		if threads < e.NumCPUs() {
+			return i % (e.NumCPUs() - 1)
+		}
+		return i % e.NumCPUs()
+	}
+	for t := 0; t < threads; t++ {
+		lo := uint32(t) * per
+		hi := lo + per
+		if lo > n {
+			lo = n
+		}
+		if hi > n {
+			hi = n
+		}
+		e.SpawnAt(workerCPU(t), name, p.Now(), func(wp *engine.Proc) {
+			defer wg.Done(wp)
+			fn(wp, lo, hi)
+		})
+	}
+	wg.Wait(p)
+}
+
+// PageRankResult reports one PageRank run.
+type PageRankResult struct {
+	Iterations    int
+	ElapsedCycles uint64
+	// RanksOff is the heap offset of the float64 rank array.
+	RanksOff uint64
+	// Delta is the L1 change of the final iteration.
+	Delta float64
+}
+
+// RunPageRank executes power-iteration PageRank (damping 0.85) until the L1
+// delta drops below eps or maxIter is reached. Rank vectors live in the heap
+// as float64 bits; the transition uses out-edges, so the graph should be
+// symmetrized for in-place pull semantics (as Ligra's PageRank examples do).
+func RunPageRank(e *engine.Engine, g *Graph, threads, maxIter int, eps float64) PageRankResult {
+	var res PageRankResult
+	mainCPU := e.NumCPUs() - 1
+	e.Spawn(mainCPU, "pagerank-main", func(p *engine.Proc) {
+		start := p.Now()
+		n := g.N
+		cur := g.H.Alloc(uint64(n) * 8)
+		next := g.H.Alloc(uint64(n) * 8)
+		res.RanksOff = cur
+		init := 1.0 / float64(n)
+		// Initialize rank vector with bulk stores.
+		buf := make([]byte, 8*4096)
+		for i := 0; i < len(buf); i += 8 {
+			binary.LittleEndian.PutUint64(buf[i:], math.Float64bits(init))
+		}
+		for off := uint64(0); off < uint64(n)*8; off += uint64(len(buf)) {
+			end := off + uint64(len(buf))
+			if end > uint64(n)*8 {
+				end = uint64(n) * 8
+			}
+			g.H.Store(p, cur+off, buf[:end-off])
+		}
+
+		const damping = 0.85
+		for iter := 0; iter < maxIter; iter++ {
+			res.Iterations = iter + 1
+			deltas := make([]float64, threads)
+			parallelFor(e, p, fmt.Sprintf("pr-%d", iter), n, threads,
+				func(wp *engine.Proc, lo, hi uint32) {
+					var scratch []uint32
+					var local float64
+					tid := -1
+					for v := lo; v < hi; v++ {
+						// Pull: sum rank/deg over neighbors.
+						nbrs := g.Neighbors(wp, v, scratch)
+						scratch = nbrs
+						sum := 0.0
+						for _, u := range nbrs {
+							ru := math.Float64frombits(LoadU64(wp, g.H, cur+uint64(u)*8))
+							du := g.Degree(wp, u)
+							if du > 0 {
+								sum += ru / float64(du)
+							}
+							wp.AdvanceUser(6)
+						}
+						newRank := (1-damping)/float64(n) + damping*sum
+						old := math.Float64frombits(LoadU64(wp, g.H, cur+uint64(v)*8))
+						StoreU64(wp, g.H, next+uint64(v)*8, math.Float64bits(newRank))
+						local += math.Abs(newRank - old)
+						wp.AdvanceUser(14)
+					}
+					// Attribute the local delta slot by range start.
+					tid = int(lo / ((n + uint32(threads) - 1) / uint32(threads)))
+					if tid >= 0 && tid < threads {
+						deltas[tid] += local
+					}
+				})
+			res.Delta = 0
+			for _, d := range deltas {
+				res.Delta += d
+			}
+			cur, next = next, cur
+			res.RanksOff = cur
+			if res.Delta < eps {
+				break
+			}
+		}
+		res.ElapsedCycles = p.Now() - start
+	})
+	e.Run()
+	return res
+}
+
+// Rank reads one vertex's final PageRank value.
+func Rank(p *engine.Proc, h Heap, ranksOff uint64, v uint32) float64 {
+	return math.Float64frombits(LoadU64(p, h, ranksOff+uint64(v)*8))
+}
+
+// CCResult reports one Connected Components run.
+type CCResult struct {
+	Rounds        int
+	Components    uint64
+	ElapsedCycles uint64
+	// LabelsOff is the heap offset of the uint32 label array.
+	LabelsOff uint64
+}
+
+// RunCC computes connected components by label propagation (Ligra's
+// "Components"): every vertex adopts the minimum label among itself and its
+// neighbors until a fixed point. The graph must be symmetric.
+func RunCC(e *engine.Engine, g *Graph, threads int) CCResult {
+	var res CCResult
+	mainCPU := e.NumCPUs() - 1
+	e.Spawn(mainCPU, "cc-main", func(p *engine.Proc) {
+		start := p.Now()
+		n := g.N
+		labels := g.H.Alloc(uint64(n) * 4)
+		res.LabelsOff = labels
+		// labels[v] = v initially.
+		buf := make([]byte, 4*4096)
+		for base := uint32(0); base < n; base += uint32(len(buf) / 4) {
+			cnt := uint32(len(buf) / 4)
+			if base+cnt > n {
+				cnt = n - base
+			}
+			for i := uint32(0); i < cnt; i++ {
+				binary.LittleEndian.PutUint32(buf[i*4:], base+i)
+			}
+			g.H.Store(p, labels+uint64(base)*4, buf[:cnt*4])
+		}
+
+		changedFlags := make([]bool, threads)
+		for {
+			res.Rounds++
+			for i := range changedFlags {
+				changedFlags[i] = false
+			}
+			parallelFor(e, p, fmt.Sprintf("cc-%d", res.Rounds), n, threads,
+				func(wp *engine.Proc, lo, hi uint32) {
+					var scratch []uint32
+					tid := int(lo / ((n + uint32(threads) - 1) / uint32(threads)))
+					for v := lo; v < hi; v++ {
+						mine := LoadU32(wp, g.H, labels+uint64(v)*4)
+						best := mine
+						nbrs := g.Neighbors(wp, v, scratch)
+						scratch = nbrs
+						for _, u := range nbrs {
+							lu := LoadU32(wp, g.H, labels+uint64(u)*4)
+							if lu < best {
+								best = lu
+							}
+							wp.AdvanceUser(5)
+						}
+						if best < mine {
+							StoreU32(wp, g.H, labels+uint64(v)*4, best)
+							if tid >= 0 && tid < threads {
+								changedFlags[tid] = true
+							}
+						}
+						wp.AdvanceUser(8)
+					}
+				})
+			changed := false
+			for _, c := range changedFlags {
+				changed = changed || c
+			}
+			if !changed {
+				break
+			}
+		}
+		// Count distinct labels.
+		seen := make(map[uint32]struct{})
+		for v := uint32(0); v < n; v++ {
+			seen[LoadU32(p, g.H, labels+uint64(v)*4)] = struct{}{}
+		}
+		res.Components = uint64(len(seen))
+		res.ElapsedCycles = p.Now() - start
+	})
+	e.Run()
+	return res
+}
+
+// ReferenceCC computes component counts in plain Go for verification.
+func ReferenceCC(n uint32, edges [][2]uint32) uint64 {
+	parent := make([]uint32, n)
+	for i := range parent {
+		parent[i] = uint32(i)
+	}
+	var find func(x uint32) uint32
+	find = func(x uint32) uint32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range edges {
+		a, b := find(e[0]), find(e[1])
+		if a != b {
+			parent[a] = b
+		}
+	}
+	seen := make(map[uint32]struct{})
+	for v := uint32(0); v < n; v++ {
+		seen[find(v)] = struct{}{}
+	}
+	return uint64(len(seen))
+}

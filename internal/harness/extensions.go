@@ -1,0 +1,222 @@
+package harness
+
+import (
+	"fmt"
+
+	"aquila"
+	"aquila/internal/core"
+	"aquila/internal/graph"
+	"aquila/internal/host"
+	"aquila/internal/sim/cpu"
+	"aquila/internal/sim/device"
+	simengine "aquila/internal/sim/engine"
+)
+
+// newAquilaOnHost boots an Aquila runtime over a custom host (used when the
+// experiment needs a non-default device configuration).
+func newAquilaOnHost(p *aquila.Proc, os *host.OS, cache uint64) *core.Runtime {
+	return core.NewRuntime(p, os, core.NewDAXEngine(os), core.Config{
+		CacheBytes: cache, Params: aquilaParams(cache),
+	})
+}
+
+func init() {
+	register(Experiment{
+		ID:    "resize",
+		Title: "Dynamic DRAM-cache resizing under load (§3.5, operation 5)",
+		Paper: "the host grants/reclaims DRAM in 1 GB EPT pages; resizing is uncommon-path and does not disturb the common path",
+		Run:   runResize,
+	})
+	register(Experiment{
+		ID:    "pagerank",
+		Title: "Extension: PageRank over an mmap-extended heap (iterative, read-heavy)",
+		Paper: "beyond the paper's BFS: an iterative whole-graph workload over the same heap-extension setup",
+		Run:   runPageRankWorlds,
+	})
+	register(Experiment{
+		ID:    "nvm-heap",
+		Title: "Extension: heap over byte-addressable NVM (Optane PMM class) vs DRAM-backed pmem (§7.1)",
+		Paper: "NVM latency/bandwidth are ~3x worse than DRAM; Aquila's DRAM cache hides most of the gap",
+		Run:   runNVMHeap,
+	})
+}
+
+// runResize measures fault throughput phases around a cache grow and shrink.
+func runResize(scale float64) []*Result {
+	r := &Result{
+		ID:     "resize",
+		Title:  "Out-of-memory fault throughput across cache resizes (1 thread, pmem)",
+		Header: []string{"phase", "cache(MB)", "Kops/s", "hv grants(B)", "ept faults"},
+	}
+	small := scaled(8*mib, scale, 4*mib)
+	big := small * 4
+	sys := aquila.New(aquila.Options{
+		Mode: aquila.ModeAquila, Device: aquila.DevicePMem,
+		CacheBytes: small, MaxCacheBytes: big * 2,
+		DeviceBytes: big*8 + 96*mib, CPUs: 8, Seed: 101,
+		Params: aquilaParams(small),
+	})
+	dataset := big * 4
+	var m aquila.Mapping
+	sys.Do(func(p *aquila.Proc) {
+		f := sys.NS.Create(p, "resize-data", dataset)
+		m = sys.NS.Mmap(p, f, dataset)
+		m.Advise(p, aquila.AdviceRandom)
+	})
+	ops := scaledN(20000, scale, 4000)
+	seed := uint64(11)
+	phase := func(name string) {
+		var elapsed uint64
+		sys.Do(func(p *aquila.Proc) {
+			buf := make([]byte, 8)
+			pages := dataset / 4096
+			// Warm to this cache size's steady state, then measure.
+			for round := 0; round < 2; round++ {
+				start := p.Now()
+				for i := 0; i < ops; i++ {
+					seed = seed*6364136223846793005 + 1
+					m.Load(p, (seed>>17)%pages*4096, buf)
+				}
+				elapsed = p.Now() - start
+			}
+		})
+		r.AddRow(name, fmt.Sprintf("%d", sys.RT.CacheLimitPages()*4096/mib),
+			kops(uint64(ops), elapsed),
+			fmt.Sprint(sys.Host.HV.GrantedBytes), fmt.Sprint(sys.Host.HV.EPTFaults))
+	}
+	phase("small cache")
+	sys.Do(func(p *aquila.Proc) { sys.RT.ResizeCache(p, big) })
+	phase("after grow")
+	sys.Do(func(p *aquila.Proc) { sys.RT.ResizeCache(p, small) })
+	phase("after shrink")
+	r.AddNote("growing the cache raises the hit rate (higher Kops/s); shrinking evicts down and returns 1 GB-granted memory to the host")
+	return []*Result{r}
+}
+
+// runPageRankWorlds compares PageRank execution time over Linux mmap vs
+// Aquila with the heap 8x larger than the DRAM cache.
+func runPageRankWorlds(scale float64) []*Result {
+	r := &Result{
+		ID:     "pagerank",
+		Title:  "PageRank (10 iterations, 8 threads), heap = 8x DRAM cache (pmem)",
+		Header: []string{"config", "exec time(ms)", "vs mmap"},
+	}
+	vertices := uint32(scaledN(1<<15, scale, 1<<12))
+	raw := graph.RMAT(graph.RMATConfig{Vertices: vertices, EdgeFactor: 10, Seed: 27})
+	edges := graph.Symmetrize(raw)
+	heapBytes := (uint64(vertices)+1)*8 + uint64(len(edges))*4 + uint64(vertices)*24
+	heapBytes = heapBytes*5/4 + 1<<20
+	cache := heapBytes / 8
+	if cache < 1500*1024 {
+		cache = 1500 * 1024
+	}
+	times := map[string]float64{}
+	for _, cfg := range []struct {
+		name string
+		mode aquila.Mode
+	}{{"mmap", aquila.ModeLinuxMmap}, {"aquila", aquila.ModeAquila}} {
+		opts := aquila.Options{
+			Mode: cfg.mode, Device: aquila.DevicePMem,
+			CacheBytes: cache, DeviceBytes: heapBytes*2 + 64*mib,
+			CPUs: 32, Seed: 29,
+		}
+		if cfg.mode == aquila.ModeAquila {
+			opts.Params = aquilaParams(cache)
+		}
+		sys := aquila.New(opts)
+		var g *graph.Graph
+		sys.Do(func(p *aquila.Proc) {
+			f := sys.NS.Create(p, "heap", heapBytes*2)
+			m := sys.NS.Mmap(p, f, heapBytes*2)
+			if cfg.mode == aquila.ModeAquila {
+				m.Advise(p, aquila.AdviceSequential)
+			}
+			g = graph.Build(p, graph.NewMappedHeap(m), vertices, edges)
+		})
+		res := graph.RunPageRank(sys.Sim, g, 8, 10, 0)
+		ms := cpu.CyclesToSeconds(res.ElapsedCycles) * 1e3
+		times[cfg.name] = ms
+		r.AddRow(cfg.name, fmt.Sprintf("%.2f", ms), ratio(times["mmap"], ms))
+	}
+	r.AddNote("PageRank touches every vertex and edge each iteration: the fault path runs constantly under 8x overcommit")
+	r.AddNote("Aquila runs with madvise(SEQUENTIAL) — its readahead is policy-driven, while Linux read-around is always on")
+	r.AddNote("finding: sequential-heavy iteration amortizes fault costs over readahead windows on both sides; at deep overcommit Linux's larger always-on read-around can even win — Aquila's advantage is a random-access (BFS, fig6) story, matching the paper's workload choice")
+	return []*Result{r}
+}
+
+// runNVMHeap runs BFS with the heap mapped over DRAM-backed pmem vs an
+// Optane DC PMM-class device (the §7.1 technology point), under Aquila.
+func runNVMHeap(scale float64) []*Result {
+	r := &Result{
+		ID:     "nvm-heap",
+		Title:  "Ligra BFS, heap over byte-addressable devices (Aquila DAX, 8 threads)",
+		Header: []string{"device", "exec time(ms)", "vs DRAM-backed pmem"},
+	}
+	vertices := uint32(scaledN(1<<15, scale, 1<<12))
+	raw := graph.RMAT(graph.RMATConfig{Vertices: vertices, EdgeFactor: 10, Seed: 23})
+	edges := graph.Symmetrize(raw)
+	heapBytes := (uint64(vertices)+1)*8 + uint64(len(edges))*4 + uint64(vertices)*4
+	heapBytes = heapBytes*5/4 + 1<<20
+	cache := heapBytes / 8
+	if cache < 1500*1024 {
+		cache = 1500 * 1024
+	}
+
+	times := map[string]float64{}
+	for _, cfg := range []struct {
+		name   string
+		pm     device.PMemConfig
+		direct bool
+	}{
+		{"DRAM-backed pmem", device.DefaultPMemConfig(), false},
+		{"Optane PMM class", device.OptanePMMConfig(), false},
+		{"Optane PMM, direct map (no DRAM cache)", device.OptanePMMConfig(), true},
+	} {
+		e := simengine.New(simengine.Config{NumCPUs: 32, Seed: 25})
+		disk := host.NewPMemDisk("pmem0", device.NewPMem(heapBytes*2+64*mib, cfg.pm))
+		os := host.NewOS(e, disk, 16*mib)
+		var g *graph.Graph
+		e.Spawn(0, "setup", func(p *aquila.Proc) {
+			rt := newAquilaOnHost(p, os, cache)
+			f := rt.CreateFile(p, "heap", heapBytes*2)
+			var h graph.Heap
+			if cfg.direct {
+				// §3.3's alternative: map the NVM directly, no DRAM
+				// cache — every access pays the media.
+				h = &directHeap{dm: rt.MmapDirectNVM(p, f, heapBytes*2)}
+			} else {
+				m := rt.Mmap(p, f, heapBytes*2)
+				m.Advise(p, aquila.AdviceRandom)
+				h = graph.NewMappedHeap(m)
+			}
+			g = graph.Build(p, h, vertices, edges)
+		})
+		e.Run()
+		res := graph.RunBFS(e, g, 0, 8)
+		ms := cpu.CyclesToSeconds(res.ElapsedCycles) * 1e3
+		times[cfg.name] = ms
+		r.AddRow(cfg.name, fmt.Sprintf("%.2f", ms),
+			ratio(ms, times["DRAM-backed pmem"]))
+	}
+	r.AddNote("paper §7.1: NVM is ~3x slower than DRAM; the DRAM I/O cache absorbs most accesses, so end-to-end slowdown stays well under the raw media gap")
+	r.AddNote("the direct-map row is §3.3's alternative (no DRAM cache): no faults, but every access pays the media")
+	return []*Result{r}
+}
+
+// directHeap adapts a DirectMapping to the graph Heap interface.
+type directHeap struct {
+	dm   *core.DirectMapping
+	next uint64
+}
+
+func (h *directHeap) Alloc(n uint64) uint64 {
+	off := h.next
+	h.next += (n + 63) &^ 63
+	if h.next > h.dm.Size() {
+		panic("harness: direct heap exhausted")
+	}
+	return off
+}
+func (h *directHeap) Load(p *aquila.Proc, off uint64, buf []byte)  { h.dm.Load(p, off, buf) }
+func (h *directHeap) Store(p *aquila.Proc, off uint64, buf []byte) { h.dm.Store(p, off, buf) }
+func (h *directHeap) Size() uint64                                 { return h.dm.Size() }

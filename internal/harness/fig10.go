@@ -1,0 +1,89 @@
+package harness
+
+import (
+	"fmt"
+
+	"aquila"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig10a",
+		Title: "Scalability vs Linux mmap, dataset fits in memory",
+		Paper: "shared file: Aquila 1.81x @1T -> 8.37x @32T; private file per thread: 1.82x -> 1.99x",
+		Run: func(scale float64) []*Result {
+			return []*Result{runFig10(scale, true)}
+		},
+	})
+	register(Experiment{
+		ID:    "fig10b",
+		Title: "Scalability vs Linux mmap, dataset does not fit in memory",
+		Paper: "shared file: Aquila 2.17x @1T -> 12.92x @32T; private file per thread: 2.21x -> 2.84x",
+		Run: func(scale float64) []*Result {
+			return []*Result{runFig10(scale, false)}
+		},
+	})
+}
+
+// runFig10 regenerates one panel of Figure 10: random-read fault throughput
+// over thread counts, shared vs per-thread files, Linux mmap vs Aquila.
+func runFig10(scale float64, inMemory bool) *Result {
+	id, title := "fig10a", "in-memory dataset"
+	if !inMemory {
+		id, title = "fig10b", "out-of-memory dataset (12x cache)"
+	}
+	r := &Result{
+		ID:    id,
+		Title: "Random-read fault throughput (Kops/s), " + title,
+		Header: []string{"threads", "file", "Linux", "Aquila", "speedup",
+			"Lin avg(us)", "Aq avg(us)", "Lin p99.9(us)", "Aq p99.9(us)"},
+	}
+	threadCounts := []int{1, 2, 4, 8, 16, 32}
+	if scale < 0.5 {
+		threadCounts = []int{1, 4, 16}
+	}
+	var cache, dataset uint64
+	var ops int
+	if inMemory {
+		cache = scaled(96*mib, scale, 16*mib)
+		dataset = cache
+		ops = 0 // touch every page once
+	} else {
+		cache = scaled(16*mib, scale, 4*mib)
+		dataset = cache * 12
+		ops = scaledN(4000, scale, 800)
+	}
+	for _, shared := range []bool{true, false} {
+		fileLabel := "shared"
+		if !shared {
+			fileLabel = "private"
+		}
+		for _, threads := range threadCounts {
+			base := microConfig{
+				device: aquila.DevicePMem, cache: cache, dataset: dataset,
+				threads: threads, inMemory: inMemory, opsPerThread: ops,
+				sharedFile: shared, cpus: 32, seed: 46,
+			}
+			linCfg := base
+			linCfg.mode = aquila.ModeLinuxMmap
+			lin := runMicro(linCfg)
+			aqCfg := base
+			aqCfg.mode = aquila.ModeAquila
+			aq := runMicro(aqCfg)
+			r.AddRow(
+				fmt.Sprintf("%d", threads), fileLabel,
+				kops(lin.ops, lin.elapsed), kops(aq.ops, aq.elapsed),
+				ratio(aq.throughputKops(), lin.throughputKops()),
+				usF(lin.lat.Mean()), usF(aq.lat.Mean()),
+				us(lin.lat.P999()), us(aq.lat.P999()),
+			)
+		}
+	}
+	if inMemory {
+		r.AddNote("paper: shared 1.81x@1T, 8.37x@32T; private 1.82x@1T, 1.99x@32T")
+	} else {
+		r.AddNote("paper: shared 2.17x@1T, 12.92x@32T; private 2.21x@1T, 2.84x@32T")
+		r.AddNote("paper latency @32T shared: 8.52x avg, 213x p99.9 lower for Aquila")
+	}
+	return r
+}

@@ -1,0 +1,232 @@
+package host
+
+import (
+	"fmt"
+
+	"aquila/internal/iface"
+	"aquila/internal/sim/engine"
+)
+
+// File is syscall-based access to a host file. Direct selects O_DIRECT
+// (bypassing the page cache), the mode RocksDB's recommended configuration
+// uses together with its user-space block cache.
+type File struct {
+	os     *OS
+	f      *FSFile
+	Direct bool
+}
+
+var _ iface.File = (*File)(nil)
+
+// OpenFile wraps an FS file for syscall I/O.
+func (os *OS) OpenFile(f *FSFile, direct bool) *File {
+	return &File{os: os, f: f, Direct: direct}
+}
+
+// Name implements iface.File.
+func (hf *File) Name() string { return hf.f.name }
+
+// Size implements iface.File.
+func (hf *File) Size() uint64 { return hf.f.size }
+
+// Pread implements iface.File.
+func (hf *File) Pread(p *engine.Proc, buf []byte, off uint64) {
+	hf.checkRange(off, len(buf))
+	p.AdvanceSystem(hf.os.C.Syscall + hf.os.P.SyscallKernelPath)
+	if hf.Direct {
+		p.AdvanceSystem(hf.os.P.DirectIOPathCost)
+		hf.os.blockRead(p, hf.f.devOff(off), buf)
+		return
+	}
+	hf.bufferedRead(p, buf, off)
+	hf.f.lastRead = off + uint64(len(buf))
+}
+
+// Pwrite implements iface.File.
+func (hf *File) Pwrite(p *engine.Proc, buf []byte, off uint64) {
+	hf.checkRange(off, len(buf))
+	p.AdvanceSystem(hf.os.C.Syscall + hf.os.P.SyscallKernelPath)
+	if off+uint64(len(buf)) > hf.f.size {
+		hf.f.SetSize(off + uint64(len(buf)))
+	}
+	if hf.Direct {
+		p.AdvanceSystem(hf.os.P.DirectIOPathCost)
+		hf.os.blockWrite(p, hf.f.devOff(off), buf)
+		return
+	}
+	hf.bufferedWrite(p, buf, off)
+}
+
+// Fsync implements iface.File.
+func (hf *File) Fsync(p *engine.Proc) {
+	p.AdvanceSystem(hf.os.C.Syscall + hf.os.P.SyscallKernelPath)
+	if !hf.Direct {
+		hf.os.Cache.fsyncFile(p, hf.f)
+	}
+}
+
+func (hf *File) checkRange(off uint64, n int) {
+	if off+uint64(n) > hf.f.cap {
+		panic(fmt.Sprintf("host: file %q access [%d,%d) beyond capacity %d",
+			hf.f.name, off, off+uint64(n), hf.f.cap))
+	}
+}
+
+// bufferedRead serves a read through the page cache: per-page lookup under
+// tree_lock, copy_to_user on hits, device fill (with sequential readahead)
+// on misses.
+func (hf *File) bufferedRead(p *engine.Proc, buf []byte, off uint64) {
+	os, f := hf.os, hf.f
+	sequential := off == f.lastRead
+	for n := 0; n < len(buf); {
+		cur := off + uint64(n)
+		idx := cur / PageSize
+		po := int(cur % PageSize)
+		chunk := PageSize - po
+		if chunk > len(buf)-n {
+			chunk = len(buf) - n
+		}
+		var pg *cachedPage
+		for {
+			pg = os.Cache.find(p, f, idx)
+			if pg == nil {
+				hi := idx + 1
+				if sequential {
+					hi = idx + uint64(os.P.ReadAroundPages)
+				}
+				if max := (f.size + PageSize - 1) / PageSize; hi > max {
+					hi = max
+				}
+				pg = hf.fillPages(p, idx, hi)
+			}
+			if pg.io != nil && !pg.io.Fired() {
+				os.Cache.waitPage(p, pg) // may be reclaimed by wake-up
+				continue
+			}
+			break
+		}
+		os.Cache.touch(p, pg)
+		pg.pins++
+		copyFromFrame(buf[n:n+chunk], pg.frame, po)
+		p.AdvanceSystem(os.P.CopyToUser * uint64(chunk) / PageSize)
+		pg.pins--
+		n += chunk
+	}
+}
+
+// fillPages reads pages [lo, hi) into the cache, returning the page at lo.
+func (hf *File) fillPages(p *engine.Proc, lo, hi uint64) *cachedPage {
+	os, f := hf.os, hf.f
+	type owned struct {
+		pg  *cachedPage
+		idx uint64
+	}
+	var mine []owned
+	var target *cachedPage
+	for i := lo; i < hi; i++ {
+		pg, owner := os.Cache.insertNew(p, f, i)
+		if i == lo {
+			target = pg
+		}
+		if owner {
+			mine = append(mine, owned{pg, i})
+		}
+	}
+	for i := 0; i < len(mine); {
+		j := i + 1
+		for j < len(mine) && mine[j].idx == mine[j-1].idx+1 {
+			j++
+		}
+		run := mine[i:j]
+		for _, o := range run {
+			os.readPageContent(o.pg)
+		}
+		os.timedRead(p, f.devOff(run[0].idx*PageSize), len(run)*PageSize)
+		i = j
+	}
+	doneAt := p.Now()
+	for _, o := range mine {
+		o.pg.io.Fire(doneAt)
+		o.pg.io = nil
+	}
+	os.Cache.waitPage(p, target)
+	return target
+}
+
+// bufferedWrite copies user data into cache pages and marks them dirty.
+func (hf *File) bufferedWrite(p *engine.Proc, buf []byte, off uint64) {
+	os, f := hf.os, hf.f
+	for n := 0; n < len(buf); {
+		cur := off + uint64(n)
+		idx := cur / PageSize
+		po := int(cur % PageSize)
+		chunk := PageSize - po
+		if chunk > len(buf)-n {
+			chunk = len(buf) - n
+		}
+		var pg *cachedPage
+		for {
+			pg = os.Cache.find(p, f, idx)
+			if pg == nil {
+				if chunk == PageSize {
+					// Full-page overwrite: no read-modify-write needed.
+					var owner bool
+					pg, owner = os.Cache.insertNew(p, f, idx)
+					if owner {
+						pg.io.Fire(p.Now())
+						pg.io = nil
+					}
+				} else {
+					pg = hf.fillPages(p, idx, idx+1)
+				}
+			}
+			if pg.io != nil && !pg.io.Fired() {
+				os.Cache.waitPage(p, pg)
+				continue
+			}
+			break
+		}
+		os.Cache.touch(p, pg)
+		pg.pins++
+		copy(pg.frame.Data()[po:po+chunk], buf[n:n+chunk])
+		p.AdvanceSystem(os.P.CopyToUser * uint64(chunk) / PageSize)
+		os.Cache.markDirty(p, pg)
+		pg.pins--
+		os.Cache.throttleDirty(p)
+		n += chunk
+	}
+}
+
+// Namespace adapts the host OS to iface.Namespace. Files are opened in the
+// given I/O mode; mappings use the Linux mmio path.
+type Namespace struct {
+	OS     *OS
+	Direct bool
+}
+
+var _ iface.Namespace = (*Namespace)(nil)
+
+// Create implements iface.Namespace.
+func (ns *Namespace) Create(p *engine.Proc, name string, size uint64) iface.File {
+	return ns.OS.OpenFile(ns.OS.FS.Create(p, name, size), ns.Direct)
+}
+
+// Open implements iface.Namespace.
+func (ns *Namespace) Open(p *engine.Proc, name string) iface.File {
+	return ns.OS.OpenFile(ns.OS.FS.Open(p, name), ns.Direct)
+}
+
+// Exists implements iface.Namespace.
+func (ns *Namespace) Exists(name string) bool { return ns.OS.FS.Exists(name) }
+
+// Delete implements iface.Namespace.
+func (ns *Namespace) Delete(p *engine.Proc, name string) { ns.OS.FS.Delete(p, name) }
+
+// Mmap implements iface.Namespace.
+func (ns *Namespace) Mmap(p *engine.Proc, f iface.File, size uint64) iface.Mapping {
+	hf, ok := f.(*File)
+	if !ok {
+		panic("host: Mmap of non-host file")
+	}
+	return ns.OS.Mmap(p, hf.f, size)
+}

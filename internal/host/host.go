@@ -1,0 +1,254 @@
+// Package host simulates the Linux side of the paper's testbed: an
+// extent-based filesystem over a block device, the kernel page cache (per-file
+// radix trees guarded by tree_lock, a global LRU, dirty tracking and
+// writeback), the mmap/page-fault path with 4.14-era fault-around readahead
+// heuristics, buffered and O_DIRECT read/write syscalls, and the hypervisor
+// services (vmcalls, EPT memory grants) that Aquila relies on for its
+// uncommon-path operations.
+//
+// The structures are real implementations — a shared-file mmap workload
+// really does serialize on that file's tree_lock, reclaim really walks a
+// global LRU — so the scalability behaviour of Figures 5, 6 and 10 emerges
+// from simulated lock queueing rather than being scripted.
+package host
+
+import (
+	"fmt"
+
+	"aquila/internal/sim/cpu"
+	"aquila/internal/sim/device"
+	"aquila/internal/sim/engine"
+	"aquila/internal/sim/mem"
+	"aquila/internal/sim/pagetable"
+)
+
+// PageSize is the base page size.
+const PageSize = mem.PageSize
+
+// Params are the host kernel's software-path cost constants (cycles) and
+// policy knobs. Defaults model Linux 4.14 on the paper's Xeon testbed.
+type Params struct {
+	// VMALookup is an rb-tree VMA lookup under mmap_sem.
+	VMALookup uint64
+	// RadixLookup is a page-cache radix-tree lookup (excluding the lock).
+	RadixLookup uint64
+	// RadixInsert is a radix-tree insertion.
+	RadixInsert uint64
+	// LRUUpdate is moving a page on the LRU lists.
+	LRUUpdate uint64
+	// FaultEntry is page-fault bookkeeping beyond the bare trap.
+	FaultEntry uint64
+	// BlockLayerSubmit is bio allocation + submission through the block
+	// layer and NVMe driver.
+	BlockLayerSubmit uint64
+	// BlockLayerComplete is completion processing (softirq).
+	BlockLayerComplete uint64
+	// PMemBlockOverhead is the pmem block driver's per-request overhead.
+	PMemBlockOverhead uint64
+	// CopyToUser is charged per 4 KB moved between kernel and user
+	// buffers for buffered syscalls (non-SIMD copy, §3.3).
+	CopyToUser uint64
+	// ShootdownBase and ShootdownPerCPU model the sender-side cost of a
+	// kernel TLB shootdown (IPI broadcast + wait for acks).
+	ShootdownBase   uint64
+	ShootdownPerCPU uint64
+	// SyscallKernelPath is generic syscall-path bookkeeping (fdtable,
+	// vfs dispatch) beyond the bare trap.
+	SyscallKernelPath uint64
+	// DirectIOPathCost is the O_DIRECT setup cost per request
+	// (get_user_pages, bio mapping, dio bookkeeping).
+	DirectIOPathCost uint64
+	// ReclaimPerPage is direct reclaim's per-victim cost beyond the
+	// structure updates (page_referenced, rmap walk in try_to_unmap).
+	ReclaimPerPage uint64
+
+	// ReadAroundPages is the mmap fault read-around window (128 KB).
+	ReadAroundPages int
+	// MmapLotsamiss is the miss count after which fault read-around is
+	// abandoned (MMAP_LOTSAMISS).
+	MmapLotsamiss int
+	// ReclaimBatch is the number of pages direct reclaim evicts at once
+	// (SWAP_CLUSTER_MAX).
+	ReclaimBatch int
+	// DirtyRatio is the fraction of cache pages that may be dirty before
+	// writers are throttled into writeback.
+	DirtyRatio float64
+}
+
+// DefaultParams returns the calibrated host parameter set.
+func DefaultParams() Params {
+	return Params{
+		VMALookup:          180,
+		RadixLookup:        160,
+		RadixInsert:        250,
+		LRUUpdate:          120,
+		FaultEntry:         650,
+		BlockLayerSubmit:   1400,
+		BlockLayerComplete: 1200,
+		PMemBlockOverhead:  240,
+		CopyToUser:         2400,
+		ShootdownBase:      2000,
+		ShootdownPerCPU:    250,
+		SyscallKernelPath:  400,
+		DirectIOPathCost:   7000,
+		ReclaimPerPage:     1800,
+		ReadAroundPages:    32,
+		MmapLotsamiss:      100,
+		ReclaimBatch:       32,
+		DirtyRatio:         0.10,
+	}
+}
+
+// Disk couples device content with a timing model and a device class.
+type Disk struct {
+	Name    string
+	Content *device.Store
+	Timing  device.Timing
+	PMem    bool // byte-addressable (kernel path is a memcpy, no interrupt)
+}
+
+// NewPMemDisk wraps a pmem device as a host block device.
+func NewPMemDisk(name string, d *device.PMem) *Disk {
+	return &Disk{Name: name, Content: d.Store, Timing: d, PMem: true}
+}
+
+// NewNVMeDisk wraps an NVMe device as a host block device.
+func NewNVMeDisk(name string, d *device.NVMe) *Disk {
+	return &Disk{Name: name, Content: d.Store, Timing: d, PMem: false}
+}
+
+// Process is one simulated process: its own page table (ASID-tagged in the
+// shared hardware TLBs), VMA set under its own mmap_sem, and mm_cpumask.
+// Shared file mappings from different processes meet in the one page cache —
+// the sharing §2.1 builds on.
+type Process struct {
+	os *OS
+	// ID is the process id (1-based; NewOS creates process 1).
+	ID      int
+	PT      *pagetable.Table
+	mmapSem *engine.RWMutex
+	vmas    *vmaSet
+	// mmMask tracks CPUs that have touched this address space
+	// (mm_cpumask): TLB shootdowns target only these.
+	mmMask []bool
+	// nextVA is the mmap area allocation cursor.
+	nextVA uint64
+}
+
+// noteCPU records a CPU in the process's mm_cpumask.
+func (pr *Process) noteCPU(cpu int) { pr.mmMask[cpu] = true }
+
+// OS is one simulated Linux instance hosting one or more (multi-threaded)
+// processes. All paper experiments use a single process; multi-process
+// sharing of file mappings is exercised by tests.
+type OS struct {
+	E     *engine.Engine
+	C     cpu.Costs
+	P     Params
+	FS    *FS
+	Cache *PageCache
+	TLBs  *cpu.TLBSet
+	HV    *Hypervisor
+
+	procs []*Process
+	// PT aliases the default process's page table (compatibility for
+	// single-process callers and tests).
+	PT *pagetable.Table
+}
+
+// NewProcess forks a fresh address space sharing this OS's page cache.
+func (os *OS) NewProcess() *Process {
+	pr := &Process{
+		os:      os,
+		ID:      len(os.procs) + 1,
+		PT:      pagetable.New(uint32(len(os.procs) + 1)),
+		mmapSem: engine.NewRWMutex(os.E, fmt.Sprintf("mmap_sem.%d", len(os.procs)+1)),
+		vmas:    newVMASet(),
+		mmMask:  make([]bool, os.E.NumCPUs()),
+		nextVA:  0x7f00_0000_0000,
+	}
+	os.procs = append(os.procs, pr)
+	return pr
+}
+
+// DefaultProcess returns process 1, the one single-process callers use.
+func (os *OS) DefaultProcess() *Process { return os.procs[0] }
+
+// NewOS boots a host with the given disk and page-cache capacity (the
+// cgroup memory limit of §5).
+func NewOS(e *engine.Engine, disk *Disk, cacheBytes uint64) *OS {
+	os := &OS{
+		E:    e,
+		C:    cpu.Default(),
+		P:    DefaultParams(),
+		TLBs: cpu.NewTLBSet(e.NumCPUs(), 1536, 17),
+	}
+	os.FS = newFS(os, disk)
+	os.Cache = newPageCache(os, cacheBytes)
+	os.HV = newHypervisor(os)
+	os.PT = os.NewProcess().PT
+	return os
+}
+
+// Disk returns the block device the filesystem lives on.
+func (os *OS) Disk() *Disk { return os.FS.disk }
+
+// blockRead moves bytes from the disk into a kernel buffer, charging the
+// full kernel block-layer path. For pmem the transfer is a kernel memcpy;
+// for NVMe the process sleeps until the interrupt-driven completion.
+func (os *OS) blockRead(p *engine.Proc, off uint64, buf []byte) {
+	disk := os.FS.disk
+	if disk.PMem {
+		p.AdvanceSystem(os.P.PMemBlockOverhead + os.C.MemcpyNoSIMD(len(buf)))
+		done := disk.Timing.Submit(p.Now(), len(buf), false)
+		p.WaitUntil(done, engine.KindIOWait)
+	} else {
+		p.AdvanceSystem(os.P.BlockLayerSubmit)
+		done := disk.Timing.Submit(p.Now(), len(buf), false)
+		p.WaitUntil(done, engine.KindIOWait)
+		p.AdvanceSystem(os.P.BlockLayerComplete + os.C.InterruptDelivery + os.C.ContextSwitch)
+	}
+	disk.Content.ReadAt(off, buf)
+}
+
+// blockWrite moves bytes from a kernel buffer to the disk.
+func (os *OS) blockWrite(p *engine.Proc, off uint64, buf []byte) {
+	disk := os.FS.disk
+	disk.Content.WriteAt(off, buf)
+	if disk.PMem {
+		p.AdvanceSystem(os.P.PMemBlockOverhead + os.C.MemcpyNoSIMD(len(buf)))
+		done := disk.Timing.Submit(p.Now(), len(buf), true)
+		p.WaitUntil(done, engine.KindIOWait)
+	} else {
+		p.AdvanceSystem(os.P.BlockLayerSubmit)
+		done := disk.Timing.Submit(p.Now(), len(buf), true)
+		p.WaitUntil(done, engine.KindIOWait)
+		p.AdvanceSystem(os.P.BlockLayerComplete + os.C.InterruptDelivery + os.C.ContextSwitch)
+	}
+}
+
+// shootdown models a kernel TLB shootdown for a batch of already-unmapped
+// pages: the sender broadcasts IPIs and waits for acks; every other CPU
+// absorbs an invalidation interrupt. Batched per reclaim cycle, like the
+// kernel's reclaim-time TLB batching.
+func (pr *Process) shootdown(p *engine.Proc, pages int) {
+	os := pr.os
+	targets := 0
+	for c, used := range pr.mmMask {
+		if used && c != p.CPU() {
+			targets++
+		}
+	}
+	p.AdvanceSystem(os.P.ShootdownBase + os.P.ShootdownPerCPU*uint64(targets))
+	recv := os.C.IPIReceive + os.C.TLBFlushAll
+	for c, used := range pr.mmMask {
+		if !used || c == p.CPU() {
+			continue
+		}
+		os.E.PostIRQ(c, recv)
+		os.TLBs.CPU(c).FlushAll()
+	}
+	os.TLBs.CPU(p.CPU()).FlushAll()
+	p.AdvanceSystem(os.C.TLBFlushAll)
+	_ = pages
+}

@@ -1,0 +1,716 @@
+package host
+
+import (
+	"bytes"
+	"testing"
+
+	"aquila/internal/iface"
+	"aquila/internal/sim/device"
+	"aquila/internal/sim/engine"
+)
+
+const mib = 1 << 20
+
+func newPMemOS(cacheBytes uint64) (*engine.Engine, *OS) {
+	e := engine.New(engine.Config{NumCPUs: 8, Seed: 1})
+	disk := NewPMemDisk("pmem0", device.NewPMem(256*mib, device.DefaultPMemConfig()))
+	return e, NewOS(e, disk, cacheBytes)
+}
+
+func newNVMeOS(cacheBytes uint64) (*engine.Engine, *OS) {
+	e := engine.New(engine.Config{NumCPUs: 8, Seed: 1})
+	disk := NewNVMeDisk("nvme0", device.NewNVMe(256*mib, device.DefaultNVMeConfig()))
+	return e, NewOS(e, disk, cacheBytes)
+}
+
+func run1(e *engine.Engine, fn func(p *engine.Proc)) {
+	e.Spawn(0, "t0", fn)
+	e.Run()
+}
+
+func TestFSCreateOpenDelete(t *testing.T) {
+	e, os := newPMemOS(16 * mib)
+	run1(e, func(p *engine.Proc) {
+		f := os.FS.Create(p, "a", 1*mib)
+		if f.Size() != 1*mib || f.Capacity() < 1*mib {
+			t.Errorf("size=%d cap=%d", f.Size(), f.Capacity())
+		}
+		if os.FS.Open(p, "a") != f {
+			t.Error("open returned different file")
+		}
+		os.FS.Delete(p, "a")
+		if os.FS.Exists("a") {
+			t.Error("file still exists after delete")
+		}
+		// Extent must be reusable.
+		g := os.FS.Create(p, "b", 200*mib)
+		if g == nil {
+			t.Error("could not reuse freed extent")
+		}
+	})
+}
+
+func TestFSExtentCoalescing(t *testing.T) {
+	e, os := newPMemOS(16 * mib)
+	run1(e, func(p *engine.Proc) {
+		os.FS.Create(p, "a", 100*mib)
+		os.FS.Create(p, "b", 100*mib)
+		os.FS.Delete(p, "a")
+		os.FS.Delete(p, "b")
+		// After coalescing, a single 256 MB file must fit.
+		os.FS.Create(p, "c", 256*mib)
+	})
+}
+
+func TestDirectIORoundTrip(t *testing.T) {
+	e, os := newNVMeOS(16 * mib)
+	run1(e, func(p *engine.Proc) {
+		f := os.OpenFile(os.FS.Create(p, "f", 1*mib), true)
+		data := []byte("direct i/o payload")
+		f.Pwrite(p, data, 8192)
+		got := make([]byte, len(data))
+		f.Pread(p, got, 8192)
+		if !bytes.Equal(got, data) {
+			t.Errorf("got %q want %q", got, data)
+		}
+	})
+}
+
+func TestDirectIOChargesDeviceLatency(t *testing.T) {
+	e, os := newNVMeOS(16 * mib)
+	var elapsed uint64
+	run1(e, func(p *engine.Proc) {
+		f := os.OpenFile(os.FS.Create(p, "f", 1*mib), true)
+		start := p.Now()
+		f.Pread(p, make([]byte, 4096), 0)
+		elapsed = p.Now() - start
+	})
+	lat := device.DefaultNVMeConfig().ReadLatency
+	if elapsed < lat {
+		t.Errorf("direct read took %d cycles, want >= device latency %d", elapsed, lat)
+	}
+	if elapsed > lat+20000 {
+		t.Errorf("direct read took %d cycles, software overhead looks too high", elapsed)
+	}
+}
+
+func TestBufferedReadWrite(t *testing.T) {
+	e, os := newPMemOS(16 * mib)
+	run1(e, func(p *engine.Proc) {
+		f := os.OpenFile(os.FS.Create(p, "f", 1*mib), false)
+		data := make([]byte, 10000)
+		for i := range data {
+			data[i] = byte(i)
+		}
+		f.Pwrite(p, data, 100)
+		got := make([]byte, len(data))
+		f.Pread(p, got, 100)
+		if !bytes.Equal(got, data) {
+			t.Error("buffered round trip mismatch")
+		}
+		if os.Cache.NrDirty() == 0 {
+			t.Error("buffered write left no dirty pages")
+		}
+		f.Fsync(p)
+		if os.Cache.NrDirty() != 0 {
+			t.Errorf("dirty pages after fsync: %d", os.Cache.NrDirty())
+		}
+		// Content must be on the device now.
+		direct := os.OpenFile(os.FS.Open(p, "f"), true)
+		got2 := make([]byte, len(data))
+		direct.Pread(p, got2, 100)
+		if !bytes.Equal(got2, data) {
+			t.Error("fsync did not persist data")
+		}
+	})
+}
+
+func TestMmapLoadStoreMsync(t *testing.T) {
+	e, os := newPMemOS(16 * mib)
+	run1(e, func(p *engine.Proc) {
+		f := os.FS.Create(p, "f", 1*mib)
+		m := os.Mmap(p, f, 1*mib)
+		data := []byte("mapped bytes cross a page boundary ok")
+		m.Store(p, 4090, data)
+		got := make([]byte, len(data))
+		m.Load(p, 4090, got)
+		if !bytes.Equal(got, data) {
+			t.Error("mapping round trip mismatch")
+		}
+		m.Msync(p)
+		direct := os.OpenFile(f, true)
+		got2 := make([]byte, len(data))
+		direct.Pread(p, got2, 4090)
+		if !bytes.Equal(got2, data) {
+			t.Error("msync did not persist")
+		}
+	})
+}
+
+func TestFaultReadAround(t *testing.T) {
+	e, os := newPMemOS(64 * mib)
+	run1(e, func(p *engine.Proc) {
+		f := os.FS.Create(p, "f", 4*mib)
+		m := os.Mmap(p, f, 4*mib)
+		m.Load(p, 0, make([]byte, 8))
+		// 4.14 read-around: one fault pulls a 32-page window.
+		if got := os.Cache.Resident(); got != os.P.ReadAroundPages {
+			t.Errorf("resident after one fault = %d, want %d", got, os.P.ReadAroundPages)
+		}
+		if f.MajorFaults() != 1 {
+			t.Errorf("major faults = %d, want 1", f.MajorFaults())
+		}
+		// Touching a prefetched page is a minor fault, not major.
+		m.Load(p, PageSize*5, make([]byte, 8))
+		if f.MajorFaults() != 1 {
+			t.Errorf("prefetched page took a major fault")
+		}
+	})
+}
+
+func TestMadviseRandomDisablesReadAround(t *testing.T) {
+	e, os := newPMemOS(64 * mib)
+	run1(e, func(p *engine.Proc) {
+		f := os.FS.Create(p, "f", 4*mib)
+		m := os.Mmap(p, f, 4*mib)
+		m.Advise(p, iface.AdviceRandom)
+		m.Load(p, 0, make([]byte, 8))
+		if got := os.Cache.Resident(); got != 1 {
+			t.Errorf("resident after MADV_RANDOM fault = %d, want 1", got)
+		}
+	})
+}
+
+func TestMmapMissHeuristicDisablesReadAround(t *testing.T) {
+	e, os := newPMemOS(64 * mib)
+	run1(e, func(p *engine.Proc) {
+		f := os.FS.Create(p, "f", 64*mib)
+		m := os.Mmap(p, f, 64*mib)
+		// Fault window-aligned pages so no prefetched page is ever hit:
+		// mmap_miss grows past MMAP_LOTSAMISS and read-around stops.
+		stride := uint64(os.P.ReadAroundPages) * PageSize
+		for i := uint64(0); i <= uint64(os.P.MmapLotsamiss); i++ {
+			m.Load(p, i*stride%uint64(m.Size()-8), make([]byte, 8))
+		}
+		before := os.Cache.Resident()
+		// This miss (in a never-touched window) must bring exactly one page.
+		m.Load(p, 300*stride+8*PageSize, make([]byte, 8))
+		if got := os.Cache.Resident() - before; got != 1 {
+			t.Errorf("pages brought after LOTSAMISS = %d, want 1", got)
+		}
+	})
+}
+
+func TestWriteProtectFaultMarksDirty(t *testing.T) {
+	e, os := newPMemOS(16 * mib)
+	run1(e, func(p *engine.Proc) {
+		f := os.FS.Create(p, "f", 1*mib)
+		m := os.Mmap(p, f, 1*mib)
+		// Read fault maps read-only; nothing dirty.
+		m.Load(p, 0, make([]byte, 8))
+		if os.Cache.NrDirty() != 0 {
+			t.Fatalf("dirty after read fault: %d", os.Cache.NrDirty())
+		}
+		// First store takes the wp fault and dirties exactly one page.
+		m.Store(p, 0, []byte{1})
+		if os.Cache.NrDirty() != 1 {
+			t.Fatalf("dirty after store: %d, want 1", os.Cache.NrDirty())
+		}
+		// Second store to the same page: no new dirty page.
+		m.Store(p, 100, []byte{2})
+		if os.Cache.NrDirty() != 1 {
+			t.Fatalf("dirty after second store: %d, want 1", os.Cache.NrDirty())
+		}
+	})
+}
+
+func TestEvictionRespectsCapacity(t *testing.T) {
+	cache := uint64(2 * mib) // 512 pages
+	e, os := newPMemOS(cache)
+	run1(e, func(p *engine.Proc) {
+		f := os.FS.Create(p, "f", 16*mib) // 8x the cache
+		m := os.Mmap(p, f, 16*mib)
+		buf := make([]byte, 8)
+		for off := uint64(0); off+8 < 16*mib; off += PageSize {
+			m.Load(p, off, buf)
+		}
+		if got, max := os.Cache.Resident(), int(cache/PageSize); got > max {
+			t.Errorf("resident %d exceeds capacity %d", got, max)
+		}
+		if os.Cache.Evicted == 0 {
+			t.Error("no evictions recorded under memory pressure")
+		}
+	})
+}
+
+func TestEvictionWritesBackDirtyData(t *testing.T) {
+	cache := uint64(2 * mib)
+	e, os := newPMemOS(cache)
+	run1(e, func(p *engine.Proc) {
+		f := os.FS.Create(p, "f", 16*mib)
+		m := os.Mmap(p, f, 16*mib)
+		m.Store(p, 0, []byte("persist me"))
+		// Flood the cache to force the dirty page out.
+		buf := make([]byte, 8)
+		for off := uint64(PageSize); off+8 < 16*mib; off += PageSize {
+			m.Load(p, off, buf)
+		}
+		direct := os.OpenFile(f, true)
+		got := make([]byte, 10)
+		direct.Pread(p, got, 0)
+		if !bytes.Equal(got, []byte("persist me")) {
+			t.Errorf("evicted dirty page not written back: %q", got)
+		}
+	})
+}
+
+func TestConcurrentFaultsOnSamePageSingleIO(t *testing.T) {
+	e, os := newNVMeOS(16 * mib)
+	f := os.FS.Create(e.Spawn(0, "setup", func(p *engine.Proc) {}), "f", 1*mib)
+	e.Run()
+	for i := 0; i < 4; i++ {
+		e.Spawn(i, "t", func(p *engine.Proc) {
+			m := os.Mmap(p, f, 1*mib)
+			m.Load(p, 0, make([]byte, 8))
+		})
+	}
+	e.Run()
+	if f.MajorFaults() == 0 {
+		t.Fatal("no major fault")
+	}
+	reads := os.Disk().Content.Stats().Reads
+	// One read-around window: the page content read happens once per page,
+	// but only one *window* of device reads total.
+	if reads > uint64(os.P.ReadAroundPages) {
+		t.Errorf("device reads = %d, want <= %d (single window)", reads, os.P.ReadAroundPages)
+	}
+}
+
+func TestSharedFileTreeLockContentionVisible(t *testing.T) {
+	e, os := newPMemOS(64 * mib)
+	f := os.FS.Create(e.Spawn(0, "setup", func(p *engine.Proc) {}), "f", 32*mib)
+	e.Run()
+	m := make([]*Mapping, 8)
+	for i := 0; i < 8; i++ {
+		i := i
+		e.Spawn(i, "t", func(p *engine.Proc) {
+			m[i] = os.Mmap(p, f, 32*mib)
+			buf := make([]byte, 8)
+			for j := 0; j < 200; j++ {
+				off := (uint64(i*200+j) * PageSize * uint64(os.P.ReadAroundPages)) % (32*mib - 8)
+				off = off / PageSize * PageSize
+				m[i].Load(p, off, buf)
+			}
+		})
+	}
+	e.Run()
+	if st := f.treeLock.Stats(); st.Contended == 0 {
+		t.Error("expected tree_lock contention with 8 threads on one file")
+	}
+}
+
+func TestMunmapFlushesDirty(t *testing.T) {
+	e, os := newPMemOS(16 * mib)
+	run1(e, func(p *engine.Proc) {
+		f := os.FS.Create(p, "f", 1*mib)
+		m := os.Mmap(p, f, 1*mib)
+		m.Store(p, 123, []byte("bye"))
+		m.Munmap(p)
+		direct := os.OpenFile(f, true)
+		got := make([]byte, 3)
+		direct.Pread(p, got, 123)
+		if !bytes.Equal(got, []byte("bye")) {
+			t.Errorf("munmap did not flush: %q", got)
+		}
+		if os.PT.Mapped() != 0 {
+			t.Errorf("PT entries remain after munmap: %d", os.PT.Mapped())
+		}
+	})
+}
+
+func TestTwoMappingsShareCache(t *testing.T) {
+	e, os := newPMemOS(16 * mib)
+	run1(e, func(p *engine.Proc) {
+		f := os.FS.Create(p, "f", 1*mib)
+		m1 := os.Mmap(p, f, 1*mib)
+		m2 := os.Mmap(p, f, 1*mib)
+		m1.Store(p, 0, []byte("shared"))
+		got := make([]byte, 6)
+		m2.Load(p, 0, got)
+		if !bytes.Equal(got, []byte("shared")) {
+			t.Errorf("shared mapping read %q", got)
+		}
+		// The page is cached once.
+		if f.MajorFaults() != 1 {
+			t.Errorf("major faults = %d, want 1 (second mapping hits cache)", f.MajorFaults())
+		}
+	})
+}
+
+func TestDirtyThrottling(t *testing.T) {
+	cache := uint64(1 * mib) // 256 pages; dirty limit = 25 pages
+	e, os := newPMemOS(cache)
+	run1(e, func(p *engine.Proc) {
+		f := os.FS.Create(p, "f", 1*mib)
+		m := os.Mmap(p, f, 1*mib)
+		one := []byte{1}
+		for off := uint64(0); off < 1*mib; off += PageSize {
+			m.Store(p, off, one)
+		}
+		limit := int(float64(os.Cache.Capacity())*os.P.DirtyRatio) + os.P.ReclaimBatch
+		if got := os.Cache.NrDirty(); got > limit {
+			t.Errorf("dirty pages %d exceed throttle threshold %d", got, limit)
+		}
+		if os.Cache.WrittenBk == 0 {
+			t.Error("no writeback happened under dirty pressure")
+		}
+	})
+}
+
+func TestHypervisorGrantAndEPTFault(t *testing.T) {
+	e, os := newPMemOS(16 * mib)
+	run1(e, func(p *engine.Proc) {
+		gpa := uint64(4 << 30)
+		os.HV.GrantRegion(p, gpa, 2<<30)
+		if !os.HV.EPTMapped(gpa) || !os.HV.EPTMapped(gpa+(1<<30)) {
+			t.Error("granted region not EPT-mapped")
+		}
+		if os.HV.EPTMapped(gpa + (2 << 30)) {
+			t.Error("beyond grant should be unmapped")
+		}
+		os.HV.EPTFault(p, gpa+(2<<30))
+		if !os.HV.EPTMapped(gpa + (2 << 30)) {
+			t.Error("EPT fault did not fill")
+		}
+		if os.HV.VMCalls == 0 || os.HV.EPTFaults != 1 {
+			t.Errorf("hv stats: vmcalls=%d eptfaults=%d", os.HV.VMCalls, os.HV.EPTFaults)
+		}
+	})
+}
+
+func TestLinuxFaultCostInMemory(t *testing.T) {
+	// Fig 8(a) calibration: a minor-ish fault (page in cache, pmem) costs
+	// ~2724 cycles; the trap alone is 1287.
+	e, os := newPMemOS(64 * mib)
+	var perFault uint64
+	run1(e, func(p *engine.Proc) {
+		f := os.FS.Create(p, "f", 32*mib)
+		m := os.Mmap(p, f, 32*mib)
+		// Warm the cache so faults are cache-hits (no device I/O).
+		buf := make([]byte, 8)
+		for off := uint64(0); off < 32*mib; off += PageSize * uint64(os.P.ReadAroundPages) {
+			m.Load(p, off, buf)
+		}
+		m.Munmap(p)
+		m2 := os.Mmap(p, f, 32*mib)
+		start := p.Now()
+		const n = 1000
+		for i := 0; i < n; i++ {
+			m2.Load(p, uint64(i)*PageSize, buf)
+		}
+		perFault = (p.Now() - start) / n
+	})
+	if perFault < 2000 || perFault > 4000 {
+		t.Errorf("in-cache Linux fault = %d cycles, want ~2724 (Fig 8a)", perFault)
+	}
+}
+
+func TestStoreAfterWritebackNotLost(t *testing.T) {
+	// Regression: dirty throttling used to clean (and write-protect) a
+	// page between the fault that dirtied it and the store's data landing
+	// in the frame — later stores without a wp fault were then discarded
+	// at eviction. Write far more dirty data than the throttle limit and
+	// verify every byte survives eviction.
+	cache := uint64(256 << 10) // 64 pages, dirty limit ~6
+	e, os := newPMemOS(cache)
+	run1(e, func(p *engine.Proc) {
+		f := os.FS.Create(p, "f", 4*mib)
+		m := os.Mmap(p, f, 4*mib)
+		m.Advise(p, iface.AdviceRandom)
+		data := make([]byte, 1<<20)
+		for i := range data {
+			data[i] = byte(i*7 + 3)
+		}
+		m.Store(p, 0, data)
+		// Flood to evict everything.
+		buf := make([]byte, 8)
+		for off := uint64(1 << 20); off+8 < 4*mib; off += PageSize {
+			m.Load(p, off, buf)
+		}
+		got := make([]byte, len(data))
+		m.Load(p, 0, got)
+		if !bytes.Equal(got, data) {
+			for i := range data {
+				if got[i] != data[i] {
+					t.Fatalf("first corruption at byte %d (page %d)", i, i/PageSize)
+				}
+			}
+		}
+	})
+}
+
+func TestMultiProcessSharedFileMappings(t *testing.T) {
+	// §2.1: shared file-backed mappings are the storage-sharing primitive.
+	// Two processes map the same file; stores from one are visible to the
+	// other through the shared page cache, while address spaces stay
+	// separate.
+	e, os := newPMemOS(16 * mib)
+	run1(e, func(p *engine.Proc) {
+		f := os.FS.Create(p, "shared", 1*mib)
+		pr1 := os.DefaultProcess()
+		pr2 := os.NewProcess()
+		m1 := pr1.Mmap(p, f, 1*mib)
+		m2 := pr2.Mmap(p, f, 1*mib)
+
+		m1.Store(p, 100, []byte("from process 1"))
+		got := make([]byte, 14)
+		m2.Load(p, 100, got)
+		if !bytes.Equal(got, []byte("from process 1")) {
+			t.Errorf("process 2 read %q", got)
+		}
+		// One cached copy serves both processes.
+		if f.MajorFaults() != 1 {
+			t.Errorf("major faults = %d, want 1 (page shared)", f.MajorFaults())
+		}
+		// Separate page tables, same frame.
+		e1, ok1 := pr1.PT.Lookup(m1.v.start)
+		e2, ok2 := pr2.PT.Lookup(m2.v.start)
+		if !ok1 || !ok2 {
+			t.Fatal("both processes should have the page mapped")
+		}
+		if e1.Frame != e2.Frame {
+			t.Error("processes map different frames for the same file page")
+		}
+		if pr1.PT.ASID() == pr2.PT.ASID() {
+			t.Error("processes share an ASID")
+		}
+
+		// Write from process 2, visible in process 1 (and re-dirtying
+		// works through the mkclean protocol across processes).
+		m2.Msync(p)
+		m2.Store(p, 100, []byte("from process 2"))
+		m1.Load(p, 100, got)
+		if !bytes.Equal(got, []byte("from process 2")) {
+			t.Errorf("process 1 read %q after peer store", got)
+		}
+	})
+}
+
+func TestMultiProcessReclaimUnmapsBoth(t *testing.T) {
+	cache := uint64(1 * mib) // 256 pages: heavy reclaim
+	e, os := newPMemOS(cache)
+	run1(e, func(p *engine.Proc) {
+		f := os.FS.Create(p, "shared", 8*mib)
+		pr2 := os.NewProcess()
+		m1 := os.Mmap(p, f, 8*mib)
+		m2 := pr2.Mmap(p, f, 8*mib)
+		m1.Advise(p, iface.AdviceRandom)
+		m2.Advise(p, iface.AdviceRandom)
+		buf := make([]byte, 8)
+		// Both processes touch everything; reclaim must unmap PTEs in
+		// both page tables before recycling frames.
+		for off := uint64(0); off+8 < 8*mib; off += PageSize {
+			m1.Load(p, off, buf)
+			m2.Load(p, off, buf)
+		}
+		if os.Cache.Resident() > int(cache/PageSize) {
+			t.Errorf("resident %d over capacity", os.Cache.Resident())
+		}
+		// Data integrity across both views after heavy eviction.
+		m1.Store(p, 0, []byte("p1"))
+		m2.Load(p, 0, buf[:2])
+		if !bytes.Equal(buf[:2], []byte("p1")) {
+			t.Errorf("cross-process read after reclaim: %q", buf[:2])
+		}
+	})
+}
+
+func TestActiveInactiveScanResistance(t *testing.T) {
+	// A hot buffered-read working set repeatedly accessed gets promoted to
+	// the active list; a one-shot scan through a big file must not evict
+	// it (the kernel's 2Q scan resistance).
+	cache := uint64(1 * mib) // 256 pages
+	e, os := newPMemOS(cache)
+	run1(e, func(p *engine.Proc) {
+		hot := os.OpenFile(os.FS.Create(p, "hot", 256<<10), false) // 64 pages
+		cold := os.OpenFile(os.FS.Create(p, "cold", 8*mib), false)
+		buf := make([]byte, 4096)
+		// Touch the hot set twice: referenced, then promoted.
+		for round := 0; round < 2; round++ {
+			for off := uint64(0); off < 256<<10; off += 4096 {
+				hot.Pread(p, buf, off)
+			}
+		}
+		if os.Cache.NrActive() == 0 {
+			t.Fatal("no pages promoted to the active list")
+		}
+		readsBefore := os.Disk().Content.Stats().Reads
+		// One-shot scan, 8x the cache.
+		for off := uint64(0); off+4096 <= 8*mib; off += 4096 {
+			cold.Pread(p, buf, off)
+		}
+		// Re-read the hot set: most of it must still be cached.
+		readsScan := os.Disk().Content.Stats().Reads
+		for off := uint64(0); off < 256<<10; off += 4096 {
+			hot.Pread(p, buf, off)
+		}
+		hotRefaults := os.Disk().Content.Stats().Reads - readsScan
+		if hotRefaults > 16 { // < 25% of 64 pages refaulted
+			t.Errorf("hot set lost to the scan: %d device reads on re-access", hotRefaults)
+		}
+		_ = readsBefore
+	})
+}
+
+func TestReclaimSecondChance(t *testing.T) {
+	// Referenced inactive pages get rotated once instead of evicted.
+	cache := uint64(512 << 10) // 128 pages
+	e, os := newPMemOS(cache)
+	run1(e, func(p *engine.Proc) {
+		f := os.OpenFile(os.FS.Create(p, "f", 4*mib), false)
+		buf := make([]byte, 4096)
+		for off := uint64(0); off+4096 <= 4*mib; off += 4096 {
+			f.Pread(p, buf, off)
+		}
+		if os.Cache.Evicted == 0 {
+			t.Fatal("no reclaim happened")
+		}
+		if os.Cache.Resident() > int(cache/PageSize) {
+			t.Errorf("resident %d over capacity", os.Cache.Resident())
+		}
+	})
+}
+
+func TestMsyncRange(t *testing.T) {
+	e, os := newPMemOS(16 * mib)
+	run1(e, func(p *engine.Proc) {
+		f := os.FS.Create(p, "f", 1*mib)
+		m := os.Mmap(p, f, 1*mib)
+		m.Store(p, 0, []byte("lo"))
+		m.Store(p, 512<<10, []byte("hi"))
+		if os.Cache.NrDirty() != 2 {
+			t.Fatalf("dirty = %d", os.Cache.NrDirty())
+		}
+		// Sync only the low page: the high page stays dirty.
+		m.MsyncRange(p, 0, 4096)
+		if os.Cache.NrDirty() != 1 {
+			t.Fatalf("dirty after ranged msync = %d, want 1", os.Cache.NrDirty())
+		}
+		direct := os.OpenFile(f, true)
+		got := make([]byte, 2)
+		direct.Pread(p, got, 0)
+		if !bytes.Equal(got, []byte("lo")) {
+			t.Error("ranged msync did not persist the target page")
+		}
+		m.MsyncRange(p, 512<<10, 4096)
+		if os.Cache.NrDirty() != 0 {
+			t.Fatalf("dirty = %d after syncing both", os.Cache.NrDirty())
+		}
+	})
+}
+
+func TestInvariantsAfterHeavyChurn(t *testing.T) {
+	cache := uint64(1 * mib)
+	e, os := newPMemOS(cache)
+	f := os.FS.Create(e.Spawn(0, "setup", func(p *engine.Proc) {}), "churn", 8*mib)
+	e.Run()
+	for i := 0; i < 6; i++ {
+		i := i
+		e.Spawn(i, "t", func(p *engine.Proc) {
+			m := os.Mmap(p, f, 8*mib)
+			buf := make([]byte, 16)
+			x := uint64(i + 1)
+			for j := 0; j < 1200; j++ {
+				x = x*6364136223846793005 + 1
+				off := (x >> 17) % (8*mib - 16) / PageSize * PageSize
+				if j%3 == 0 {
+					m.Store(p, off, buf)
+				} else {
+					m.Load(p, off, buf)
+				}
+			}
+			m.Msync(p)
+		})
+	}
+	e.Run()
+	if err := os.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFSDeleteDropsLiveMappingsPages(t *testing.T) {
+	e, os := newPMemOS(16 * mib)
+	run1(e, func(p *engine.Proc) {
+		f := os.FS.Create(p, "victim", 1*mib)
+		m := os.Mmap(p, f, 1*mib)
+		m.Store(p, 0, []byte("bye"))
+		m.Munmap(p)
+		os.FS.Delete(p, "victim")
+		if os.Cache.Resident() != 0 {
+			t.Errorf("resident pages after delete: %d", os.Cache.Resident())
+		}
+		if err := os.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestBufferedPwriteGrowsSize(t *testing.T) {
+	e, os := newPMemOS(16 * mib)
+	run1(e, func(p *engine.Proc) {
+		f := os.OpenFile(os.FS.Create(p, "grow", 1*mib), false)
+		f.f.SetSize(0)
+		f.Pwrite(p, []byte("abc"), 0)
+		if f.Size() != 3 {
+			t.Errorf("size = %d, want 3", f.Size())
+		}
+		f.Pwrite(p, []byte("defg"), 100)
+		if f.Size() != 104 {
+			t.Errorf("size = %d, want 104", f.Size())
+		}
+	})
+}
+
+func TestHostMprotectAndMremap(t *testing.T) {
+	e, os := newPMemOS(16 * mib)
+	run1(e, func(p *engine.Proc) {
+		f := os.FS.Create(p, "f", 4*mib)
+		m := os.Mmap(p, f, 1*mib)
+		m.Store(p, 100, []byte("data"))
+		m.Mprotect(p, true)
+		got := make([]byte, 4)
+		m.Load(p, 100, got)
+		if !bytes.Equal(got, []byte("data")) {
+			t.Error("read after mprotect failed")
+		}
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("store to RO mapping did not fault")
+				}
+			}()
+			m.Store(p, 0, []byte{1})
+		}()
+		m.Mprotect(p, false)
+		m.Store(p, 200, []byte("rw"))
+		// Grow, verify content follows; then shrink and check bounds.
+		m.Mremap(p, 3*mib)
+		m.Load(p, 100, got)
+		if !bytes.Equal(got, []byte("data")) {
+			t.Error("data lost across mremap grow")
+		}
+		m.Store(p, 2*mib, []byte("tail"))
+		m.Mremap(p, 1*mib)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("access past shrunk mapping did not fault")
+				}
+			}()
+			m.Load(p, 2*mib, got)
+		}()
+		if err := os.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,98 @@
+package host
+
+import "fmt"
+
+// CheckInvariants audits the cross-structure consistency of the host at a
+// quiescent point (no process running, no I/O in flight). Tests call it
+// after heavy workloads; it returns the first violation found.
+func (os *OS) CheckInvariants() error {
+	c := os.Cache
+	// Every page in every file's radix tree is counted, resident on
+	// exactly one LRU list, holds a frame, and has consistent dirty state.
+	total, dirty := 0, 0
+	for _, f := range os.FS.files {
+		fileDirty := 0
+		for idx, pg := range f.pages {
+			total++
+			if pg.f != f || pg.idx != idx {
+				return fmt.Errorf("page (%s,%d) misfiled as (%s,%d)",
+					f.name, idx, pg.f.name, pg.idx)
+			}
+			if pg.frame == nil {
+				return fmt.Errorf("page (%s,%d) has no frame", f.name, idx)
+			}
+			if pg.io != nil && !pg.io.Fired() {
+				return fmt.Errorf("page (%s,%d) has in-flight I/O at quiesce", f.name, idx)
+			}
+			if !pg.inLRU {
+				return fmt.Errorf("page (%s,%d) resident but not on an LRU list", f.name, idx)
+			}
+			if pg.dirty {
+				dirty++
+				fileDirty++
+			}
+			// Reverse mappings agree with the page tables.
+			for _, mv := range pg.vas {
+				e, ok := mv.pr.PT.Lookup(mv.va)
+				if !ok {
+					return fmt.Errorf("page (%s,%d): rmap va %#x not mapped in process %d",
+						f.name, idx, mv.va, mv.pr.ID)
+				}
+				if e.Frame != pg.frame.ID {
+					return fmt.Errorf("page (%s,%d): pte frame %d != page frame %d",
+						f.name, idx, e.Frame, pg.frame.ID)
+				}
+			}
+		}
+		if fileDirty != f.nrDirty {
+			return fmt.Errorf("file %s: nrDirty %d != actual %d", f.name, f.nrDirty, fileDirty)
+		}
+	}
+	if total != c.nrPages {
+		return fmt.Errorf("nrPages %d != radix total %d", c.nrPages, total)
+	}
+	if dirty != c.nrDirty {
+		return fmt.Errorf("nrDirty %d != actual %d", c.nrDirty, dirty)
+	}
+	if c.active.n+c.inactive.n != c.nrPages {
+		return fmt.Errorf("LRU lists %d+%d != nrPages %d", c.active.n, c.inactive.n, c.nrPages)
+	}
+	if got := c.allocator.Allocated(); got != uint64(total) {
+		return fmt.Errorf("frames allocated %d != resident pages %d", got, total)
+	}
+	// Every present PTE in every process points at a frame owned by a
+	// cached page mapping that (process, va).
+	frames := make(map[uint64]*cachedPage)
+	for _, f := range os.FS.files {
+		for _, pg := range f.pages {
+			frames[pg.frame.ID] = pg
+		}
+	}
+	for _, pr := range os.procs {
+		for _, v := range pr.vmas.list {
+			for va := v.start; va < v.end; va += PageSize {
+				e, ok := pr.PT.Lookup(va)
+				if !ok {
+					continue
+				}
+				pg, known := frames[e.Frame]
+				if !known {
+					return fmt.Errorf("process %d: va %#x maps unknown frame %d",
+						pr.ID, va, e.Frame)
+				}
+				found := false
+				for _, mv := range pg.vas {
+					if mv.pr == pr && mv.va == va {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return fmt.Errorf("process %d: va %#x mapped but missing from rmap of (%s,%d)",
+						pr.ID, va, pg.f.name, pg.idx)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package host
+
+import (
+	"bytes"
+	"testing"
+
+	"aquila/internal/sim/device"
+	"aquila/internal/sim/engine"
+)
+
+func TestIOURingRoundTrip(t *testing.T) {
+	e, os := newNVMeOS(16 * mib)
+	run1(e, func(p *engine.Proc) {
+		f := os.FS.Create(p, "f", 4*mib)
+		ring := NewIOURing(os, f, 64)
+		data := []byte("async payload")
+		buf := make([]byte, len(data))
+		copy(buf, data)
+		ring.Prep(Sqe{Write: true, Off: 8192, Buf: buf, UserData: 1})
+		ring.Enter(p)
+		got := ring.WaitCqes(p, 1)
+		if len(got) != 1 || got[0].UserData != 1 {
+			t.Fatalf("write cqe = %+v", got)
+		}
+		rbuf := make([]byte, len(data))
+		ring.Prep(Sqe{Off: 8192, Buf: rbuf, UserData: 2})
+		ring.Enter(p)
+		got = ring.WaitCqes(p, 1)
+		if len(got) != 1 || got[0].UserData != 2 {
+			t.Fatalf("read cqe = %+v", got)
+		}
+		if !bytes.Equal(rbuf, data) {
+			t.Errorf("read back %q", rbuf)
+		}
+	})
+}
+
+func TestIOURingBatchingAmortizesSyscalls(t *testing.T) {
+	e, os := newNVMeOS(16 * mib)
+	run1(e, func(p *engine.Proc) {
+		f := os.FS.Create(p, "f", 16*mib)
+		ring := NewIOURing(os, f, 256)
+		const n = 64
+		bufs := make([][]byte, n)
+		for i := 0; i < n; i++ {
+			bufs[i] = make([]byte, 4096)
+			ring.Prep(Sqe{Off: uint64(i) * 4096, Buf: bufs[i], UserData: uint64(i)})
+		}
+		ring.Enter(p)
+		done := ring.WaitCqes(p, n)
+		if len(done) != n {
+			t.Fatalf("reaped %d, want %d", len(done), n)
+		}
+		if ring.SyscallOps != 1 {
+			t.Errorf("syscalls = %d, want 1 for the whole batch", ring.SyscallOps)
+		}
+		if ring.Inflight() != 0 {
+			t.Errorf("inflight = %d", ring.Inflight())
+		}
+	})
+}
+
+func TestIOURingThroughputBeatsSyncButTailSuffers(t *testing.T) {
+	// The §7.1 tradeoff: async batching raises throughput but the last
+	// completion of a batch waits behind the whole queue.
+	const n = 128
+	// Synchronous: n direct preads back to back.
+	eSync, osSync := newNVMeOS(16 * mib)
+	var syncElapsed uint64
+	run1(eSync, func(p *engine.Proc) {
+		f := osSync.OpenFile(osSync.FS.Create(p, "f", 16*mib), true)
+		start := p.Now()
+		buf := make([]byte, 4096)
+		for i := 0; i < n; i++ {
+			f.Pread(p, buf, uint64(i)*4096)
+		}
+		syncElapsed = p.Now() - start
+	})
+	// io_uring: one batch of n.
+	eAsync, osAsync := newNVMeOS(16 * mib)
+	var asyncElapsed, lastGap uint64
+	run1(eAsync, func(p *engine.Proc) {
+		f := osAsync.FS.Create(p, "f", 16*mib)
+		ring := NewIOURing(osAsync, f, 2*n)
+		start := p.Now()
+		for i := 0; i < n; i++ {
+			ring.Prep(Sqe{Off: uint64(i) * 4096, Buf: make([]byte, 4096), UserData: uint64(i)})
+		}
+		ring.Enter(p)
+		cqes := ring.WaitCqes(p, n)
+		asyncElapsed = p.Now() - start
+		first := cqes[0].DoneAt
+		last := cqes[len(cqes)-1].DoneAt
+		lastGap = last - first
+	})
+	if asyncElapsed >= syncElapsed {
+		t.Errorf("io_uring (%d) not faster than sync (%d) for a batch", asyncElapsed, syncElapsed)
+	}
+	// Tail: the last op completed far later than the first (queueing).
+	if lastGap < device.DefaultNVMeConfig().ServiceInterval*(n/2) {
+		t.Errorf("tail gap %d too small — batching should spread completions", lastGap)
+	}
+}
+
+func TestIOURingDepthLimit(t *testing.T) {
+	e, os := newNVMeOS(16 * mib)
+	run1(e, func(p *engine.Proc) {
+		f := os.FS.Create(p, "f", 1*mib)
+		ring := NewIOURing(os, f, 2)
+		ring.Prep(Sqe{Off: 0, Buf: make([]byte, 512)})
+		ring.Prep(Sqe{Off: 4096, Buf: make([]byte, 512)})
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic past ring depth")
+			}
+		}()
+		ring.Prep(Sqe{Off: 8192, Buf: make([]byte, 512)})
+	})
+}

@@ -1,0 +1,541 @@
+package host
+
+import (
+	"fmt"
+	"sort"
+
+	"aquila/internal/iface"
+	"aquila/internal/sim/engine"
+	"aquila/internal/sim/mem"
+	"aquila/internal/sim/pagetable"
+)
+
+// vma is one virtual memory area of the (single) process.
+type vma struct {
+	start, end uint64
+	f          *FSFile
+	advice     iface.Advice
+	// readOnly blocks stores (mprotect(PROT_READ)).
+	readOnly bool
+	// kmmap marks Kreon's custom in-kernel mmio path (§7.2): no fault
+	// read-around and a lazy write-back policy driven by its custom msync
+	// instead of dirty throttling. Faults still pay the full ring-3 trap.
+	kmmap bool
+}
+
+// vmaSet models the kernel's rb-tree of VMAs: ordered, O(log n) lookup.
+// Mutations and lookups are serialized by OS.mmapSem, which the fault path
+// takes shared — the contention pattern §3.4 describes.
+type vmaSet struct {
+	list []*vma // sorted by start
+}
+
+func newVMASet() *vmaSet { return &vmaSet{} }
+
+func (s *vmaSet) insert(v *vma) {
+	i := sort.Search(len(s.list), func(i int) bool { return s.list[i].start >= v.start })
+	s.list = append(s.list, nil)
+	copy(s.list[i+1:], s.list[i:])
+	s.list[i] = v
+}
+
+func (s *vmaSet) remove(v *vma) {
+	for i, x := range s.list {
+		if x == v {
+			s.list = append(s.list[:i], s.list[i+1:]...)
+			return
+		}
+	}
+}
+
+// find returns the VMA containing va, or nil.
+func (s *vmaSet) find(va uint64) *vma {
+	i := sort.Search(len(s.list), func(i int) bool { return s.list[i].end > va })
+	if i < len(s.list) && s.list[i].start <= va {
+		return s.list[i]
+	}
+	return nil
+}
+
+// Mapping is a Linux shared file-backed mmap region in one process.
+type Mapping struct {
+	os   *OS
+	pr   *Process
+	v    *vma
+	f    *FSFile
+	size uint64
+	dead bool
+}
+
+// Process returns the owning process.
+func (m *Mapping) Process() *Process { return m.pr }
+
+var _ iface.Mapping = (*Mapping)(nil)
+
+// Mmap creates a shared mapping of f's first `size` bytes in the default
+// process.
+func (os *OS) Mmap(p *engine.Proc, f *FSFile, size uint64) *Mapping {
+	return os.DefaultProcess().mmapInternal(p, f, size, false)
+}
+
+// MmapKmmap creates a mapping through Kreon's custom in-kernel mmio path
+// (kmmap, §7.2): same trap costs as Linux mmap, but no read-around and lazy
+// write-back.
+func (os *OS) MmapKmmap(p *engine.Proc, f *FSFile, size uint64) *Mapping {
+	return os.DefaultProcess().mmapInternal(p, f, size, true)
+}
+
+// Mmap creates a shared mapping in this process; mappings of the same file
+// from different processes share cached pages.
+func (pr *Process) Mmap(p *engine.Proc, f *FSFile, size uint64) *Mapping {
+	return pr.mmapInternal(p, f, size, false)
+}
+
+func (pr *Process) mmapInternal(p *engine.Proc, f *FSFile, size uint64, kmmap bool) *Mapping {
+	os := pr.os
+	p.AdvanceSystem(os.C.Syscall + os.P.SyscallKernelPath)
+	pr.mmapSem.Lock(p)
+	pages := (size + PageSize - 1) / PageSize
+	start := pr.nextVA
+	pr.nextVA += (pages + 16) * PageSize // guard gap
+	v := &vma{start: start, end: start + pages*PageSize, f: f, kmmap: kmmap}
+	pr.vmas.insert(v)
+	p.AdvanceSystem(os.P.VMALookup) // rb-tree insert
+	pr.mmapSem.Unlock(p)
+	return &Mapping{os: os, pr: pr, v: v, f: f, size: size}
+}
+
+// Size implements iface.Mapping.
+func (m *Mapping) Size() uint64 { return m.size }
+
+// Advise implements iface.Mapping.
+func (m *Mapping) Advise(p *engine.Proc, advice iface.Advice) {
+	p.AdvanceSystem(m.os.C.Syscall + m.os.P.SyscallKernelPath)
+	m.pr.mmapSem.Lock(p)
+	m.v.advice = advice
+	m.pr.mmapSem.Unlock(p)
+}
+
+// Load implements iface.Mapping: simulated load instructions.
+func (m *Mapping) Load(p *engine.Proc, off uint64, buf []byte) {
+	m.checkRange(off, len(buf))
+	for n := 0; n < len(buf); {
+		va := m.v.start + off + uint64(n)
+		po := int(va % PageSize)
+		chunk := PageSize - po
+		if chunk > len(buf)-n {
+			chunk = len(buf) - n
+		}
+		frame := m.pr.resolve(p, va, false)
+		copyFromFrame(buf[n:n+chunk], frame, po)
+		p.AdvanceUser(loadStoreCost(chunk))
+		n += chunk
+	}
+}
+
+// Store implements iface.Mapping: simulated store instructions.
+func (m *Mapping) Store(p *engine.Proc, off uint64, buf []byte) {
+	if m.v.readOnly {
+		panic(fmt.Sprintf("host: store to read-only mapping of %q (SIGSEGV)", m.f.name))
+	}
+	m.checkRange(off, len(buf))
+	for n := 0; n < len(buf); {
+		va := m.v.start + off + uint64(n)
+		po := int(va % PageSize)
+		chunk := PageSize - po
+		if chunk > len(buf)-n {
+			chunk = len(buf) - n
+		}
+		frame := m.pr.resolve(p, va, true)
+		copy(frame.Data()[po:po+chunk], buf[n:n+chunk])
+		p.AdvanceUser(loadStoreCost(chunk))
+		// Dirty throttling runs only after the store's data has landed
+		// in the frame; throttling inside the fault itself would clean
+		// (and write-protect) the page before the store happened.
+		if !m.v.kmmap {
+			m.os.Cache.throttleDirty(p)
+		}
+		n += chunk
+	}
+}
+
+// Msync implements iface.Mapping: writes the file's dirty pages back.
+func (m *Mapping) Msync(p *engine.Proc) {
+	p.AdvanceSystem(m.os.C.Syscall + m.os.P.SyscallKernelPath)
+	m.os.Cache.fsyncFile(p, m.f)
+}
+
+// MsyncRange implements iface.Mapping: only dirty pages overlapping
+// [off, off+length) are written back.
+func (m *Mapping) MsyncRange(p *engine.Proc, off, length uint64) {
+	p.AdvanceSystem(m.os.C.Syscall + m.os.P.SyscallKernelPath)
+	m.os.Cache.fsyncFileRange(p, m.f, off, length)
+}
+
+// Munmap implements iface.Mapping: destroys the mapping. Cached pages stay
+// in the page cache (shared semantics); dirty pages are written back.
+func (m *Mapping) Munmap(p *engine.Proc) {
+	if m.dead {
+		return
+	}
+	m.dead = true
+	p.AdvanceSystem(m.os.C.Syscall + m.os.P.SyscallKernelPath)
+	m.pr.mmapSem.Lock(p)
+	m.pr.vmas.remove(m.v)
+	unmapped := 0
+	for va := m.v.start; va < m.v.end; va += PageSize {
+		if m.pr.PT.Unmap(va) {
+			p.AdvanceSystem(m.os.C.PTEUpdate)
+			unmapped++
+			idx := (va - m.v.start) / PageSize
+			if pg := m.os.Cache.find(p, m.f, idx); pg != nil {
+				removeVA(pg, m.pr, va)
+			}
+		}
+	}
+	if unmapped > 0 {
+		m.pr.shootdown(p, unmapped)
+	}
+	m.pr.mmapSem.Unlock(p)
+	m.os.Cache.fsyncFile(p, m.f)
+}
+
+func (m *Mapping) checkRange(off uint64, n int) {
+	if off+uint64(n) > m.size {
+		panic(fmt.Sprintf("host: mapping access [%d,%d) beyond size %d", off, off+uint64(n), m.size))
+	}
+}
+
+// loadStoreCost is the user-side cost of moving n bytes through cached
+// mappings (ordinary loads/stores, ~DRAM bandwidth).
+func loadStoreCost(n int) uint64 { return uint64(n)/16 + 2 }
+
+func copyFromFrame(dst []byte, f *mem.Frame, off int) {
+	if f.HasData() {
+		copy(dst, f.Data()[off:off+len(dst)])
+		return
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+}
+
+func removeVA(pg *cachedPage, pr *Process, va uint64) {
+	for i, x := range pg.vas {
+		if x.pr == pr && x.va == va {
+			pg.vas = append(pg.vas[:i], pg.vas[i+1:]...)
+			return
+		}
+	}
+}
+
+// resolve returns the frame currently backing va, with the required
+// permission, re-running the access path until the translation is stable:
+// between a fault returning and the caller's data copy, a concurrent
+// eviction may have unmapped the page and recycled its frame, so the
+// va -> frame binding is re-validated with no intervening simulated time.
+func (pr *Process) resolve(p *engine.Proc, va uint64, write bool) *mem.Frame {
+	for {
+		frame := pr.access(p, va, write)
+		if e, ok := pr.PT.Lookup(va); ok && e.Frame == frame.ID &&
+			(!write || e.Flags.Has(pagetable.FlagWritable)) {
+			return frame
+		}
+	}
+}
+
+// access resolves one virtual address, taking the hardware fast path
+// (TLB hit: free) or the fault path, and returns the backing frame.
+func (pr *Process) access(p *engine.Proc, va uint64, write bool) *mem.Frame {
+	os := pr.os
+	vpn := va >> mem.PageShift
+	tlb := os.TLBs.CPU(p.CPU())
+	asid := pr.PT.ASID()
+	if tlb.Lookup(asid, vpn) {
+		if e, ok := pr.PT.Lookup(va); ok {
+			if !write || e.Flags.Has(pagetable.FlagWritable) {
+				return os.Cache.allocator.Frame(e.Frame)
+			}
+			return pr.wpFault(p, va)
+		}
+		// Stale TLB entry (should not happen: shootdowns keep us
+		// coherent), fall through to fault.
+		tlb.InvalidatePage(asid, vpn)
+	}
+	if e, ok := pr.PT.Lookup(va); ok {
+		p.AdvanceUser(os.C.TLBRefill)
+		tlb.Insert(asid, vpn)
+		if !write || e.Flags.Has(pagetable.FlagWritable) {
+			return os.Cache.allocator.Frame(e.Frame)
+		}
+		return pr.wpFault(p, va)
+	}
+	return pr.pageFault(p, va, write)
+}
+
+// wpFault is the write-protect fault on a present read-only page of a shared
+// mapping: mark the page dirty (under tree_lock) and upgrade the PTE.
+func (pr *Process) wpFault(p *engine.Proc, va uint64) *mem.Frame {
+	os := pr.os
+	va &^= uint64(PageSize - 1)
+	pr.noteCPU(p.CPU())
+	p.AdvanceSystem(os.C.TrapRing3 + os.P.FaultEntry)
+	pr.mmapSem.RLock(p)
+	p.AdvanceSystem(os.P.VMALookup)
+	v := pr.vmas.find(va)
+	if v == nil {
+		panic(fmt.Sprintf("host: wp fault outside any vma: %#x", va))
+	}
+	idx := (va - v.start) / PageSize
+	pg := os.Cache.find(p, v.f, idx)
+	if pg == nil || (pg.io != nil && !pg.io.Fired()) {
+		// Raced with reclaim; retry as a full fault.
+		pr.mmapSem.RUnlock(p)
+		return pr.pageFault(p, va, true)
+	}
+	pg.pins++
+	defer func() { pg.pins-- }()
+	os.Cache.markDirty(p, pg)
+	pr.PT.Protect(va, pagetable.FlagUser|pagetable.FlagWritable|pagetable.FlagAccessed|pagetable.FlagDirty)
+	p.AdvanceSystem(os.C.PTEUpdate + os.C.TLBInvalidatePage)
+	tlb := os.TLBs.CPU(p.CPU())
+	tlb.InvalidatePage(pr.PT.ASID(), va>>mem.PageShift)
+	tlb.Insert(pr.PT.ASID(), va>>mem.PageShift)
+	pr.mmapSem.RUnlock(p)
+	return os.Cache.allocator.Frame(pg.frame.ID)
+}
+
+// pageFault is the Linux mmio fault path: trap to ring 0, VMA lookup under
+// mmap_sem, filemap_fault with 4.14-style read-around, PTE installation.
+func (pr *Process) pageFault(p *engine.Proc, va uint64, write bool) *mem.Frame {
+	os := pr.os
+	va &^= uint64(PageSize - 1)
+	pr.noteCPU(p.CPU())
+	p.AdvanceSystem(os.C.TrapRing3 + os.P.FaultEntry)
+	pr.mmapSem.RLock(p)
+	p.AdvanceSystem(os.P.VMALookup)
+	v := pr.vmas.find(va)
+	if v == nil {
+		panic(fmt.Sprintf("host: page fault outside any vma: %#x", va))
+	}
+	f := v.f
+	idx := (va - v.start) / PageSize
+
+	var pg *cachedPage
+	for {
+		pg = os.Cache.find(p, f, idx)
+		if pg != nil {
+			if pg.io != nil && !pg.io.Fired() {
+				// Read or reclaim in flight: wait, then re-check —
+				// the page may be gone (reclaimed) by wake-up.
+				os.Cache.waitPage(p, pg)
+				continue
+			}
+			// Minor fault. A read-around page being used decays the
+			// miss counter, keeping read-around alive (4.14
+			// do_async_mmap_readahead).
+			if pg.readahead {
+				pg.readahead = false
+				if f.mmapMiss > 0 {
+					f.mmapMiss--
+				}
+			}
+			break
+		}
+		pg = pr.majorFault(p, v, idx)
+		if pg != nil && (pg.io == nil || pg.io.Fired()) {
+			break
+		}
+	}
+	// Pin across PTE installation: the dirty-marking and mapping steps
+	// yield, and reclaim recycling this frame mid-fault would install a
+	// PTE to a stale frame.
+	pg.pins++
+	defer func() { pg.pins-- }()
+
+	// Install the PTE. Shared-mapping read faults map read-only so the
+	// first store takes a write-protect fault that marks the page dirty.
+	flags := pagetable.FlagUser | pagetable.FlagAccessed
+	if write {
+		flags |= pagetable.FlagWritable | pagetable.FlagDirty
+		os.Cache.markDirty(p, pg)
+	}
+	if _, mapped := pr.PT.Lookup(va); !mapped {
+		pr.PT.Map(va, pg.frame.ID, flags, pagetable.Size4K)
+		pg.vas = append(pg.vas, mappedVA{pr: pr, va: va})
+	} else {
+		pr.PT.Protect(va, flags)
+	}
+	p.AdvanceSystem(os.C.PTEUpdate)
+	os.TLBs.CPU(p.CPU()).Insert(pr.PT.ASID(), va>>mem.PageShift)
+	pr.mmapSem.RUnlock(p)
+	return os.Cache.allocator.Frame(pg.frame.ID)
+}
+
+// majorFault brings (f, idx) into the cache, applying the fault read-around
+// policy: a ReadAroundPages window unless MADV_RANDOM is set or the file has
+// missed too often (mmap_miss > MMAP_LOTSAMISS). Returns nil if the target
+// page raced away and the caller must retry.
+func (pr *Process) majorFault(p *engine.Proc, v *vma, idx uint64) *cachedPage {
+	os := pr.os
+	f := v.f
+	f.mmapMiss++
+	filePages := (f.size + PageSize - 1) / PageSize
+	lo, hi := idx, idx+1
+	if !v.kmmap && v.advice != iface.AdviceRandom && f.mmapMiss <= os.P.MmapLotsamiss {
+		ra := uint64(os.P.ReadAroundPages)
+		lo = idx / ra * ra
+		hi = lo + ra
+		if hi > filePages {
+			hi = filePages
+		}
+	}
+
+	// Publish locked pages for the absent part of the window.
+	type owned struct {
+		pg  *cachedPage
+		idx uint64
+	}
+	var mine []owned
+	var target *cachedPage
+	for i := lo; i < hi; i++ {
+		pg, owner := os.Cache.insertNew(p, f, i)
+		if i == idx {
+			target = pg
+		}
+		if owner {
+			mine = append(mine, owned{pg, i})
+		}
+	}
+
+	// Read contiguous runs of owned pages with one timed I/O each.
+	for i := 0; i < len(mine); {
+		j := i + 1
+		for j < len(mine) && mine[j].idx == mine[j-1].idx+1 {
+			j++
+		}
+		run := mine[i:j]
+		bytes := len(run) * PageSize
+		for _, o := range run {
+			os.readPageContent(o.pg)
+		}
+		os.timedRead(p, f.devOff(run[0].idx*PageSize), bytes)
+		i = j
+	}
+	doneAt := p.Now()
+	for _, o := range mine {
+		o.pg.io.Fire(doneAt)
+		o.pg.io = nil
+		if o.idx != idx {
+			o.pg.readahead = true
+		}
+	}
+	if target != nil {
+		os.Cache.waitPage(p, target)
+		f.majorFaults++
+	}
+	return target
+}
+
+// timedRead charges the kernel read path without content movement.
+func (os *OS) timedRead(p *engine.Proc, off uint64, bytes int) {
+	disk := os.FS.disk
+	if disk.PMem {
+		p.AdvanceSystem(os.P.PMemBlockOverhead + os.C.MemcpyNoSIMD(bytes))
+		done := disk.Timing.Submit(p.Now(), bytes, false)
+		p.WaitUntil(done, engine.KindIOWait)
+	} else {
+		p.AdvanceSystem(os.P.BlockLayerSubmit)
+		done := disk.Timing.Submit(p.Now(), bytes, false)
+		p.WaitUntil(done, engine.KindIOWait)
+		p.AdvanceSystem(os.P.BlockLayerComplete + os.C.InterruptDelivery + os.C.ContextSwitch)
+	}
+}
+
+// readPageContent fills a page's frame from device content, skipping the
+// copy entirely when both sides are all-zero (content-free experiments).
+func (os *OS) readPageContent(pg *cachedPage) {
+	off := pg.f.devOff(pg.idx * PageSize)
+	if os.FS.disk.Content.HasRange(off, PageSize) {
+		os.FS.disk.Content.ReadAt(off, pg.frame.Data())
+	} else if pg.frame.HasData() {
+		pg.frame.Reset()
+	}
+}
+
+// Mprotect changes the mapping's protection. Downgrading to read-only
+// rewrites the live PTEs and issues one batched shootdown; upgrading is lazy
+// (shared-mapping stores always re-arm through write-protect faults).
+func (m *Mapping) Mprotect(p *engine.Proc, readOnly bool) {
+	p.AdvanceSystem(m.os.C.Syscall + m.os.P.SyscallKernelPath)
+	m.pr.mmapSem.Lock(p)
+	if readOnly && !m.v.readOnly {
+		changed := 0
+		for va := m.v.start; va < m.v.end; va += PageSize {
+			if e, ok := m.pr.PT.Lookup(va); ok && e.Flags.Has(pagetable.FlagWritable) {
+				m.pr.PT.Protect(va, pagetable.FlagUser|pagetable.FlagAccessed)
+				p.AdvanceSystem(m.os.C.PTEUpdate)
+				changed++
+			}
+		}
+		if changed > 0 {
+			m.pr.shootdown(p, changed)
+		}
+	}
+	m.v.readOnly = readOnly
+	m.pr.mmapSem.Unlock(p)
+}
+
+// Mremap grows or shrinks the mapping. Growth relocates to a fresh virtual
+// range, moving live PTEs (MREMAP_MAYMOVE semantics); shrinking unmaps the
+// tail.
+func (m *Mapping) Mremap(p *engine.Proc, newSize uint64) {
+	p.AdvanceSystem(m.os.C.Syscall + m.os.P.SyscallKernelPath)
+	m.pr.mmapSem.Lock(p)
+	newPages := (newSize + PageSize - 1) / PageSize
+	oldPages := (m.v.end - m.v.start) / PageSize
+	switch {
+	case newPages == oldPages:
+	case newPages < oldPages:
+		unmapped := 0
+		for va := m.v.start + newPages*PageSize; va < m.v.end; va += PageSize {
+			if m.pr.PT.Unmap(va) {
+				p.AdvanceSystem(m.os.C.PTEUpdate)
+				unmapped++
+				idx := (va - m.v.start) / PageSize
+				if pg := m.os.Cache.find(p, m.f, idx); pg != nil {
+					removeVA(pg, m.pr, va)
+				}
+			}
+		}
+		if unmapped > 0 {
+			m.pr.shootdown(p, unmapped)
+		}
+		m.v.end = m.v.start + newPages*PageSize
+	default:
+		newStart := m.pr.nextVA
+		m.pr.nextVA += (newPages + 16) * PageSize
+		moved := 0
+		for i := uint64(0); i < oldPages; i++ {
+			oldVA := m.v.start + i*PageSize
+			if e, ok := m.pr.PT.Lookup(oldVA); ok {
+				m.pr.PT.Unmap(oldVA)
+				m.pr.PT.Map(newStart+i*PageSize, e.Frame, e.Flags, pagetable.Size4K)
+				p.AdvanceSystem(2 * m.os.C.PTEUpdate)
+				if pg := m.os.Cache.find(p, m.f, i); pg != nil {
+					removeVA(pg, m.pr, oldVA)
+					pg.vas = append(pg.vas, mappedVA{pr: m.pr, va: newStart + i*PageSize})
+				}
+				moved++
+			}
+		}
+		if moved > 0 {
+			m.pr.shootdown(p, moved)
+		}
+		m.pr.vmas.remove(m.v)
+		m.v.start, m.v.end = newStart, newStart+newPages*PageSize
+		m.pr.vmas.insert(m.v)
+	}
+	m.size = newSize
+	m.pr.mmapSem.Unlock(p)
+}

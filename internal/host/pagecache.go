@@ -1,0 +1,488 @@
+package host
+
+import (
+	"fmt"
+	"sort"
+
+	"aquila/internal/sim/engine"
+	"aquila/internal/sim/mem"
+	"aquila/internal/sim/pagetable"
+)
+
+// cachedPage is one resident page-cache page.
+type cachedPage struct {
+	f     *FSFile
+	idx   uint64 // page index within the file
+	frame *mem.Frame
+	dirty bool
+	// readahead marks pages brought in by read-around (PG_readahead):
+	// hitting one decrements the file's mmap_miss counter.
+	readahead bool
+	// io is non-nil while the page's content is being read from disk;
+	// concurrent faulters wait on it (PG_locked).
+	io *engine.Event
+	// pins guards against reclaim while a syscall path uses the page
+	// across a blocking point.
+	pins int
+	// referenced is the second-chance bit (PG_referenced): set on access,
+	// cleared when reclaim gives the page another round.
+	referenced bool
+	// active marks which LRU list holds the page.
+	active bool
+	// vas is the reverse mapping: every (process, va) this page is
+	// mapped at.
+	vas []mappedVA
+
+	lruPrev, lruNext *cachedPage
+	inLRU            bool
+}
+
+// mappedVA is one reverse-mapping entry.
+type mappedVA struct {
+	pr *Process
+	va uint64
+}
+
+// PageCache is the kernel page cache: per-file radix trees (each guarded by
+// its file's tree_lock), a global LRU guarded by lru_lock, and dirty
+// accounting with direct-reclaim writeback.
+// pageList is one intrusive LRU list (active or inactive).
+type pageList struct {
+	head, tail *cachedPage
+	n          int
+}
+
+func (l *pageList) push(pg *cachedPage) {
+	pg.lruPrev = nil
+	pg.lruNext = l.head
+	if l.head != nil {
+		l.head.lruPrev = pg
+	}
+	l.head = pg
+	if l.tail == nil {
+		l.tail = pg
+	}
+	pg.inLRU = true
+	l.n++
+}
+
+func (l *pageList) remove(pg *cachedPage) {
+	if !pg.inLRU {
+		return
+	}
+	if pg.lruPrev != nil {
+		pg.lruPrev.lruNext = pg.lruNext
+	} else {
+		l.head = pg.lruNext
+	}
+	if pg.lruNext != nil {
+		pg.lruNext.lruPrev = pg.lruPrev
+	} else {
+		l.tail = pg.lruPrev
+	}
+	pg.lruPrev, pg.lruNext, pg.inLRU = nil, nil, false
+	l.n--
+}
+
+type PageCache struct {
+	os        *OS
+	allocator *mem.Allocator
+	lruLock   *engine.Mutex
+	// active/inactive are the kernel's two LRU lists: new pages enter
+	// inactive; referenced pages are promoted; reclaim scans the inactive
+	// tail with a second chance for referenced pages, and demotes from
+	// active when inactive runs low. This gives the page cache its scan
+	// resistance.
+	active   pageList
+	inactive pageList
+	nrPages  int
+	nrDirty  int
+	// dirtyQueue approximates the kernel's per-BDI dirty list (FIFO).
+	dirtyQueue []*cachedPage
+
+	// Stats.
+	Inserted  uint64
+	Evicted   uint64
+	WrittenBk uint64
+	Promoted  uint64
+	Demoted   uint64
+}
+
+func newPageCache(os *OS, capacityBytes uint64) *PageCache {
+	return &PageCache{
+		os:        os,
+		allocator: mem.NewAllocator(capacityBytes, os.E.NumNUMANodes()),
+		lruLock:   engine.NewMutex(os.E, "lru_lock"),
+	}
+}
+
+// NrActive and NrInactive report the list populations (tests).
+func (c *PageCache) NrActive() int   { return c.active.n }
+func (c *PageCache) NrInactive() int { return c.inactive.n }
+
+// Capacity returns the cache capacity in pages.
+func (c *PageCache) Capacity() uint64 { return c.allocator.Capacity() }
+
+// Resident returns the number of resident pages.
+func (c *PageCache) Resident() int { return c.nrPages }
+
+// NrDirty returns the number of dirty pages.
+func (c *PageCache) NrDirty() int { return c.nrDirty }
+
+// find returns the cached page at (f, idx), taking the file's tree_lock.
+func (c *PageCache) find(p *engine.Proc, f *FSFile, idx uint64) *cachedPage {
+	f.treeLock.Lock(p)
+	p.AdvanceSystem(c.os.P.RadixLookup)
+	pg := f.pages[idx]
+	f.treeLock.Unlock(p)
+	return pg
+}
+
+// listOf returns the list currently holding pg.
+func (c *PageCache) listOf(pg *cachedPage) *pageList {
+	if pg.active {
+		return &c.active
+	}
+	return &c.inactive
+}
+
+// lruRemove unlinks a page from whichever list holds it (caller holds
+// lru_lock).
+func (c *PageCache) lruRemove(pg *cachedPage) {
+	c.listOf(pg).remove(pg)
+}
+
+// touch is mark_page_accessed: the first access sets the referenced bit, a
+// second access promotes an inactive page to the active list.
+func (c *PageCache) touch(p *engine.Proc, pg *cachedPage) {
+	c.lruLock.Lock(p)
+	p.AdvanceSystem(c.os.P.LRUUpdate)
+	if pg.inLRU {
+		if pg.referenced && !pg.active {
+			c.inactive.remove(pg)
+			pg.active = true
+			pg.referenced = false
+			c.active.push(pg)
+			c.Promoted++
+		} else {
+			pg.referenced = true
+		}
+	}
+	c.lruLock.Unlock(p)
+}
+
+// allocFrame obtains a frame, running direct reclaim when the cache is full.
+func (c *PageCache) allocFrame(p *engine.Proc) *mem.Frame {
+	for {
+		if f := c.allocator.Alloc(p.Node()); f != nil {
+			return f
+		}
+		c.reclaim(p)
+	}
+}
+
+// insertNew creates a locked (under-I/O) page at (f, idx) and publishes it.
+// Returns (page, true) when this caller owns the I/O, or the already-present
+// page and false when it lost the race.
+func (c *PageCache) insertNew(p *engine.Proc, f *FSFile, idx uint64) (*cachedPage, bool) {
+	frame := c.allocFrame(p)
+	f.treeLock.Lock(p)
+	p.AdvanceSystem(c.os.P.RadixLookup)
+	if existing := f.pages[idx]; existing != nil {
+		f.treeLock.Unlock(p)
+		c.allocator.Release(frame)
+		return existing, false
+	}
+	p.AdvanceSystem(c.os.P.RadixInsert)
+	pg := &cachedPage{
+		f: f, idx: idx, frame: frame,
+		io: engine.NewEvent(c.os.E, fmt.Sprintf("pgio:%s:%d", f.name, idx)),
+	}
+	f.pages[idx] = pg
+	f.treeLock.Unlock(p)
+
+	c.lruLock.Lock(p)
+	p.AdvanceSystem(c.os.P.LRUUpdate)
+	c.inactive.push(pg)
+	c.nrPages++
+	c.lruLock.Unlock(p)
+	c.Inserted++
+	return pg, true
+}
+
+// waitPage blocks until a page's in-flight read completes.
+func (c *PageCache) waitPage(p *engine.Proc, pg *cachedPage) {
+	if pg.io != nil && !pg.io.Fired() {
+		pg.io.Wait(p)
+	}
+}
+
+// markDirty tags a page dirty under its file's tree_lock — the same lock the
+// paper identifies as the shared-file write-scaling bottleneck.
+func (c *PageCache) markDirty(p *engine.Proc, pg *cachedPage) {
+	pg.f.treeLock.Lock(p)
+	p.AdvanceSystem(c.os.P.RadixLookup)
+	if !pg.dirty {
+		pg.dirty = true
+		pg.f.nrDirty++
+		c.nrDirty++
+		c.dirtyQueue = append(c.dirtyQueue, pg)
+	}
+	pg.f.treeLock.Unlock(p)
+}
+
+// throttleDirty emulates balance_dirty_pages: when dirty pages exceed the
+// dirty ratio, the dirtying process synchronously writes a batch back.
+func (c *PageCache) throttleDirty(p *engine.Proc) {
+	limit := int(float64(c.allocator.Capacity()) * c.os.P.DirtyRatio)
+	if limit < 1 {
+		limit = 1
+	}
+	for c.nrDirty > limit && len(c.dirtyQueue) > 0 {
+		c.writebackBatch(p, c.os.P.ReclaimBatch)
+	}
+}
+
+// writebackBatch writes up to n dirty pages from the dirty FIFO.
+func (c *PageCache) writebackBatch(p *engine.Proc, n int) {
+	var batch []*cachedPage
+	for len(batch) < n && len(c.dirtyQueue) > 0 {
+		pg := c.dirtyQueue[0]
+		c.dirtyQueue = c.dirtyQueue[1:]
+		if pg.dirty {
+			batch = append(batch, pg)
+		}
+	}
+	c.writePages(p, batch)
+}
+
+// writePages clears dirty state and issues the writes, merging pages that
+// are adjacent on the device into single I/Os.
+func (c *PageCache) writePages(p *engine.Proc, pages []*cachedPage) {
+	if len(pages) == 0 {
+		return
+	}
+	sort.Slice(pages, func(i, j int) bool {
+		if pages[i].f != pages[j].f {
+			return pages[i].f.id < pages[j].f.id
+		}
+		return pages[i].idx < pages[j].idx
+	})
+	protected := 0
+	protectedProcs := make(map[*Process]struct{})
+	for _, pg := range pages {
+		pg.f.treeLock.Lock(p)
+		if pg.dirty {
+			pg.dirty = false
+			pg.f.nrDirty--
+			c.nrDirty--
+		}
+		pg.f.treeLock.Unlock(p)
+		// page_mkclean: write-protect live mappings so the next store
+		// re-dirties the page; otherwise post-writeback stores would be
+		// lost at eviction.
+		for _, mv := range pg.vas {
+			if mv.pr.PT.Protect(mv.va, pagetable.FlagUser|pagetable.FlagAccessed) {
+				p.AdvanceSystem(c.os.C.PTEUpdate)
+				protected++
+				protectedProcs[mv.pr] = struct{}{}
+			}
+		}
+	}
+	for pr := range protectedProcs {
+		pr.shootdown(p, protected)
+	}
+	// Coalesce device-adjacent pages.
+	i := 0
+	for i < len(pages) {
+		j := i + 1
+		for j < len(pages) && pages[j].f == pages[i].f && pages[j].idx == pages[j-1].idx+1 {
+			j++
+		}
+		run := pages[i:j]
+		base := run[0].f.devOff(run[0].idx * PageSize)
+		for _, pg := range run {
+			if pg.frame.HasData() {
+				c.os.FS.disk.Content.WriteAt(pg.f.devOff(pg.idx*PageSize), pg.frame.Data())
+			}
+		}
+		// One timed I/O for the run.
+		c.timedWrite(p, base, len(run)*PageSize)
+		c.WrittenBk += uint64(len(run))
+		i = j
+	}
+}
+
+// timedWrite charges the kernel write path without content movement
+// (content is copied per page above).
+func (c *PageCache) timedWrite(p *engine.Proc, off uint64, bytes int) {
+	disk := c.os.FS.disk
+	if disk.PMem {
+		p.AdvanceSystem(c.os.P.PMemBlockOverhead + c.os.C.MemcpyNoSIMD(bytes))
+		done := disk.Timing.Submit(p.Now(), bytes, true)
+		p.WaitUntil(done, engine.KindIOWait)
+	} else {
+		p.AdvanceSystem(c.os.P.BlockLayerSubmit)
+		done := disk.Timing.Submit(p.Now(), bytes, true)
+		p.WaitUntil(done, engine.KindIOWait)
+		p.AdvanceSystem(c.os.P.BlockLayerComplete + c.os.C.InterruptDelivery + c.os.C.ContextSwitch)
+	}
+}
+
+// reclaim is direct reclaim: evict a batch of pages from the LRU tail,
+// unmapping mapped ones (one batched TLB shootdown) and writing dirty ones.
+// Victims stay in their radix trees, marked busy, until write-back
+// completes — concurrent faulters wait on the page instead of re-reading
+// stale device content (the kernel's PG_writeback discipline).
+func (c *PageCache) reclaim(p *engine.Proc) {
+	c.lruLock.Lock(p)
+	// Balance: when the inactive list runs low, demote from the active
+	// tail (shrink_active_list).
+	for c.inactive.n < c.active.n/2 && c.active.tail != nil {
+		pg := c.active.tail
+		c.active.remove(pg)
+		pg.active = false
+		pg.referenced = false
+		c.inactive.push(pg)
+		c.Demoted++
+		p.AdvanceSystem(c.os.P.LRUUpdate)
+	}
+	var victims []*cachedPage
+	pg := c.inactive.tail
+	scanned := 0
+	for pg != nil && len(victims) < c.os.P.ReclaimBatch && scanned < 4*c.os.P.ReclaimBatch {
+		prev := pg.lruPrev
+		scanned++
+		switch {
+		case pg.pins > 0 || (pg.io != nil && !pg.io.Fired()):
+			// busy: skip
+		case pg.referenced:
+			// Second chance: rotate to the head, clear the bit.
+			c.inactive.remove(pg)
+			pg.referenced = false
+			c.inactive.push(pg)
+		default:
+			c.inactive.remove(pg)
+			// Mark busy: faulters finding the page wait until the
+			// page is fully gone, then retry.
+			pg.io = engine.NewEvent(c.os.E, "reclaim")
+			victims = append(victims, pg)
+		}
+		p.AdvanceSystem(c.os.P.LRUUpdate)
+		pg = prev
+	}
+	c.nrPages -= len(victims)
+	c.lruLock.Unlock(p)
+
+	if len(victims) == 0 {
+		// Everything pinned or in flight: let I/O owners make progress.
+		p.AdvanceSystem(c.os.P.LRUUpdate * 8)
+		p.Yield()
+		return
+	}
+
+	// Unmap all victims first (one batched shootdown per process), so no
+	// new stores land after the write-back snapshot.
+	unmapped := 0
+	unmappedProcs := make(map[*Process]struct{})
+	var dirty []*cachedPage
+	for _, v := range victims {
+		// page_referenced + rmap walk per victim.
+		p.AdvanceSystem(c.os.P.ReclaimPerPage)
+		for _, mv := range v.vas {
+			if mv.pr.PT.Unmap(mv.va) {
+				p.AdvanceSystem(c.os.C.PTEUpdate)
+				unmapped++
+				unmappedProcs[mv.pr] = struct{}{}
+			}
+		}
+		v.vas = nil
+		if v.dirty {
+			dirty = append(dirty, v)
+		}
+	}
+	for pr := range unmappedProcs {
+		pr.shootdown(p, unmapped)
+	}
+	c.writePages(p, dirty)
+	// Now drop the pages from their trees and recycle the frames.
+	for _, v := range victims {
+		v.f.treeLock.Lock(p)
+		p.AdvanceSystem(c.os.P.RadixLookup)
+		delete(v.f.pages, v.idx)
+		v.f.treeLock.Unlock(p)
+	}
+	doneAt := p.Now()
+	for _, v := range victims {
+		v.io.Fire(doneAt)
+		v.io = nil
+		v.frame.Reset()
+		c.allocator.Release(v.frame)
+	}
+	c.Evicted += uint64(len(victims))
+}
+
+// truncate drops all cached pages of a file (delete path).
+func (c *PageCache) truncate(p *engine.Proc, f *FSFile) {
+	f.treeLock.Lock(p)
+	pages := make([]*cachedPage, 0, len(f.pages))
+	for _, pg := range f.pages {
+		pages = append(pages, pg)
+	}
+	f.pages = make(map[uint64]*cachedPage)
+	f.treeLock.Unlock(p)
+
+	unmapped := 0
+	truncProcs := make(map[*Process]struct{})
+	c.lruLock.Lock(p)
+	for _, pg := range pages {
+		c.lruRemove(pg)
+		c.nrPages--
+	}
+	c.lruLock.Unlock(p)
+	for _, pg := range pages {
+		for _, mv := range pg.vas {
+			if mv.pr.PT.Unmap(mv.va) {
+				unmapped++
+				truncProcs[mv.pr] = struct{}{}
+			}
+		}
+		if pg.dirty {
+			pg.dirty = false
+			pg.f.nrDirty--
+			c.nrDirty--
+		}
+		pg.frame.Reset()
+		c.allocator.Release(pg.frame)
+	}
+	for pr := range truncProcs {
+		pr.shootdown(p, unmapped)
+	}
+}
+
+// fsyncFile writes back all dirty pages of one file in offset order.
+func (c *PageCache) fsyncFile(p *engine.Proc, f *FSFile) {
+	c.fsyncFileRange(p, f, 0, f.cap)
+}
+
+// fsyncFileRange writes back dirty pages overlapping [off, off+length).
+// msync(2) walks the requested range page by page, so the scan itself costs
+// in proportion to the range — the reason Kreon's custom msync syncs only
+// the windows it appended (§7.2).
+func (c *PageCache) fsyncFileRange(p *engine.Proc, f *FSFile, off, length uint64) {
+	lo := off / PageSize
+	hi := (off + length + PageSize - 1) / PageSize
+	if max := (f.cap + PageSize - 1) / PageSize; hi > max {
+		hi = max
+	}
+	p.AdvanceSystem((hi - lo) * 20) // per-page range walk
+	f.treeLock.Lock(p)
+	var dirty []*cachedPage
+	for idx, pg := range f.pages {
+		if pg.dirty && idx >= lo && idx < hi {
+			dirty = append(dirty, pg)
+		}
+	}
+	f.treeLock.Unlock(p)
+	c.writePages(p, dirty)
+}

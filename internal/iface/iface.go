@@ -1,0 +1,78 @@
+// Package iface defines the storage interfaces shared by every application
+// in this repository (key-value stores, graph processing, microbenchmarks)
+// and implemented by both worlds under test: the simulated Linux host
+// (internal/host) and the Aquila library OS (internal/core). Applications
+// written against these interfaces run unmodified over either I/O path,
+// mirroring the paper's "minimal application changes" property.
+package iface
+
+import "aquila/internal/sim/engine"
+
+// File is explicit-I/O access to a named file (read/write syscalls on the
+// host; blob access over SPDK under Aquila).
+type File interface {
+	// Name returns the file's name in its namespace.
+	Name() string
+	// Size returns the current file size in bytes.
+	Size() uint64
+	// Pread reads len(buf) bytes at offset off into buf, charging the
+	// calling process the full software + device cost of the I/O path.
+	Pread(p *engine.Proc, buf []byte, off uint64)
+	// Pwrite writes len(buf) bytes from buf at offset off.
+	Pwrite(p *engine.Proc, buf []byte, off uint64)
+	// Fsync persists outstanding writes.
+	Fsync(p *engine.Proc)
+}
+
+// Mapping is memory-mapped access to a file or device region. Loads and
+// stores hit hardware address translation: cached pages cost nothing beyond
+// the data movement itself; misses take the page-fault path of whichever
+// world created the mapping.
+type Mapping interface {
+	// Size returns the length of the mapped region in bytes.
+	Size() uint64
+	// Load copies len(buf) bytes at mapping offset off into buf via
+	// simulated load instructions.
+	Load(p *engine.Proc, off uint64, buf []byte)
+	// Store copies buf into the mapping at offset off via simulated store
+	// instructions.
+	Store(p *engine.Proc, off uint64, buf []byte)
+	// Msync writes all dirty pages of the mapping back to the device.
+	Msync(p *engine.Proc)
+	// MsyncRange writes back only the dirty pages overlapping
+	// [off, off+length) — the ranged msync Kreon's custom path relies on.
+	MsyncRange(p *engine.Proc, off, length uint64)
+	// Munmap destroys the mapping, dropping clean pages and writing dirty
+	// ones back.
+	Munmap(p *engine.Proc)
+	// Advise passes an access-pattern hint (madvise).
+	Advise(p *engine.Proc, advice Advice)
+}
+
+// Advice is the madvise hint set used by the mmio paths.
+type Advice uint8
+
+// madvise hints.
+const (
+	AdviceNormal Advice = iota
+	AdviceRandom
+	AdviceSequential
+	AdviceWillNeed
+	AdviceDontNeed
+)
+
+// Namespace creates and opens files and mappings. Both worlds provide one.
+type Namespace interface {
+	// Create creates a file with the given maximum size (space is
+	// preallocated; both worlds use extent-style allocation).
+	Create(p *engine.Proc, name string, size uint64) File
+	// Open opens an existing file.
+	Open(p *engine.Proc, name string) File
+	// Exists reports whether a name is bound (no simulated cost).
+	Exists(name string) bool
+	// Delete removes a file, releasing its storage. Mappings of the file
+	// must be unmapped first.
+	Delete(p *engine.Proc, name string)
+	// Mmap maps the file's [0, size) shared into the caller's world.
+	Mmap(p *engine.Proc, f File, size uint64) Mapping
+}

@@ -1,0 +1,511 @@
+// Package kreon implements a Kreon-like persistent key-value store
+// (Papagiannis et al., SoCC '18 / TOS '21), the second store the paper
+// evaluates (§5, Fig 9). Unlike an SST-based LSM, Kreon appends all keys and
+// values to a value log and indexes them with a B-tree per level; all device
+// access goes through memory-mapped I/O in the common path, over either
+// kmmap (its custom in-kernel path) or Aquila.
+//
+// The store lives in a single file: a superblock, a value-log region that
+// grows forward, and an index region where immutable B-trees are bulk-built
+// on every level-0 spill. Spills merge level 0 with the previous tree, so
+// there is always at most one on-device level (the paper's Kreon uses more
+// levels; one suffices for the evaluated workloads and keeps spills cheap at
+// the scaled dataset sizes).
+package kreon
+
+import (
+	"bytes"
+	"encoding/binary"
+	"sort"
+
+	"aquila/internal/iface"
+	"aquila/internal/sim/engine"
+	"aquila/internal/ycsb"
+)
+
+// Fixed on-device geometry.
+const (
+	pageSize = 4096
+	// keySize is the fixed key length (YCSB keys are 30 bytes, §6.1).
+	keySize = 30
+	// leafEntrySize is key + log offset.
+	leafEntrySize = keySize + 8
+	// nodeHeader is count(u16) + isLeaf(u8) + pad.
+	nodeHeader = 8
+	// entriesPerNode is the B-tree fan-out at 4 KB nodes.
+	entriesPerNode = (pageSize - nodeHeader) / leafEntrySize
+)
+
+// Costs model Kreon's (deliberately small) software overheads: no block
+// cache, no decode stage — §5: "reduces I/O amplification and CPU cycles in
+// the common path".
+type Costs struct {
+	GetBase   uint64 // per-get bookkeeping
+	PutBase   uint64 // per-put bookkeeping (log reservation, L0 insert)
+	NodeVisit uint64 // per B-tree node binary search
+	L0Lookup  uint64 // level-0 in-memory index probe
+	ScanStep  uint64 // per scanned record
+}
+
+// DefaultCosts returns the calibrated cost table.
+func DefaultCosts() Costs {
+	return Costs{GetBase: 1400, PutBase: 1900, NodeVisit: 380, L0Lookup: 600, ScanStep: 300}
+}
+
+// Options configure a store.
+type Options struct {
+	// NS is the world's namespace.
+	NS iface.Namespace
+	// Kmmap maps the file through the host's kmmap path instead of the
+	// namespace default. The caller passes a pre-built mapping instead
+	// (see OpenWithMapping); when nil, NS.Mmap is used.
+	// LogBytes and IndexBytes size the two file regions.
+	LogBytes   uint64
+	IndexBytes uint64
+	// L0Entries spills level 0 at this many keys (default 16384).
+	L0Entries int
+	Costs     *Costs
+}
+
+// DB is the store.
+type DB struct {
+	opts  Options
+	costs Costs
+	m     iface.Mapping
+
+	logHead uint64 // next append offset (within log region)
+	logBase uint64 // start of log region
+	idxBase uint64 // start of index region
+	idxHead uint64 // next node allocation offset
+
+	l0      map[string]uint64 // key -> log offset
+	rootOff uint64            // current B-tree root node (0: empty)
+	treeN   int               // entries in the current tree
+	// logCheckpoint marks the log position covered by the on-device tree;
+	// recovery replays [checkpoint, logHead) into level 0.
+	logCheckpoint uint64
+	// lastSyncLog/lastSyncIdx mark how far the previous msync reached:
+	// the custom ranged msync (§7.2) only syncs what grew since. The log
+	// and index regions are append-only, so ranges never re-dirty.
+	lastSyncLog uint64
+	lastSyncIdx uint64
+	// leafRegionEnd bounds the contiguous leaf allocation of the current
+	// tree (set by bulkBuild; the leaf level doubles as the leaf chain).
+	leafRegionEnd uint64
+
+	// Stats.
+	Gets, Puts, Spills uint64
+}
+
+var _ ycsb.KV = (*DB)(nil)
+
+// Open creates the store's file through ns and maps it with ns.Mmap.
+func Open(p *engine.Proc, opts Options) *DB {
+	if opts.LogBytes == 0 {
+		opts.LogBytes = 64 << 20
+	}
+	if opts.IndexBytes == 0 {
+		opts.IndexBytes = 16 << 20
+	}
+	f := opts.NS.Create(p, "kreon.data", pageSize+opts.LogBytes+opts.IndexBytes)
+	m := opts.NS.Mmap(p, f, pageSize+opts.LogBytes+opts.IndexBytes)
+	return OpenWithMapping(p, opts, m)
+}
+
+// OpenWithMapping builds the store over an existing mapping (used to run
+// over kmmap, which is created through a host-specific call).
+func OpenWithMapping(p *engine.Proc, opts Options, m iface.Mapping) *DB {
+	if opts.LogBytes == 0 {
+		opts.LogBytes = 64 << 20
+	}
+	if opts.IndexBytes == 0 {
+		opts.IndexBytes = 16 << 20
+	}
+	if opts.L0Entries == 0 {
+		opts.L0Entries = 16384
+	}
+	costs := DefaultCosts()
+	if opts.Costs != nil {
+		costs = *opts.Costs
+	}
+	db := &DB{
+		opts: opts, costs: costs, m: m,
+		logBase: pageSize,
+		idxBase: pageSize + opts.LogBytes,
+		l0:      make(map[string]uint64),
+	}
+	db.logHead = db.logBase
+	db.logCheckpoint = db.logBase
+	db.idxHead = db.idxBase
+	db.lastSyncLog = db.logBase
+	db.lastSyncIdx = db.idxBase
+	return db
+}
+
+// superblock layout (page 0): magic, logHead, logCheckpoint, idxHead,
+// rootOff, treeN, leafRegionEnd.
+const sbMagic = 0x4B52454F // "KREO"
+
+// Msync persists outstanding pages and the superblock: the store recovers
+// exactly to the last Msync (Kreon's CoW msync discipline, §7.2).
+func (db *DB) writeSuperblock(p *engine.Proc) {
+	sb := make([]byte, 52)
+	binary.LittleEndian.PutUint32(sb[0:], sbMagic)
+	binary.LittleEndian.PutUint64(sb[4:], db.logHead)
+	binary.LittleEndian.PutUint64(sb[12:], db.logCheckpoint)
+	binary.LittleEndian.PutUint64(sb[20:], db.idxHead)
+	binary.LittleEndian.PutUint64(sb[28:], db.rootOff)
+	binary.LittleEndian.PutUint64(sb[36:], uint64(db.treeN))
+	binary.LittleEndian.PutUint64(sb[44:], db.leafRegionEnd)
+	db.m.Store(p, 0, sb)
+}
+
+// Reopen recovers a store from its mapping: superblock state, then log
+// replay of the level-0 window. Data written after the last Msync is lost,
+// matching the durability contract of msync-based stores.
+func Reopen(p *engine.Proc, opts Options, m iface.Mapping) *DB {
+	db := OpenWithMapping(p, opts, m)
+	sb := make([]byte, 52)
+	db.m.Load(p, 0, sb)
+	if binary.LittleEndian.Uint32(sb[0:]) != sbMagic {
+		panic("kreon: reopen without a valid superblock (never msync'd?)")
+	}
+	db.logHead = binary.LittleEndian.Uint64(sb[4:])
+	db.logCheckpoint = binary.LittleEndian.Uint64(sb[12:])
+	db.idxHead = binary.LittleEndian.Uint64(sb[20:])
+	db.rootOff = binary.LittleEndian.Uint64(sb[28:])
+	db.treeN = int(binary.LittleEndian.Uint64(sb[36:]))
+	db.leafRegionEnd = binary.LittleEndian.Uint64(sb[44:])
+	// Replay the un-spilled log window into level 0.
+	off := db.logCheckpoint
+	for off < db.logHead {
+		var hdr [4]byte
+		db.m.Load(p, off, hdr[:])
+		kl := int(binary.LittleEndian.Uint16(hdr[0:]))
+		vl := int(binary.LittleEndian.Uint16(hdr[2:]))
+		if kl == 0 {
+			break
+		}
+		key := make([]byte, kl)
+		db.m.Load(p, off+4, key)
+		db.l0[string(key)] = off
+		off += uint64(4 + kl + vl)
+	}
+	return db
+}
+
+// L0Size returns the current level-0 entry count (tests).
+func (db *DB) L0Size() int { return len(db.l0) }
+
+// TreeEntries returns the entry count of the on-device tree (tests).
+func (db *DB) TreeEntries() int { return db.treeN }
+
+// Put appends the record to the value log and indexes it in level 0.
+func (db *DB) Put(p *engine.Proc, key, value []byte) {
+	db.Puts++
+	if len(key) != keySize {
+		key = normalizeKey(key)
+	}
+	rec := make([]byte, 4+len(key)+len(value))
+	binary.LittleEndian.PutUint16(rec, uint16(len(key)))
+	binary.LittleEndian.PutUint16(rec[2:], uint16(len(value)))
+	copy(rec[4:], key)
+	copy(rec[4+len(key):], value)
+	off := db.logHead
+	if off+uint64(len(rec)) > db.idxBase {
+		panic("kreon: value log full")
+	}
+	db.m.Store(p, off, rec)
+	db.logHead += uint64(len(rec))
+	db.l0[string(key)] = off
+	p.AdvanceUser(db.costs.PutBase)
+	if len(db.l0) >= db.opts.L0Entries {
+		db.spill(p)
+	}
+}
+
+// Get returns the newest value for key.
+func (db *DB) Get(p *engine.Proc, key []byte) ([]byte, bool) {
+	db.Gets++
+	if len(key) != keySize {
+		key = normalizeKey(key)
+	}
+	p.AdvanceUser(db.costs.GetBase + db.costs.L0Lookup)
+	if off, ok := db.l0[string(key)]; ok {
+		return db.readLog(p, off), true
+	}
+	if db.rootOff == 0 {
+		return nil, false
+	}
+	off, ok := db.treeLookup(p, key)
+	if !ok {
+		return nil, false
+	}
+	return db.readLog(p, off), true
+}
+
+// Scan visits up to n records in key order starting at startKey.
+func (db *DB) Scan(p *engine.Proc, startKey []byte, n int) int {
+	if len(startKey) != keySize {
+		startKey = normalizeKey(startKey)
+	}
+	// Merge the sorted L0 keys with the tree's leaf chain.
+	l0keys := make([]string, 0, len(db.l0))
+	for k := range db.l0 {
+		if k >= string(startKey) {
+			l0keys = append(l0keys, k)
+		}
+	}
+	sort.Strings(l0keys)
+	treeEntries := db.treeRange(p, startKey, n)
+	seen := 0
+	i, j := 0, 0
+	var last string
+	for seen < n && (i < len(l0keys) || j < len(treeEntries)) {
+		var k string
+		var off uint64
+		takeL0 := j >= len(treeEntries) ||
+			(i < len(l0keys) && l0keys[i] <= treeEntries[j].key)
+		if takeL0 {
+			k = l0keys[i]
+			off = db.l0[k]
+			i++
+		} else {
+			k = treeEntries[j].key
+			off = treeEntries[j].off
+			j++
+		}
+		if k == last {
+			continue
+		}
+		last = k
+		db.readLog(p, off)
+		p.AdvanceUser(db.costs.ScanStep)
+		seen++
+	}
+	return seen
+}
+
+// Msync persists outstanding log and index pages plus the superblock using
+// Kreon's custom ranged msync (§7.2): only the superblock page and the
+// append-only windows written since the previous Msync are flushed, instead
+// of scanning every dirty page of the store.
+func (db *DB) Msync(p *engine.Proc) {
+	db.writeSuperblock(p)
+	db.m.MsyncRange(p, 0, pageSize) // superblock
+	if db.logHead > db.lastSyncLog {
+		db.m.MsyncRange(p, db.lastSyncLog, db.logHead-db.lastSyncLog)
+		db.lastSyncLog = db.logHead
+	}
+	if db.idxHead > db.lastSyncIdx {
+		db.m.MsyncRange(p, db.lastSyncIdx, db.idxHead-db.lastSyncIdx)
+		db.lastSyncIdx = db.idxHead
+	}
+}
+
+// MsyncFull flushes every dirty page of the mapping (the non-customized
+// msync, kept for the ablation comparison).
+func (db *DB) MsyncFull(p *engine.Proc) {
+	db.writeSuperblock(p)
+	db.m.Msync(p)
+}
+
+// readLog fetches a record's value from the value log via mmio.
+func (db *DB) readLog(p *engine.Proc, off uint64) []byte {
+	var hdr [4]byte
+	db.m.Load(p, off, hdr[:])
+	kl := int(binary.LittleEndian.Uint16(hdr[0:]))
+	vl := int(binary.LittleEndian.Uint16(hdr[2:]))
+	val := make([]byte, vl)
+	db.m.Load(p, off+4+uint64(kl), val)
+	return val
+}
+
+// treeEntry is one (key, log offset) pair.
+type treeEntry struct {
+	key string
+	off uint64
+}
+
+// nodeRef reads a B-tree node (one page) via mmio.
+func (db *DB) readNode(p *engine.Proc, off uint64) []byte {
+	buf := make([]byte, pageSize)
+	db.m.Load(p, off, buf)
+	p.AdvanceUser(db.costs.NodeVisit)
+	return buf
+}
+
+func nodeCount(n []byte) int   { return int(binary.LittleEndian.Uint16(n)) }
+func nodeIsLeaf(n []byte) bool { return n[2] == 1 }
+
+func nodeKey(n []byte, i int) []byte {
+	base := nodeHeader + i*leafEntrySize
+	return n[base : base+keySize]
+}
+
+func nodeVal(n []byte, i int) uint64 {
+	base := nodeHeader + i*leafEntrySize + keySize
+	return binary.LittleEndian.Uint64(n[base : base+8])
+}
+
+// treeLookup walks the B-tree from the root to a leaf.
+func (db *DB) treeLookup(p *engine.Proc, key []byte) (uint64, bool) {
+	off := db.rootOff
+	for {
+		n := db.readNode(p, off)
+		cnt := nodeCount(n)
+		if cnt == 0 {
+			return 0, false
+		}
+		// First entry with key > target, minus one.
+		i := sort.Search(cnt, func(i int) bool {
+			return bytes.Compare(nodeKey(n, i), key) > 0
+		})
+		if nodeIsLeaf(n) {
+			if i == 0 {
+				return 0, false
+			}
+			if bytes.Equal(nodeKey(n, i-1), key) {
+				return nodeVal(n, i-1), true
+			}
+			return 0, false
+		}
+		if i == 0 {
+			i = 1 // keys below the smallest separator go to child 0
+		}
+		off = nodeVal(n, i-1)
+	}
+}
+
+// treeRange collects up to n tree entries with key >= startKey by walking
+// the leaf level.
+func (db *DB) treeRange(p *engine.Proc, startKey []byte, n int) []treeEntry {
+	if db.rootOff == 0 {
+		return nil
+	}
+	var out []treeEntry
+	// Descend to the leaf containing startKey.
+	off := db.rootOff
+	for {
+		node := db.readNode(p, off)
+		if nodeIsLeaf(node) {
+			break
+		}
+		cnt := nodeCount(node)
+		i := sort.Search(cnt, func(i int) bool {
+			return bytes.Compare(nodeKey(node, i), startKey) > 0
+		})
+		if i == 0 {
+			i = 1
+		}
+		off = nodeVal(node, i-1)
+	}
+	// Leaves are allocated contiguously during bulk build, so the leaf
+	// chain is a sequential walk of the leaf region.
+	for len(out) < n && off < db.leafRegionEnd {
+		node := db.readNode(p, off)
+		cnt := nodeCount(node)
+		for i := 0; i < cnt && len(out) < n; i++ {
+			k := nodeKey(node, i)
+			if bytes.Compare(k, startKey) < 0 {
+				continue
+			}
+			out = append(out, treeEntry{string(append([]byte(nil), k...)), nodeVal(node, i)})
+		}
+		off += pageSize
+	}
+	return out
+}
+
+// spill merges level 0 into the on-device B-tree, bulk-building a fresh
+// immutable tree (Kreon's level spill).
+func (db *DB) spill(p *engine.Proc) {
+	db.Spills++
+	// Gather all live entries: L0 wins over the old tree.
+	merged := make(map[string]uint64, len(db.l0)+db.treeN)
+	if db.rootOff != 0 {
+		for _, e := range db.treeRange(p, make([]byte, keySize), db.treeN) {
+			merged[e.key] = e.off
+		}
+	}
+	for k, off := range db.l0 {
+		merged[k] = off
+	}
+	keys := make([]string, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	db.bulkBuild(p, keys, merged)
+	db.l0 = make(map[string]uint64)
+	db.treeN = len(keys)
+	db.logCheckpoint = db.logHead
+}
+
+// bulkBuild writes a fresh B-tree bottom-up: contiguous leaves, then
+// internal levels, returning the new root.
+func (db *DB) bulkBuild(p *engine.Proc, keys []string, vals map[string]uint64) {
+	if len(keys) == 0 {
+		db.rootOff = 0
+		return
+	}
+	alloc := func() uint64 {
+		off := db.idxHead
+		db.idxHead += pageSize
+		if db.idxHead > db.m.Size() {
+			panic("kreon: index region full")
+		}
+		return off
+	}
+	writeNode := func(off uint64, isLeaf bool, entries []treeEntry) {
+		buf := make([]byte, pageSize)
+		binary.LittleEndian.PutUint16(buf, uint16(len(entries)))
+		if isLeaf {
+			buf[2] = 1
+		}
+		for i, e := range entries {
+			base := nodeHeader + i*leafEntrySize
+			copy(buf[base:base+keySize], e.key)
+			binary.LittleEndian.PutUint64(buf[base+keySize:], e.off)
+		}
+		db.m.Store(p, off, buf)
+	}
+	// Leaf level (contiguous).
+	leafStart := db.idxHead
+	var level []treeEntry // (firstKey, nodeOff) of the level being built
+	for i := 0; i < len(keys); i += entriesPerNode {
+		j := i + entriesPerNode
+		if j > len(keys) {
+			j = len(keys)
+		}
+		entries := make([]treeEntry, 0, j-i)
+		for _, k := range keys[i:j] {
+			entries = append(entries, treeEntry{k, vals[k]})
+		}
+		off := alloc()
+		writeNode(off, true, entries)
+		level = append(level, treeEntry{keys[i], off})
+	}
+	db.leafRegionEnd = leafStart + uint64(len(level))*pageSize
+	// Internal levels.
+	for len(level) > 1 {
+		var next []treeEntry
+		for i := 0; i < len(level); i += entriesPerNode {
+			j := i + entriesPerNode
+			if j > len(level) {
+				j = len(level)
+			}
+			off := alloc()
+			writeNode(off, false, level[i:j])
+			next = append(next, treeEntry{level[i].key, off})
+		}
+		level = next
+	}
+	db.rootOff = level[0].off
+}
+
+func normalizeKey(k []byte) []byte {
+	out := make([]byte, keySize)
+	copy(out, k)
+	return out
+}

@@ -1,0 +1,243 @@
+package lsm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"aquila/internal/iface"
+	"aquila/internal/sim/engine"
+)
+
+// sstMagic marks a valid table footer.
+const sstMagic = 0x5354424C // "LBTS"
+
+// footerSize is the fixed footer at the end of every SST.
+const footerSize = 16
+
+// SST is one static sorted table: data blocks, a block index and a bloom
+// filter. Index and filter are pinned in memory once opened, as RocksDB
+// does with its table metadata.
+type SST struct {
+	id         uint64
+	file       iface.File
+	mapping    iface.Mapping // non-nil in mmio mode
+	blockSize  int
+	blockCount int
+	firstKeys  [][]byte
+	filter     *bloom
+	smallest   []byte
+	largest    []byte
+	entries    int
+	dataBytes  uint64
+}
+
+// ID returns the table's id.
+func (t *SST) ID() uint64 { return t.id }
+
+// Entries returns the number of records.
+func (t *SST) Entries() int { return t.entries }
+
+// Smallest and Largest bound the table's key range.
+func (t *SST) Smallest() []byte { return t.smallest }
+func (t *SST) Largest() []byte  { return t.largest }
+
+// sstBuilder accumulates sorted records into an in-memory image and writes
+// it out in one pass.
+type sstBuilder struct {
+	blockSize int
+	buf       []byte
+	blockFill int
+	firstKeys [][]byte
+	keys      [][]byte
+	smallest  []byte
+	largest   []byte
+	entries   int
+}
+
+func newSSTBuilder(blockSize int) *sstBuilder {
+	return &sstBuilder{blockSize: blockSize}
+}
+
+// add appends a record; keys must arrive in strictly ascending order.
+func (b *sstBuilder) add(key, value []byte) {
+	need := 4 + len(key) + len(value)
+	if need > b.blockSize {
+		panic(fmt.Sprintf("lsm: record of %d bytes exceeds block size %d", need, b.blockSize))
+	}
+	if b.blockFill == 0 || b.blockFill+need > b.blockSize {
+		// Start a new block: pad the previous one.
+		if b.blockFill > 0 {
+			b.buf = append(b.buf, make([]byte, b.blockSize-b.blockFill)...)
+		}
+		b.blockFill = 0
+		b.firstKeys = append(b.firstKeys, append([]byte(nil), key...))
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint16(hdr[0:], uint16(len(key)))
+	binary.LittleEndian.PutUint16(hdr[2:], uint16(len(value)))
+	b.buf = append(b.buf, hdr[:]...)
+	b.buf = append(b.buf, key...)
+	b.buf = append(b.buf, value...)
+	b.blockFill += need
+	if b.smallest == nil {
+		b.smallest = append([]byte(nil), key...)
+	}
+	b.largest = append(b.largest[:0], key...)
+	b.keys = append(b.keys, append([]byte(nil), key...))
+	b.entries++
+}
+
+// estimatedSize returns the current data size.
+func (b *sstBuilder) estimatedSize() int { return len(b.buf) }
+
+// finish writes the table image to a file created through ns and returns the
+// opened SST.
+func (b *sstBuilder) finish(p *engine.Proc, ns iface.Namespace, name string, id uint64, mmio bool) *SST {
+	if b.blockFill > 0 {
+		b.buf = append(b.buf, make([]byte, b.blockSize-b.blockFill)...)
+	}
+	dataLen := len(b.buf)
+	// Index region.
+	idx := make([]byte, 0, 16*len(b.firstKeys))
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], uint32(len(b.firstKeys)))
+	idx = append(idx, tmp[:]...)
+	for _, k := range b.firstKeys {
+		var kl [2]byte
+		binary.LittleEndian.PutUint16(kl[:], uint16(len(k)))
+		idx = append(idx, kl[:]...)
+		idx = append(idx, k...)
+	}
+	// Bloom region.
+	filter := newBloom(b.entries, 10)
+	for _, k := range b.keys {
+		filter.add(k)
+	}
+	bl := filter.marshal()
+
+	image := append(b.buf, idx...)
+	image = append(image, bl...)
+	var footer [footerSize]byte
+	binary.LittleEndian.PutUint32(footer[0:], uint32(dataLen))
+	binary.LittleEndian.PutUint32(footer[4:], uint32(dataLen+len(idx)))
+	binary.LittleEndian.PutUint32(footer[8:], uint32(len(image)))
+	binary.LittleEndian.PutUint32(footer[12:], sstMagic)
+	image = append(image, footer[:]...)
+
+	f := ns.Create(p, name, uint64(len(image)))
+	// Write in 1 MB chunks, as compactions issue large sequential I/Os.
+	const chunk = 1 << 20
+	for off := 0; off < len(image); off += chunk {
+		end := off + chunk
+		if end > len(image) {
+			end = len(image)
+		}
+		f.Pwrite(p, image[off:end], uint64(off))
+	}
+	f.Fsync(p)
+
+	t := &SST{
+		id: id, file: f, blockSize: b.blockSize,
+		blockCount: len(b.firstKeys), firstKeys: b.firstKeys,
+		filter: filter, smallest: b.smallest,
+		largest: append([]byte(nil), b.largest...), entries: b.entries,
+		dataBytes: uint64(dataLen),
+	}
+	if mmio {
+		t.mapping = ns.Mmap(p, f, uint64(len(image)))
+	}
+	return t
+}
+
+// openSST loads an existing table's metadata.
+func openSST(p *engine.Proc, ns iface.Namespace, name string, id uint64, blockSize int, mmio bool) *SST {
+	f := ns.Open(p, name)
+	size := f.Size()
+	var footer [footerSize]byte
+	f.Pread(p, footer[:], size-footerSize)
+	if binary.LittleEndian.Uint32(footer[12:]) != sstMagic {
+		panic(fmt.Sprintf("lsm: bad magic in %s", name))
+	}
+	dataLen := binary.LittleEndian.Uint32(footer[0:])
+	bloomOff := binary.LittleEndian.Uint32(footer[4:])
+	imgLen := binary.LittleEndian.Uint32(footer[8:])
+	meta := make([]byte, imgLen-dataLen)
+	f.Pread(p, meta, uint64(dataLen))
+
+	idxLen := bloomOff - dataLen
+	idx := meta[:idxLen]
+	nBlocks := binary.LittleEndian.Uint32(idx)
+	pos := 4
+	firstKeys := make([][]byte, 0, nBlocks)
+	for i := uint32(0); i < nBlocks; i++ {
+		kl := int(binary.LittleEndian.Uint16(idx[pos:]))
+		pos += 2
+		firstKeys = append(firstKeys, append([]byte(nil), idx[pos:pos+kl]...))
+		pos += kl
+	}
+	filter, _ := unmarshalBloom(meta[idxLen:])
+
+	t := &SST{
+		id: id, file: f, blockSize: blockSize,
+		blockCount: int(nBlocks), firstKeys: firstKeys, filter: filter,
+		dataBytes: uint64(dataLen),
+	}
+	if nBlocks > 0 {
+		t.smallest = firstKeys[0]
+	}
+	if mmio {
+		t.mapping = ns.Mmap(p, f, size)
+	}
+	// Largest key: scan the last block sequentially.
+	if nBlocks > 0 {
+		blk := make([]byte, blockSize)
+		f.Pread(p, blk, uint64(nBlocks-1)*uint64(blockSize))
+		scanBlock(blk, func(key, value []byte) bool {
+			t.largest = append(t.largest[:0], key...)
+			return true
+		})
+		// The exact record count is not persisted; reopened tables
+		// report -1 (metadata consumers treat it as unknown).
+		t.entries = -1
+	}
+	return t
+}
+
+// scanBlock walks a block's records in order, calling fn until it returns
+// false. Returns the number of entries visited.
+func scanBlock(blk []byte, fn func(key, value []byte) bool) int {
+	pos, n := 0, 0
+	for pos+4 <= len(blk) {
+		kl := int(binary.LittleEndian.Uint16(blk[pos:]))
+		vl := int(binary.LittleEndian.Uint16(blk[pos+2:]))
+		if kl == 0 {
+			break
+		}
+		pos += 4
+		n++
+		if !fn(blk[pos:pos+kl], blk[pos+kl:pos+kl+vl]) {
+			break
+		}
+		pos += kl + vl
+	}
+	return n
+}
+
+// blockFor returns the index of the block that may contain key.
+func (t *SST) blockFor(key []byte) int {
+	// First block whose firstKey > key, minus one.
+	i := sort.Search(t.blockCount, func(i int) bool {
+		return bytes.Compare(t.firstKeys[i], key) > 0
+	})
+	if i == 0 {
+		return 0
+	}
+	return i - 1
+}
+
+// contains reports whether key falls in the table's range.
+func (t *SST) contains(key []byte) bool {
+	return bytes.Compare(key, t.smallest) >= 0 && bytes.Compare(key, t.largest) <= 0
+}

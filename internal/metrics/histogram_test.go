@@ -1,0 +1,174 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	for _, v := range []uint64{10, 20, 30} {
+		h.Record(v)
+	}
+	if h.Count() != 3 || h.Sum() != 60 {
+		t.Fatalf("count=%d sum=%d", h.Count(), h.Sum())
+	}
+	if h.Mean() != 20 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if h.Min() != 10 || h.Max() != 30 {
+		t.Fatalf("min/max = %d/%d", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramExactSmallValues(t *testing.T) {
+	// Values below 2^subBucketBits are stored exactly.
+	h := NewHistogram()
+	for v := uint64(0); v < 16; v++ {
+		h.Record(v)
+	}
+	if got := h.Quantile(0.5); got != 8 {
+		t.Fatalf("median = %d, want 8", got)
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	h := NewHistogram()
+	rng := rand.New(rand.NewSource(1))
+	var samples []uint64
+	for i := 0; i < 100000; i++ {
+		v := uint64(rng.ExpFloat64() * 10000)
+		samples = append(samples, v)
+		h.Record(v)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := samples[int(q*float64(len(samples)))]
+		got := h.Quantile(q)
+		// Log-bucketed with 16 sub-buckets: within ~7% relative error.
+		lo, hi := float64(exact)*0.93, float64(exact)*1.07
+		if float64(got) < lo || float64(got) > hi {
+			t.Errorf("q=%v: got %d, exact %d (outside 7%%)", q, got, exact)
+		}
+	}
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	h := NewHistogram()
+	h.Record(1000)
+	if h.Quantile(1.0) != 1000 {
+		t.Fatalf("q=1 should be exact max")
+	}
+	if h.Quantile(-1) > 1000 {
+		t.Fatal("negative q should clamp")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	a.Record(10)
+	b.Record(1000)
+	a.Merge(b)
+	if a.Count() != 2 || a.Min() != 10 || a.Max() != 1000 {
+		t.Fatalf("merged: count=%d min=%d max=%d", a.Count(), a.Min(), a.Max())
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	h.Record(5)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 || h.Min() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by [min, max].
+func TestHistogramQuantileMonotoneProperty(t *testing.T) {
+	check := func(vals []uint32) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		for _, v := range vals {
+			h.Record(uint64(v))
+		}
+		prev := uint64(0)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := h.Quantile(q)
+			if v < prev {
+				return false
+			}
+			if v > h.Max() {
+				return false
+			}
+			prev = v
+		}
+		return h.Quantile(0.0) >= 0 && h.Quantile(1.0) == h.Max()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: bucketLow(bucketOf(v)) <= v and relative error bounded.
+func TestBucketRoundTripProperty(t *testing.T) {
+	check := func(v uint64) bool {
+		low := bucketLow(bucketOf(v))
+		if low > v {
+			return false
+		}
+		if v > 16 && float64(v-low) > float64(v)*0.07 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	b := NewBreakdown()
+	b.Add("trap", 1287)
+	b.Add("io", 2400)
+	b.Add("trap", 1287)
+	if b.Get("trap") != 2574 || b.Count("trap") != 2 {
+		t.Fatalf("trap = %d/%d", b.Get("trap"), b.Count("trap"))
+	}
+	if b.Total() != 2574+2400 {
+		t.Fatalf("total = %d", b.Total())
+	}
+	if got := b.PerOp("trap", 2); got != 1287 {
+		t.Fatalf("per-op = %v", got)
+	}
+	cats := b.Categories()
+	if len(cats) != 2 || cats[0] != "trap" || cats[1] != "io" {
+		t.Fatalf("categories = %v (want first-use order)", cats)
+	}
+}
+
+func TestBreakdownMerge(t *testing.T) {
+	a, b := NewBreakdown(), NewBreakdown()
+	a.Add("x", 1)
+	b.Add("x", 2)
+	b.Add("y", 3)
+	a.Merge(b)
+	if a.Get("x") != 3 || a.Get("y") != 3 {
+		t.Fatalf("merged: x=%d y=%d", a.Get("x"), a.Get("y"))
+	}
+}
+
+func TestBreakdownTableRenders(t *testing.T) {
+	b := NewBreakdown()
+	b.Add("alpha", 100)
+	s := b.Table(1)
+	if s == "" {
+		t.Fatal("empty table")
+	}
+}

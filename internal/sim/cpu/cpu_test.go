@@ -1,0 +1,144 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultCostsMatchPaperMeasurements(t *testing.T) {
+	c := Default()
+	// These five constants are direct measurements in the paper; they must
+	// not drift, because several figure-level targets are stated in terms
+	// of them (e.g. 1287/552 = 2.33x in §6.4).
+	cases := []struct {
+		name string
+		got  uint64
+		want uint64
+	}{
+		{"TrapRing3", c.TrapRing3, 1287},
+		{"ExceptionRing0", c.ExceptionRing0, 552},
+		{"IPISendPosted", c.IPISendPosted, 298},
+		{"IPISendVMExit", c.IPISendVMExit, 2081},
+		{"Memcpy4KNoSIMD", c.Memcpy4KNoSIMD, 2400},
+		{"Memcpy4KAVX2", c.Memcpy4KAVX2, 900},
+		{"FPUSaveRestore", c.FPUSaveRestore, 300},
+		{"VMExit", c.VMExit, 750},
+	}
+	for _, tc := range cases {
+		if tc.got != tc.want {
+			t.Errorf("%s = %d, want %d", tc.name, tc.got, tc.want)
+		}
+	}
+	// §6.4: trap from ring 3 is 2.33x the ring-0 exception.
+	ratio := float64(c.TrapRing3) / float64(c.ExceptionRing0)
+	if ratio < 2.3 || ratio > 2.4 {
+		t.Errorf("trap/exception ratio = %.2f, want ~2.33", ratio)
+	}
+}
+
+func TestMemcpyModel(t *testing.T) {
+	c := Default()
+	// §3.3: AVX2 4KB copy with FPU save/restore ~1200 cycles, about 2x
+	// faster than the 2400-cycle non-SIMD copy.
+	avx := c.MemcpyAVX2(4096)
+	if avx != 1200 {
+		t.Errorf("AVX2 4K = %d, want 1200", avx)
+	}
+	plain := c.MemcpyNoSIMD(4096)
+	if plain < 2400 || plain > 2401 {
+		t.Errorf("non-SIMD 4K = %d, want ~2400", plain)
+	}
+	if c.MemcpyNoSIMD(0) != 0 || c.MemcpyAVX2(0) != 0 {
+		t.Error("zero-length memcpy should be free")
+	}
+}
+
+func TestCyclesConversion(t *testing.T) {
+	if got := CyclesToMicros(2400); got != 1.0 {
+		t.Errorf("2400 cycles = %v us, want 1", got)
+	}
+	if got := CyclesToSeconds(2_400_000_000); got != 1.0 {
+		t.Errorf("2.4G cycles = %v s, want 1", got)
+	}
+}
+
+func TestTLBLookupInsertInvalidate(t *testing.T) {
+	tlb := NewTLB(16, 1)
+	if tlb.Lookup(1, 100) {
+		t.Fatal("empty TLB should miss")
+	}
+	tlb.Insert(1, 100)
+	if !tlb.Lookup(1, 100) {
+		t.Fatal("inserted entry should hit")
+	}
+	if tlb.Lookup(2, 100) {
+		t.Fatal("different ASID should miss")
+	}
+	tlb.InvalidatePage(1, 100)
+	if tlb.Lookup(1, 100) {
+		t.Fatal("invalidated entry should miss")
+	}
+	hits, misses, _ := tlb.Stats()
+	if hits != 1 || misses != 3 {
+		t.Fatalf("stats hits=%d misses=%d, want 1/3", hits, misses)
+	}
+}
+
+func TestTLBCapacityEviction(t *testing.T) {
+	tlb := NewTLB(8, 1)
+	for i := uint64(0); i < 100; i++ {
+		tlb.Insert(1, i)
+	}
+	if tlb.Len() > 8 {
+		t.Fatalf("TLB over capacity: %d", tlb.Len())
+	}
+}
+
+func TestTLBFlushAll(t *testing.T) {
+	tlb := NewTLB(8, 1)
+	for i := uint64(0); i < 5; i++ {
+		tlb.Insert(1, i)
+	}
+	tlb.FlushAll()
+	if tlb.Len() != 0 {
+		t.Fatalf("TLB not empty after flush: %d", tlb.Len())
+	}
+	_, _, flushes := tlb.Stats()
+	if flushes != 1 {
+		t.Fatalf("flushes = %d, want 1", flushes)
+	}
+}
+
+func TestTLBSetShootdown(t *testing.T) {
+	set := NewTLBSet(4, 16, 1)
+	for i := 0; i < 4; i++ {
+		set.CPU(i).Insert(1, 42)
+	}
+	set.InvalidatePageAll(1, 42)
+	for i := 0; i < 4; i++ {
+		if set.CPU(i).Lookup(1, 42) {
+			t.Fatalf("cpu %d still has entry after shootdown", i)
+		}
+	}
+}
+
+// Property: TLB never exceeds capacity and a just-inserted entry is always
+// resident.
+func TestTLBCapacityProperty(t *testing.T) {
+	check := func(vpns []uint16) bool {
+		tlb := NewTLB(32, 1)
+		for _, v := range vpns {
+			tlb.Insert(1, uint64(v))
+			if tlb.Len() > 32 {
+				return false
+			}
+			if !tlb.Lookup(1, uint64(v)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,132 @@
+package cpu
+
+import "math/rand"
+
+// tlbKey identifies a cached translation: address-space id + virtual page
+// number.
+type tlbKey struct {
+	asid uint32
+	vpn  uint64
+}
+
+// TLB is one CPU's translation lookaside buffer, modeled as a fixed-capacity
+// set with deterministic pseudo-random replacement. Only the presence of a
+// translation is tracked; the actual translation lives in the page table.
+type TLB struct {
+	capacity int
+	entries  map[tlbKey]struct{}
+	order    []tlbKey // insertion ring for replacement
+	next     int
+	rng      *rand.Rand
+
+	hits    uint64
+	misses  uint64
+	flushes uint64
+}
+
+// NewTLB creates a TLB with the given entry capacity.
+func NewTLB(capacity int, seed int64) *TLB {
+	if capacity <= 0 {
+		capacity = 1536 // L2 STLB size of the testbed generation
+	}
+	return &TLB{
+		capacity: capacity,
+		entries:  make(map[tlbKey]struct{}, capacity),
+		order:    make([]tlbKey, 0, capacity),
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Lookup reports whether (asid, vpn) is cached, updating hit/miss counters.
+func (t *TLB) Lookup(asid uint32, vpn uint64) bool {
+	if _, ok := t.entries[tlbKey{asid, vpn}]; ok {
+		t.hits++
+		return true
+	}
+	t.misses++
+	return false
+}
+
+// Insert caches a translation, evicting a pseudo-random victim when full.
+func (t *TLB) Insert(asid uint32, vpn uint64) {
+	k := tlbKey{asid, vpn}
+	if _, ok := t.entries[k]; ok {
+		return
+	}
+	if len(t.entries) >= t.capacity {
+		// Evict a pseudo-random resident entry (clock-ish).
+		for {
+			victim := t.order[t.next%len(t.order)]
+			t.next++
+			if _, ok := t.entries[victim]; ok {
+				delete(t.entries, victim)
+				break
+			}
+		}
+	}
+	t.entries[k] = struct{}{}
+	t.order = append(t.order, k)
+	if len(t.order) > 4*t.capacity {
+		t.compactOrder()
+	}
+}
+
+func (t *TLB) compactOrder() {
+	live := t.order[:0]
+	for _, k := range t.order {
+		if _, ok := t.entries[k]; ok {
+			live = append(live, k)
+		}
+	}
+	t.order = live
+	t.next = 0
+}
+
+// InvalidatePage drops one translation (invlpg).
+func (t *TLB) InvalidatePage(asid uint32, vpn uint64) {
+	delete(t.entries, tlbKey{asid, vpn})
+}
+
+// FlushAll empties the TLB.
+func (t *TLB) FlushAll() {
+	t.entries = make(map[tlbKey]struct{}, t.capacity)
+	t.order = t.order[:0]
+	t.next = 0
+	t.flushes++
+}
+
+// Stats returns (hits, misses, flushes).
+func (t *TLB) Stats() (hits, misses, flushes uint64) {
+	return t.hits, t.misses, t.flushes
+}
+
+// Len returns the number of resident translations.
+func (t *TLB) Len() int { return len(t.entries) }
+
+// TLBSet is the per-CPU TLB array of a simulated machine.
+type TLBSet struct {
+	tlbs []*TLB
+}
+
+// NewTLBSet builds one TLB per CPU.
+func NewTLBSet(numCPUs, capacity int, seed int64) *TLBSet {
+	s := &TLBSet{}
+	for i := 0; i < numCPUs; i++ {
+		s.tlbs = append(s.tlbs, NewTLB(capacity, seed+int64(i)))
+	}
+	return s
+}
+
+// CPU returns the TLB of the given CPU.
+func (s *TLBSet) CPU(i int) *TLB { return s.tlbs[i] }
+
+// Len returns the number of TLBs.
+func (s *TLBSet) Len() int { return len(s.tlbs) }
+
+// InvalidatePageAll drops a translation from every TLB (used by shootdowns
+// after the IPI cost has been modeled by the caller).
+func (s *TLBSet) InvalidatePageAll(asid uint32, vpn uint64) {
+	for _, t := range s.tlbs {
+		t.InvalidatePage(asid, vpn)
+	}
+}

@@ -1,0 +1,128 @@
+// Package device models the two storage devices of the paper's testbed:
+//
+//   - an Intel Optane P4800X-class NVMe SSD on PCIe (block-addressable,
+//     ~10 us access latency, >500 K random IOPS), and
+//   - a pmem block device backed by DRAM, used by the paper to stress the
+//     software path as devices get faster.
+//
+// Devices separate *content* (a sparse 4 KB-block store holding real bytes,
+// so applications above read back what they wrote) from *timing* (queueing
+// models that return completion times in simulated cycles). Software-path
+// costs — syscalls, kernel block layer, SPDK submission, DAX memcpy — are
+// charged by the I/O engines layered above, never here.
+package device
+
+import "fmt"
+
+// BlockSize is the content-store granularity.
+const BlockSize = 4096
+
+// Stats counts raw device operations.
+type Stats struct {
+	Reads        uint64
+	Writes       uint64
+	BytesRead    uint64
+	BytesWritten uint64
+}
+
+// Store is a sparse byte store: the persistent content of a device. Blocks
+// never written read back as zeros.
+type Store struct {
+	capacity uint64
+	blocks   map[uint64][]byte
+	stats    Stats
+}
+
+// NewStore creates a content store with the given capacity in bytes.
+func NewStore(capacity uint64) *Store {
+	return &Store{capacity: capacity, blocks: make(map[uint64][]byte)}
+}
+
+// Capacity returns the device capacity in bytes.
+func (s *Store) Capacity() uint64 { return s.capacity }
+
+// Stats returns operation counters.
+func (s *Store) Stats() Stats { return s.stats }
+
+// ReadAt copies device content at off into buf.
+func (s *Store) ReadAt(off uint64, buf []byte) {
+	s.checkRange(off, len(buf))
+	s.stats.Reads++
+	s.stats.BytesRead += uint64(len(buf))
+	for n := 0; n < len(buf); {
+		blk := (off + uint64(n)) / BlockSize
+		bo := int((off + uint64(n)) % BlockSize)
+		chunk := BlockSize - bo
+		if chunk > len(buf)-n {
+			chunk = len(buf) - n
+		}
+		if b, ok := s.blocks[blk]; ok {
+			copy(buf[n:n+chunk], b[bo:bo+chunk])
+		} else {
+			for i := n; i < n+chunk; i++ {
+				buf[i] = 0
+			}
+		}
+		n += chunk
+	}
+}
+
+// WriteAt copies buf into device content at off.
+func (s *Store) WriteAt(off uint64, buf []byte) {
+	s.checkRange(off, len(buf))
+	s.stats.Writes++
+	s.stats.BytesWritten += uint64(len(buf))
+	for n := 0; n < len(buf); {
+		blk := (off + uint64(n)) / BlockSize
+		bo := int((off + uint64(n)) % BlockSize)
+		chunk := BlockSize - bo
+		if chunk > len(buf)-n {
+			chunk = len(buf) - n
+		}
+		b, ok := s.blocks[blk]
+		if !ok {
+			b = make([]byte, BlockSize)
+			s.blocks[blk] = b
+		}
+		copy(b[bo:bo+chunk], buf[n:n+chunk])
+		n += chunk
+	}
+}
+
+// Discard drops content blocks fully inside [off, off+length) (TRIM).
+func (s *Store) Discard(off, length uint64) {
+	first := (off + BlockSize - 1) / BlockSize
+	last := (off + length) / BlockSize
+	for b := first; b < last; b++ {
+		delete(s.blocks, b)
+	}
+}
+
+// ResidentBlocks returns how many content blocks are materialized.
+func (s *Store) ResidentBlocks() int { return len(s.blocks) }
+
+// HasRange reports whether any content block overlapping [off, off+n) is
+// materialized (i.e. the range may hold non-zero bytes).
+func (s *Store) HasRange(off uint64, n int) bool {
+	first := off / BlockSize
+	last := (off + uint64(n) - 1) / BlockSize
+	for b := first; b <= last; b++ {
+		if _, ok := s.blocks[b]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Store) checkRange(off uint64, n int) {
+	if off+uint64(n) > s.capacity {
+		panic(fmt.Sprintf("device: access [%d, %d) beyond capacity %d",
+			off, off+uint64(n), s.capacity))
+	}
+}
+
+// Timing is the queueing model interface: Submit reserves device service for
+// an operation issued at simulated time `now` and returns its completion time.
+type Timing interface {
+	Submit(now uint64, bytes int, write bool) (completion uint64)
+}

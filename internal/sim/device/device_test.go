@@ -1,0 +1,213 @@
+package device
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestStoreReadBackWhatWasWritten(t *testing.T) {
+	s := NewStore(1 << 20)
+	data := []byte("hello, persistent world")
+	s.WriteAt(12345, data)
+	got := make([]byte, len(data))
+	s.ReadAt(12345, got)
+	if !bytes.Equal(got, data) {
+		t.Fatalf("read back %q, want %q", got, data)
+	}
+}
+
+func TestStoreUnwrittenReadsZero(t *testing.T) {
+	s := NewStore(1 << 20)
+	buf := make([]byte, 100)
+	for i := range buf {
+		buf[i] = 0xff
+	}
+	s.ReadAt(5000, buf)
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("byte %d = %#x, want 0", i, b)
+		}
+	}
+}
+
+func TestStoreCrossBlockAccess(t *testing.T) {
+	s := NewStore(1 << 20)
+	data := make([]byte, 3*BlockSize)
+	for i := range data {
+		data[i] = byte(i % 251)
+	}
+	off := uint64(BlockSize - 100) // straddles block boundaries
+	s.WriteAt(off, data)
+	got := make([]byte, len(data))
+	s.ReadAt(off, got)
+	if !bytes.Equal(got, data) {
+		t.Fatal("cross-block write/read mismatch")
+	}
+}
+
+func TestStoreOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s := NewStore(4096)
+	s.ReadAt(4000, make([]byte, 200))
+}
+
+func TestStoreDiscard(t *testing.T) {
+	s := NewStore(1 << 20)
+	s.WriteAt(0, make([]byte, 4*BlockSize))
+	if s.ResidentBlocks() != 4 {
+		t.Fatalf("resident = %d, want 4", s.ResidentBlocks())
+	}
+	s.Discard(BlockSize, 2*BlockSize)
+	if s.ResidentBlocks() != 2 {
+		t.Fatalf("resident after discard = %d, want 2", s.ResidentBlocks())
+	}
+}
+
+func TestNVMeLatencyAndIOPSCap(t *testing.T) {
+	cfg := DefaultNVMeConfig()
+	d := NewNVMe(1<<30, cfg)
+	// A single idle 4K op completes after ReadLatency.
+	c := d.Submit(0, 4096, false)
+	if c != cfg.ReadLatency {
+		t.Fatalf("idle completion = %d, want %d", c, cfg.ReadLatency)
+	}
+	// A burst of ops at t=0 completes spaced by the service interval.
+	var last uint64
+	for i := 0; i < 10; i++ {
+		last = d.Submit(0, 4096, false)
+	}
+	// 11 ops total: the 11th starts service at 10*interval.
+	want := 10*cfg.ServiceInterval + cfg.ReadLatency
+	if last != want {
+		t.Fatalf("queued completion = %d, want %d", last, want)
+	}
+}
+
+func TestNVMeBandwidthCap(t *testing.T) {
+	cfg := DefaultNVMeConfig()
+	d := NewNVMe(1<<30, cfg)
+	// A 1 MB transfer is bandwidth-bound: service = 1 MB * cycles/byte.
+	big := 1 << 20
+	d.Submit(0, big, false)
+	c := d.Submit(0, 4096, false)
+	wantStart := uint64(float64(big) * cfg.CyclesPerByte)
+	if c != wantStart+cfg.ReadLatency {
+		t.Fatalf("after big op completion = %d, want %d", c, wantStart+cfg.ReadLatency)
+	}
+}
+
+func TestNVMeIdleGapResetsQueue(t *testing.T) {
+	cfg := DefaultNVMeConfig()
+	d := NewNVMe(1<<30, cfg)
+	d.Submit(0, 4096, false)
+	// Submit long after the device drained: no queueing delay.
+	c := d.Submit(1_000_000, 4096, false)
+	if c != 1_000_000+cfg.ReadLatency {
+		t.Fatalf("post-idle completion = %d, want %d", c, 1_000_000+cfg.ReadLatency)
+	}
+}
+
+func TestPMemSynchronousTiming(t *testing.T) {
+	d := NewPMem(1<<20, DefaultPMemConfig())
+	if c := d.Submit(1000, 4096, false); c != 1000 {
+		t.Fatalf("DRAM-backed pmem completion = %d, want 1000 (free media)", c)
+	}
+	o := NewPMem(1<<20, OptanePMMConfig())
+	c := o.Submit(0, 4096, false)
+	want := o.AccessCycles(4096)
+	if c != want || want <= 720 {
+		t.Fatalf("optane pmem completion = %d, want %d (>720)", c, want)
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := NewStore(1 << 20)
+	s.WriteAt(0, make([]byte, 100))
+	s.ReadAt(0, make([]byte, 50))
+	st := s.Stats()
+	if st.Writes != 1 || st.Reads != 1 || st.BytesWritten != 100 || st.BytesRead != 50 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// Property: for random write/read sequences the store behaves like a flat
+// byte array.
+func TestStoreMatchesFlatArray(t *testing.T) {
+	const size = 4 * BlockSize
+	type op struct {
+		Off  uint16
+		Data []byte
+	}
+	check := func(ops []op) bool {
+		s := NewStore(size)
+		ref := make([]byte, size)
+		for _, o := range ops {
+			off := uint64(o.Off) % (size - 256)
+			data := o.Data
+			if len(data) > 256 {
+				data = data[:256]
+			}
+			s.WriteAt(off, data)
+			copy(ref[off:], data)
+			got := make([]byte, 256)
+			s.ReadAt(off, got)
+			if !bytes.Equal(got, ref[off:off+256]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNVMeCompletionsMonotonicProperty(t *testing.T) {
+	check := func(gaps []uint8, sizes []uint8) bool {
+		d := NewNVMe(1<<30, DefaultNVMeConfig())
+		var now, lastStart uint64
+		for i, g := range gaps {
+			now += uint64(g) * 100
+			sz := 512
+			if i < len(sizes) {
+				sz = (int(sizes[i]) + 1) * 512
+			}
+			c := d.Submit(now, sz, i%2 == 0)
+			if c < now {
+				return false // completion before submission
+			}
+			start := c - d.cfg.ReadLatency
+			if i%2 != 0 {
+				start = c - d.cfg.WriteLatency
+			}
+			_ = start
+			if c < lastStart {
+				return false
+			}
+			lastStart = start
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHasRange(t *testing.T) {
+	s := NewStore(1 << 20)
+	if s.HasRange(0, 4096) {
+		t.Fatal("blank store reports content")
+	}
+	s.WriteAt(10000, []byte{1})
+	if !s.HasRange(8192, 4096) {
+		t.Fatal("range covering written block reports empty")
+	}
+	if s.HasRange(16384, 4096) {
+		t.Fatal("untouched range reports content")
+	}
+}

@@ -1,0 +1,296 @@
+// Package engine implements the deterministic discrete-event simulation core
+// that every other subsystem of this repository runs on.
+//
+// A simulation consists of processes (simulated threads) pinned to simulated
+// CPUs. Exactly one process executes at any real instant; the scheduler always
+// resumes the runnable process with the smallest local cycle clock, so causal
+// order between processes interacting through simulated synchronization
+// primitives is preserved and the whole run is deterministic for a given
+// spawn order.
+//
+// Processes advance their clocks explicitly via Advance* calls, attributing
+// cycles to an accounting kind (user, system, I/O-wait, lock-wait). Blocking
+// operations (simulated mutexes, waiting on device completions) suspend the
+// process and later resume it at the simulated time at which the awaited
+// condition holds.
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Kind attributes simulated cycles to an execution category. The categories
+// feed the execution-time breakdowns of the paper's Figure 6(c).
+type Kind uint8
+
+const (
+	// KindUser is application-level processing time.
+	KindUser Kind = iota
+	// KindSystem is time spent in fault handlers, kernel paths, cache
+	// management and other privileged-domain work.
+	KindSystem
+	// KindIOWait is time spent blocked on device I/O completions.
+	KindIOWait
+	// KindLockWait is time spent queued on contended simulated locks.
+	KindLockWait
+	numKinds
+)
+
+// String returns the conventional name of the accounting category.
+func (k Kind) String() string {
+	switch k {
+	case KindUser:
+		return "user"
+	case KindSystem:
+		return "system"
+	case KindIOWait:
+		return "iowait"
+	case KindLockWait:
+		return "lockwait"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Config parameterizes a simulation engine.
+type Config struct {
+	// NumCPUs is the number of simulated CPUs (hyperthreads). The paper's
+	// testbed has 32. Zero defaults to 32.
+	NumCPUs int
+	// NumNUMANodes is the number of NUMA nodes CPUs are split across.
+	// Zero defaults to 2 (the paper's dual-socket testbed).
+	NumNUMANodes int
+	// Seed seeds the engine-private RNG handed to processes that ask for
+	// one, making runs reproducible.
+	Seed int64
+	// Trace captures per-process execution segments for WriteChromeTrace.
+	Trace bool
+}
+
+// CPU is the per-CPU simulated state tracked by the engine.
+type CPU struct {
+	ID   int
+	Node int // NUMA node
+
+	// busyUntil is the simulated cycle at which the CPU becomes free.
+	// With one process per CPU it trails that process's clock; with
+	// oversubscription it serializes compute segments.
+	busyUntil uint64
+	// pendingIRQ accumulates cycles of interrupt work (e.g. TLB
+	// invalidations delivered by IPI) that the next compute segment on
+	// this CPU must absorb.
+	pendingIRQ uint64
+	// irqCount counts interrupts delivered to this CPU.
+	irqCount uint64
+}
+
+// Engine is a discrete-event simulation instance.
+type Engine struct {
+	cfg     Config
+	cpus    []*CPU
+	procs   []*Proc
+	runq    procHeap
+	current *Proc
+	rng     *rand.Rand
+
+	blocked  int // processes suspended on a primitive
+	finished int
+
+	// schedule channel carries the baton back from a yielding process.
+	baton chan batonMsg
+
+	tr *tracer
+}
+
+type batonKind uint8
+
+const (
+	batonYield batonKind = iota // proc re-enqueued, run someone
+	batonBlock                  // proc suspended, run someone
+	batonDone                   // proc finished
+)
+
+type batonMsg struct {
+	kind batonKind
+	p    *Proc
+}
+
+// New creates a simulation engine.
+func New(cfg Config) *Engine {
+	if cfg.NumCPUs <= 0 {
+		cfg.NumCPUs = 32
+	}
+	if cfg.NumNUMANodes <= 0 {
+		cfg.NumNUMANodes = 2
+	}
+	if cfg.NumNUMANodes > cfg.NumCPUs {
+		cfg.NumNUMANodes = cfg.NumCPUs
+	}
+	e := &Engine{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		baton: make(chan batonMsg),
+	}
+	if cfg.Trace {
+		e.tr = &tracer{}
+	}
+	perNode := cfg.NumCPUs / cfg.NumNUMANodes
+	if perNode == 0 {
+		perNode = 1
+	}
+	for i := 0; i < cfg.NumCPUs; i++ {
+		node := i / perNode
+		if node >= cfg.NumNUMANodes {
+			node = cfg.NumNUMANodes - 1
+		}
+		e.cpus = append(e.cpus, &CPU{ID: i, Node: node})
+	}
+	return e
+}
+
+// NumCPUs returns the number of simulated CPUs.
+func (e *Engine) NumCPUs() int { return len(e.cpus) }
+
+// NumNUMANodes returns the number of simulated NUMA nodes.
+func (e *Engine) NumNUMANodes() int { return e.cfg.NumNUMANodes }
+
+// CPU returns the simulated CPU with the given id.
+func (e *Engine) CPU(id int) *CPU { return e.cpus[id] }
+
+// NodeOf returns the NUMA node of the given CPU.
+func (e *Engine) NodeOf(cpu int) int { return e.cpus[cpu].Node }
+
+// Rand returns the engine's deterministic RNG. Only use from inside the
+// simulation (processes), never concurrently with Run from outside.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Spawn creates a new simulated process pinned to the given CPU. fn runs as
+// the process body; the process starts at simulated time `start`.
+// Spawn may be called before Run or from inside a running process.
+func (e *Engine) Spawn(cpu int, name string, fn func(*Proc)) *Proc {
+	return e.SpawnAt(cpu, name, 0, fn)
+}
+
+// SpawnAt is Spawn with an explicit start time. When called from a running
+// process the child starts no earlier than the parent's current time.
+func (e *Engine) SpawnAt(cpu int, name string, start uint64, fn func(*Proc)) *Proc {
+	if cpu < 0 || cpu >= len(e.cpus) {
+		panic(fmt.Sprintf("engine: spawn %q on invalid cpu %d", name, cpu))
+	}
+	if e.current != nil && start < e.current.now {
+		start = e.current.now
+	}
+	p := &Proc{
+		e:      e,
+		id:     len(e.procs),
+		name:   name,
+		cpu:    cpu,
+		now:    start,
+		fn:     fn,
+		resume: make(chan struct{}),
+	}
+	e.procs = append(e.procs, p)
+	e.runq.Push(p)
+	return p
+}
+
+// Run executes the simulation until every process has finished. It panics on
+// deadlock (blocked processes with an empty run queue), which always
+// indicates a bug in a simulated synchronization protocol.
+func (e *Engine) Run() {
+	for {
+		next := e.runq.Pop()
+		if next == nil {
+			if e.blocked > 0 {
+				panic(fmt.Sprintf("engine: deadlock, %d blocked process(es): %s",
+					e.blocked, e.blockedNames()))
+			}
+			return
+		}
+		e.current = next
+		segStart := next.now
+		if !next.started {
+			next.started = true
+			go next.run()
+		} else {
+			next.resume <- struct{}{}
+		}
+		msg := <-e.baton
+		e.current = nil
+		e.traceSegment(msg.p, segStart, msg.kind)
+		switch msg.kind {
+		case batonYield:
+			e.runq.Push(msg.p)
+		case batonBlock:
+			e.blocked++
+		case batonDone:
+			e.finished++
+		}
+	}
+}
+
+func (e *Engine) blockedNames() string {
+	s := ""
+	for _, p := range e.procs {
+		if p.blockedOn != "" {
+			if s != "" {
+				s += ", "
+			}
+			s += fmt.Sprintf("%s(on %s)", p.name, p.blockedOn)
+		}
+	}
+	return s
+}
+
+// unblock reinserts a suspended process into the run queue with its clock
+// advanced to at least `at`. The gap between the process's old clock and the
+// wake time is attributed to `waitKind`.
+func (e *Engine) unblock(p *Proc, at uint64, waitKind Kind) {
+	if p.blockedOn == "" {
+		panic(fmt.Sprintf("engine: unblock of non-blocked process %s", p.name))
+	}
+	p.blockedOn = ""
+	if at > p.now {
+		p.acct[waitKind] += at - p.now
+		p.now = at
+	}
+	e.blocked--
+	e.runq.Push(p)
+}
+
+// Now returns the maximum simulated time reached by any process so far.
+// Useful after Run for end-to-end makespan.
+func (e *Engine) Now() uint64 {
+	var m uint64
+	for _, p := range e.procs {
+		if p.now > m {
+			m = p.now
+		}
+	}
+	return m
+}
+
+// Procs returns all processes ever spawned (finished ones included).
+func (e *Engine) Procs() []*Proc { return e.procs }
+
+// PostIRQ delivers `cycles` of interrupt-handler work to a CPU. The work is
+// absorbed by the next compute segment executed on that CPU. Delivery is free
+// for the sender; senders model their own send-side cost separately.
+func (e *Engine) PostIRQ(cpu int, cycles uint64) {
+	c := e.cpus[cpu]
+	c.pendingIRQ += cycles
+	c.irqCount++
+}
+
+// IRQCount returns the number of interrupts delivered to a CPU.
+func (e *Engine) IRQCount(cpu int) uint64 { return e.cpus[cpu].irqCount }
+
+// TotalAccounted sums per-kind cycle accounting across all processes.
+func (e *Engine) TotalAccounted() (out [4]uint64) {
+	for _, p := range e.procs {
+		for k := 0; k < int(numKinds); k++ {
+			out[k] += p.acct[k]
+		}
+	}
+	return out
+}

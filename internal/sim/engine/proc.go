@@ -1,0 +1,142 @@
+package engine
+
+import "fmt"
+
+// Proc is a simulated thread. Its methods must only be called from its own
+// body function while the process is running; the engine guarantees that at
+// most one process executes at a time, so simulated code may freely share Go
+// data structures and model contention exclusively through simulated locks.
+type Proc struct {
+	e    *Engine
+	id   int
+	name string
+	cpu  int
+	now  uint64
+
+	fn      func(*Proc)
+	resume  chan struct{}
+	started bool
+	done    bool
+
+	// blockedOn names the primitive the process is suspended on ("" when
+	// runnable). Used for deadlock diagnostics.
+	blockedOn string
+
+	acct [numKinds]uint64
+
+	// irqAbsorbed counts interrupt-handler cycles this process absorbed.
+	irqAbsorbed uint64
+}
+
+// ID returns the process id (spawn order).
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the process name given at spawn.
+func (p *Proc) Name() string { return p.name }
+
+// CPU returns the simulated CPU this process is pinned to.
+func (p *Proc) CPU() int { return p.cpu }
+
+// Node returns the NUMA node of the process's CPU.
+func (p *Proc) Node() int { return p.e.NodeOf(p.cpu) }
+
+// Engine returns the owning engine.
+func (p *Proc) Engine() *Engine { return p.e }
+
+// Now returns the process's local simulated clock in cycles.
+func (p *Proc) Now() uint64 { return p.now }
+
+// Accounted returns cycles attributed to the given kind so far.
+func (p *Proc) Accounted(k Kind) uint64 { return p.acct[k] }
+
+// IRQAbsorbed returns interrupt-handler cycles absorbed by this process.
+func (p *Proc) IRQAbsorbed() uint64 { return p.irqAbsorbed }
+
+func (p *Proc) run() {
+	p.fn(p)
+	p.done = true
+	p.e.baton <- batonMsg{kind: batonDone, p: p}
+}
+
+// advance moves the local clock forward by `cycles`, attributing them to
+// kind k, absorbing any pending interrupt work queued on this CPU and
+// serializing against other compute on the same CPU.
+func (p *Proc) advance(k Kind, cycles uint64) {
+	cpu := p.e.cpus[p.cpu]
+	if cpu.busyUntil > p.now {
+		// Another process occupied the CPU past our clock: we were
+		// effectively descheduled.
+		p.acct[KindLockWait] += cpu.busyUntil - p.now
+		p.now = cpu.busyUntil
+	}
+	if cpu.pendingIRQ > 0 {
+		// Interrupts preempt the segment; their cost lands on this
+		// process as system time.
+		irq := cpu.pendingIRQ
+		cpu.pendingIRQ = 0
+		p.acct[KindSystem] += irq
+		p.irqAbsorbed += irq
+		p.now += irq
+	}
+	p.acct[k] += cycles
+	p.now += cycles
+	cpu.busyUntil = p.now
+	// Conservative causality: if advancing moved us past another runnable
+	// process, let it run before we next observe shared state.
+	p.Sync()
+}
+
+// AdvanceUser charges application-processing cycles.
+func (p *Proc) AdvanceUser(cycles uint64) { p.advance(KindUser, cycles) }
+
+// AdvanceSystem charges privileged/handler/kernel cycles.
+func (p *Proc) AdvanceSystem(cycles uint64) { p.advance(KindSystem, cycles) }
+
+// Advance charges cycles of the given kind.
+func (p *Proc) Advance(k Kind, cycles uint64) { p.advance(k, cycles) }
+
+// Yield re-enters the scheduler, letting any process with an earlier clock
+// run first. It does not consume simulated time.
+func (p *Proc) Yield() {
+	p.e.baton <- batonMsg{kind: batonYield, p: p}
+	<-p.resume
+}
+
+// Sync yields only if some other runnable process has an earlier clock.
+// Simulated code calls this before touching shared structures that are not
+// guarded by a simulated lock, to keep cross-process causality.
+func (p *Proc) Sync() {
+	if head := p.e.runq.Peek(); head != nil && (head.now < p.now || (head.now == p.now && head.id < p.id)) {
+		p.Yield()
+	}
+}
+
+// WaitUntil blocks the process until the given absolute simulated time,
+// attributing the gap to kind k. If t is in the past it is a no-op.
+func (p *Proc) WaitUntil(t uint64, k Kind) {
+	if t <= p.now {
+		p.Sync()
+		return
+	}
+	p.acct[k] += t - p.now
+	p.now = t
+	p.Yield()
+}
+
+// SleepIO blocks for `cycles`, attributing them to I/O wait.
+func (p *Proc) SleepIO(cycles uint64) { p.WaitUntil(p.now+cycles, KindIOWait) }
+
+// block suspends the process until another process calls engine.unblock.
+func (p *Proc) block(on string) {
+	if on == "" {
+		on = "unknown"
+	}
+	p.blockedOn = on
+	p.e.baton <- batonMsg{kind: batonBlock, p: p}
+	<-p.resume
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (p *Proc) String() string {
+	return fmt.Sprintf("proc %d %q cpu=%d now=%d", p.id, p.name, p.cpu, p.now)
+}

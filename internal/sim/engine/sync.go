@@ -1,0 +1,286 @@
+package engine
+
+import "fmt"
+
+// Lock cost model defaults, in cycles. An uncontended atomic CAS on a warm
+// cache line is on the order of 20 cycles; a contended handoff moves the lock
+// cache line across cores and costs on the order of a cache-to-cache
+// transfer.
+const (
+	DefaultLockAcquireCost = 20
+	DefaultLockHandoffCost = 120
+)
+
+// MutexStats exposes contention counters of a simulated lock.
+type MutexStats struct {
+	Acquisitions uint64
+	Contended    uint64
+	WaitCycles   uint64
+}
+
+// Mutex is a simulated FIFO mutex. Waiting time is simulated queueing delay,
+// attributed to KindLockWait on the waiter.
+type Mutex struct {
+	e       *Engine
+	name    string
+	holder  *Proc
+	waiters []*Proc
+
+	AcquireCost uint64
+	HandoffCost uint64
+
+	stats MutexStats
+}
+
+// NewMutex creates a simulated mutex with default costs.
+func NewMutex(e *Engine, name string) *Mutex {
+	return &Mutex{e: e, name: name,
+		AcquireCost: DefaultLockAcquireCost, HandoffCost: DefaultLockHandoffCost}
+}
+
+// Lock acquires the mutex, blocking at simulated time until it is free.
+// The acquire cost is charged as system time.
+func (m *Mutex) Lock(p *Proc) {
+	p.Sync()
+	p.advance(KindSystem, m.AcquireCost)
+	m.stats.Acquisitions++
+	if m.holder == nil {
+		m.holder = p
+		return
+	}
+	m.stats.Contended++
+	before := p.now
+	m.waiters = append(m.waiters, p)
+	p.block("mutex:" + m.name)
+	m.stats.WaitCycles += p.now - before
+}
+
+// Unlock releases the mutex, handing it to the oldest waiter if any.
+func (m *Mutex) Unlock(p *Proc) {
+	p.Sync()
+	if m.holder != p {
+		panic(fmt.Sprintf("engine: %s unlocks mutex %q held by %v", p.name, m.name, m.holder))
+	}
+	m.holder = nil
+	if len(m.waiters) > 0 {
+		w := m.waiters[0]
+		copy(m.waiters, m.waiters[1:])
+		m.waiters = m.waiters[:len(m.waiters)-1]
+		m.holder = w
+		m.e.unblock(w, p.now+m.HandoffCost, KindLockWait)
+	}
+}
+
+// Stats returns contention counters.
+func (m *Mutex) Stats() MutexStats { return m.stats }
+
+// Held reports whether the mutex is currently held (diagnostics/tests).
+func (m *Mutex) Held() bool { return m.holder != nil }
+
+type rwWaiter struct {
+	p     *Proc
+	write bool
+}
+
+// RWMutex is a simulated fair reader/writer lock in the style of the Linux
+// mmap_sem: FIFO between phases, with consecutive queued readers admitted as
+// a batch.
+type RWMutex struct {
+	e       *Engine
+	name    string
+	readers int
+	writer  *Proc
+	queue   []rwWaiter
+
+	AcquireCost uint64
+	HandoffCost uint64
+
+	stats MutexStats
+}
+
+// NewRWMutex creates a simulated reader/writer lock with default costs.
+func NewRWMutex(e *Engine, name string) *RWMutex {
+	return &RWMutex{e: e, name: name,
+		AcquireCost: DefaultLockAcquireCost, HandoffCost: DefaultLockHandoffCost}
+}
+
+// RLock acquires the lock in shared mode.
+func (rw *RWMutex) RLock(p *Proc) {
+	p.Sync()
+	p.advance(KindSystem, rw.AcquireCost)
+	rw.stats.Acquisitions++
+	if rw.writer == nil && len(rw.queue) == 0 {
+		rw.readers++
+		return
+	}
+	rw.stats.Contended++
+	before := p.now
+	rw.queue = append(rw.queue, rwWaiter{p: p, write: false})
+	p.block("rwmutex:" + rw.name + ":r")
+	rw.stats.WaitCycles += p.now - before
+}
+
+// RUnlock releases a shared acquisition.
+func (rw *RWMutex) RUnlock(p *Proc) {
+	p.Sync()
+	if rw.readers <= 0 {
+		panic(fmt.Sprintf("engine: RUnlock of %q with no readers", rw.name))
+	}
+	rw.readers--
+	if rw.readers == 0 {
+		rw.admit(p.now)
+	}
+}
+
+// Lock acquires the lock in exclusive mode.
+func (rw *RWMutex) Lock(p *Proc) {
+	p.Sync()
+	p.advance(KindSystem, rw.AcquireCost)
+	rw.stats.Acquisitions++
+	if rw.writer == nil && rw.readers == 0 && len(rw.queue) == 0 {
+		rw.writer = p
+		return
+	}
+	rw.stats.Contended++
+	before := p.now
+	rw.queue = append(rw.queue, rwWaiter{p: p, write: true})
+	p.block("rwmutex:" + rw.name + ":w")
+	rw.stats.WaitCycles += p.now - before
+}
+
+// Unlock releases an exclusive acquisition.
+func (rw *RWMutex) Unlock(p *Proc) {
+	p.Sync()
+	if rw.writer != p {
+		panic(fmt.Sprintf("engine: %s unlocks rwmutex %q held by %v", p.name, rw.name, rw.writer))
+	}
+	rw.writer = nil
+	rw.admit(p.now)
+}
+
+// admit wakes the next phase of waiters at simulated time t.
+func (rw *RWMutex) admit(t uint64) {
+	if len(rw.queue) == 0 || rw.writer != nil || rw.readers > 0 {
+		return
+	}
+	if rw.queue[0].write {
+		w := rw.queue[0]
+		copy(rw.queue, rw.queue[1:])
+		rw.queue = rw.queue[:len(rw.queue)-1]
+		rw.writer = w.p
+		rw.e.unblock(w.p, t+rw.HandoffCost, KindLockWait)
+		return
+	}
+	// Admit the whole leading run of readers.
+	n := 0
+	for n < len(rw.queue) && !rw.queue[n].write {
+		n++
+	}
+	batch := make([]rwWaiter, n)
+	copy(batch, rw.queue[:n])
+	copy(rw.queue, rw.queue[n:])
+	rw.queue = rw.queue[:len(rw.queue)-n]
+	rw.readers += n
+	for _, w := range batch {
+		rw.e.unblock(w.p, t+rw.HandoffCost, KindLockWait)
+	}
+}
+
+// Stats returns contention counters.
+func (rw *RWMutex) Stats() MutexStats { return rw.stats }
+
+// WaitGroup is a simulated analogue of sync.WaitGroup.
+type WaitGroup struct {
+	e       *Engine
+	name    string
+	count   int
+	waiters []*Proc
+	doneAt  uint64
+}
+
+// NewWaitGroup creates a simulated wait group.
+func NewWaitGroup(e *Engine, name string) *WaitGroup {
+	return &WaitGroup{e: e, name: name}
+}
+
+// Add increments the counter by n.
+func (wg *WaitGroup) Add(n int) { wg.count += n }
+
+// Done decrements the counter; the last Done releases all waiters at the
+// caller's simulated time (or the latest Done time seen).
+func (wg *WaitGroup) Done(p *Proc) {
+	p.Sync()
+	if wg.count <= 0 {
+		panic(fmt.Sprintf("engine: waitgroup %q Done below zero", wg.name))
+	}
+	wg.count--
+	if p.now > wg.doneAt {
+		wg.doneAt = p.now
+	}
+	if wg.count == 0 {
+		for _, w := range wg.waiters {
+			wg.e.unblock(w, wg.doneAt, KindIOWait)
+		}
+		wg.waiters = wg.waiters[:0]
+		wg.doneAt = 0
+	}
+}
+
+// Wait blocks until the counter reaches zero.
+func (wg *WaitGroup) Wait(p *Proc) {
+	if wg.count == 0 {
+		p.Sync()
+		return
+	}
+	wg.waiters = append(wg.waiters, p)
+	p.block("waitgroup:" + wg.name)
+}
+
+// Event is a one-shot level-triggered event. Fire releases current and
+// future waiters at the given simulated time.
+type Event struct {
+	e       *Engine
+	name    string
+	fired   bool
+	firedAt uint64
+	waiters []*Proc
+}
+
+// NewEvent creates an unfired event.
+func NewEvent(e *Engine, name string) *Event {
+	return &Event{e: e, name: name}
+}
+
+// Fired reports whether the event has fired.
+func (ev *Event) Fired() bool { return ev.fired }
+
+// FiredAt returns the simulated fire time (0 when unfired).
+func (ev *Event) FiredAt() uint64 { return ev.firedAt }
+
+// Fire marks the event fired at time t, waking all waiters.
+func (ev *Event) Fire(t uint64) {
+	if ev.fired {
+		return
+	}
+	ev.fired = true
+	ev.firedAt = t
+	for _, w := range ev.waiters {
+		at := t
+		if w.now > at {
+			at = w.now
+		}
+		ev.e.unblock(w, at, KindIOWait)
+	}
+	ev.waiters = nil
+}
+
+// Wait blocks until the event fires; if already fired the caller only
+// advances to the fire time if it is in its future.
+func (ev *Event) Wait(p *Proc) {
+	if ev.fired {
+		p.WaitUntil(ev.firedAt, KindIOWait)
+		return
+	}
+	ev.waiters = append(ev.waiters, p)
+	p.block("event:" + ev.name)
+}

@@ -1,0 +1,174 @@
+package pagetable
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMapLookupUnmap(t *testing.T) {
+	pt := New(1)
+	va := uint64(0x7f0000001000)
+	pt.Map(va, 99, FlagWritable|FlagUser, Size4K)
+	e, ok := pt.Lookup(va)
+	if !ok {
+		t.Fatal("lookup after map failed")
+	}
+	if e.Frame != 99 || !e.Flags.Has(FlagWritable) || !e.Present() {
+		t.Fatalf("entry = %+v", e)
+	}
+	if e.PageSize != Size4K {
+		t.Fatalf("page size = %d", e.PageSize)
+	}
+	if !pt.Unmap(va) {
+		t.Fatal("unmap failed")
+	}
+	if _, ok := pt.Lookup(va); ok {
+		t.Fatal("lookup after unmap succeeded")
+	}
+	if pt.Mapped() != 0 {
+		t.Fatalf("mapped = %d, want 0", pt.Mapped())
+	}
+}
+
+func TestLookupWithinPage(t *testing.T) {
+	pt := New(1)
+	pt.Map(0x1000, 5, 0, Size4K)
+	if _, ok := pt.Lookup(0x1fff); !ok {
+		t.Fatal("lookup within page should hit")
+	}
+	if _, ok := pt.Lookup(0x2000); ok {
+		t.Fatal("lookup past page should miss")
+	}
+}
+
+func TestHugePages(t *testing.T) {
+	pt := New(1)
+	pt.Map(0, 0, FlagWritable, Size1G)
+	pt.Map(Size1G, 1, FlagWritable, Size1G)
+	pt.Map(2*Size1G, 2, FlagWritable, Size2M)
+	for _, va := range []uint64{0, Size1G - 1, 4096} {
+		e, ok := pt.Lookup(va)
+		if !ok || e.Frame != 0 || e.PageSize != Size1G {
+			t.Fatalf("va %#x: e=%+v ok=%v", va, e, ok)
+		}
+	}
+	e, ok := pt.Lookup(Size1G + 12345)
+	if !ok || e.Frame != 1 {
+		t.Fatalf("second gig: %+v %v", e, ok)
+	}
+	e, ok = pt.Lookup(2*Size1G + 100)
+	if !ok || e.PageSize != Size2M {
+		t.Fatalf("2M page: %+v %v", e, ok)
+	}
+	if _, ok := pt.Lookup(2*Size1G + Size2M); ok {
+		t.Fatal("unmapped 2M region should miss")
+	}
+}
+
+func TestMapUnaligned(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on unaligned map")
+		}
+	}()
+	pt := New(1)
+	pt.Map(0x1234, 0, 0, Size4K)
+}
+
+func TestProtectAndDirty(t *testing.T) {
+	pt := New(1)
+	pt.Map(0x4000, 7, FlagUser, Size4K)
+	if !pt.Protect(0x4000, FlagUser|FlagWritable) {
+		t.Fatal("protect failed")
+	}
+	e, _ := pt.Lookup(0x4000)
+	if !e.Flags.Has(FlagWritable) || e.Frame != 7 {
+		t.Fatalf("after protect: %+v", e)
+	}
+	if !pt.SetDirty(0x4000) {
+		t.Fatal("set dirty failed")
+	}
+	e, _ = pt.Lookup(0x4000)
+	if !e.Flags.Has(FlagDirty | FlagAccessed) {
+		t.Fatalf("dirty bits missing: %+v", e)
+	}
+	if pt.Protect(0x9000, 0) {
+		t.Fatal("protect of unmapped va should fail")
+	}
+}
+
+func TestUnmapRange(t *testing.T) {
+	pt := New(1)
+	for i := uint64(0); i < 16; i++ {
+		pt.Map(i*Size4K, i, 0, Size4K)
+	}
+	removed := pt.UnmapRange(4*Size4K, 8*Size4K)
+	if removed != 8 {
+		t.Fatalf("removed = %d, want 8", removed)
+	}
+	for i := uint64(0); i < 16; i++ {
+		_, ok := pt.Lookup(i * Size4K)
+		want := i < 4 || i >= 12
+		if ok != want {
+			t.Fatalf("page %d present=%v want %v", i, ok, want)
+		}
+	}
+}
+
+func TestWalkLevels(t *testing.T) {
+	pt := New(1)
+	pt.Map(0, 0, 0, Size4K)
+	pt.Lookup(0)
+	if pt.LastWalkLevels() != 4 {
+		t.Fatalf("4K walk levels = %d, want 4", pt.LastWalkLevels())
+	}
+	pt2 := New(2)
+	pt2.Map(0, 0, 0, Size1G)
+	pt2.Lookup(0)
+	if pt2.LastWalkLevels() != 2 {
+		t.Fatalf("1G walk levels = %d, want 2", pt2.LastWalkLevels())
+	}
+}
+
+// Property: the table agrees with a reference map under random map/unmap/
+// lookup sequences over a bounded VA space of 4K pages.
+func TestTableMatchesReferenceModel(t *testing.T) {
+	type op struct {
+		Kind uint8
+		Page uint16
+	}
+	check := func(ops []op) bool {
+		pt := New(1)
+		ref := make(map[uint64]uint64)
+		for i, o := range ops {
+			va := uint64(o.Page) * Size4K
+			switch o.Kind % 3 {
+			case 0:
+				pt.Map(va, uint64(i), 0, Size4K)
+				ref[va] = uint64(i)
+			case 1:
+				got := pt.Unmap(va)
+				_, want := ref[va]
+				if got != want {
+					return false
+				}
+				delete(ref, va)
+			case 2:
+				e, ok := pt.Lookup(va)
+				frame, want := ref[va]
+				if ok != want || (ok && e.Frame != frame) {
+					return false
+				}
+			}
+			if pt.Mapped() != uint64(len(ref)) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,246 @@
+package spdk
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"aquila/internal/sim/device"
+	"aquila/internal/sim/engine"
+)
+
+const mib = 1 << 20
+
+func newBS() (*engine.Engine, *Blobstore) {
+	e := engine.New(engine.Config{NumCPUs: 4, Seed: 1})
+	drv := NewDriver(device.NewNVMe(512*mib, device.DefaultNVMeConfig()))
+	return e, NewBlobstore(drv)
+}
+
+func run1(e *engine.Engine, fn func(p *engine.Proc)) {
+	e.Spawn(0, "t0", fn)
+	e.Run()
+}
+
+func TestDriverPollingChargesBusyTime(t *testing.T) {
+	e := engine.New(engine.Config{NumCPUs: 1, Seed: 1})
+	drv := NewDriver(device.NewNVMe(16*mib, device.DefaultNVMeConfig()))
+	var proc *engine.Proc
+	proc = e.Spawn(0, "t", func(p *engine.Proc) {
+		drv.Read(p, 0, make([]byte, 4096))
+	})
+	e.Run()
+	// Polling means the wait is system (busy) time, not iowait.
+	if proc.Accounted(engine.KindIOWait) != 0 {
+		t.Errorf("SPDK read should not sleep: iowait=%d", proc.Accounted(engine.KindIOWait))
+	}
+	lat := device.DefaultNVMeConfig().ReadLatency
+	if sys := proc.Accounted(engine.KindSystem); sys < lat {
+		t.Errorf("system cycles %d < device latency %d", sys, lat)
+	}
+	if drv.PollCycles == 0 {
+		t.Error("no poll cycles recorded")
+	}
+}
+
+func TestBlobCreateResizeDelete(t *testing.T) {
+	e, bs := newBS()
+	run1(e, func(p *engine.Proc) {
+		before := bs.FreeClusters()
+		b := bs.Create(p, 3*mib)
+		if b.Size() != 3*mib || b.Clusters() != 3 {
+			t.Errorf("size=%d clusters=%d", b.Size(), b.Clusters())
+		}
+		if bs.FreeClusters() != before-3 {
+			t.Errorf("free clusters = %d, want %d", bs.FreeClusters(), before-3)
+		}
+		bs.Resize(p, b, 5*mib)
+		if b.Clusters() != 5 {
+			t.Errorf("clusters after grow = %d", b.Clusters())
+		}
+		bs.Resize(p, b, 1*mib)
+		if b.Clusters() != 1 {
+			t.Errorf("clusters after shrink = %d", b.Clusters())
+		}
+		bs.Delete(p, b)
+		if bs.FreeClusters() != before {
+			t.Errorf("clusters leaked: %d != %d", bs.FreeClusters(), before)
+		}
+		if _, err := bs.Open(p, b.ID); err == nil {
+			t.Error("open of deleted blob succeeded")
+		}
+	})
+}
+
+func TestBlobIORoundTrip(t *testing.T) {
+	e, bs := newBS()
+	run1(e, func(p *engine.Proc) {
+		b := bs.Create(p, 4*mib)
+		data := make([]byte, 2*mib)
+		for i := range data {
+			data[i] = byte(i * 7)
+		}
+		// Write crossing cluster boundaries.
+		bs.WriteBlob(p, b, mib/2, data)
+		got := make([]byte, len(data))
+		bs.ReadBlob(p, b, mib/2, got)
+		if !bytes.Equal(got, data) {
+			t.Error("blob round trip mismatch")
+		}
+	})
+}
+
+func TestBlobClustersNeedNotBeContiguous(t *testing.T) {
+	e, bs := newBS()
+	run1(e, func(p *engine.Proc) {
+		a := bs.Create(p, 1*mib)
+		b := bs.Create(p, 1*mib)
+		bs.Resize(p, a, 2*mib) // a's second cluster comes after b's
+		data := []byte("spans the discontiguity")
+		bs.WriteBlob(p, a, mib-8, data)
+		got := make([]byte, len(data))
+		bs.ReadBlob(p, a, mib-8, got)
+		if !bytes.Equal(got, data) {
+			t.Error("discontiguous blob I/O mismatch")
+		}
+		_ = b
+	})
+}
+
+func TestXattrs(t *testing.T) {
+	e, bs := newBS()
+	run1(e, func(p *engine.Proc) {
+		b := bs.Create(p, mib)
+		bs.SetXattr(p, b, "k", []byte("v"))
+		v, ok := bs.GetXattr(p, b, "k")
+		if !ok || string(v) != "v" {
+			t.Errorf("xattr = %q, %v", v, ok)
+		}
+		if _, ok := bs.GetXattr(p, b, "missing"); ok {
+			t.Error("missing xattr found")
+		}
+	})
+}
+
+func TestFileMap(t *testing.T) {
+	e, bs := newBS()
+	fm := NewFileMap(bs)
+	run1(e, func(p *engine.Proc) {
+		b := fm.Create(p, "sst-000001", 64*mib)
+		if fm.Open(p, "sst-000001") != b {
+			t.Error("open returned different blob")
+		}
+		name, _ := bs.GetXattr(p, b, "name")
+		if string(name) != "sst-000001" {
+			t.Errorf("name xattr = %q", name)
+		}
+		fm.Delete(p, "sst-000001")
+		if fm.Exists("sst-000001") {
+			t.Error("file exists after delete")
+		}
+	})
+}
+
+// Property: blobstore cluster accounting is conserved across create/resize/
+// delete sequences.
+func TestClusterConservationProperty(t *testing.T) {
+	check := func(sizes []uint8) bool {
+		e, bs := newBS()
+		total := bs.FreeClusters()
+		ok := true
+		run1(e, func(p *engine.Proc) {
+			var blobs []*Blob
+			used := uint64(0)
+			for _, s := range sizes {
+				sz := uint64(s%8) * mib
+				if used+8 >= total {
+					break
+				}
+				b := bs.Create(p, sz)
+				blobs = append(blobs, b)
+				used += uint64(b.Clusters())
+				if bs.FreeClusters() != total-used {
+					ok = false
+				}
+			}
+			for _, b := range blobs {
+				used -= uint64(b.Clusters())
+				bs.Delete(p, b)
+			}
+			if bs.FreeClusters() != total {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlobstorePersistAndLoad(t *testing.T) {
+	e := engine.New(engine.Config{NumCPUs: 4, Seed: 1})
+	drv := NewDriver(device.NewNVMe(512*mib, device.DefaultNVMeConfig()))
+	bs := NewBlobstore(drv)
+	fm := NewFileMap(bs)
+	var wantData []byte
+	run1(e, func(p *engine.Proc) {
+		a := fm.Create(p, "table-a", 3*mib)
+		fm.Create(p, "table-b", 1*mib)
+		bs.SetXattr(p, a, "level", []byte("1"))
+		wantData = make([]byte, 8192)
+		for i := range wantData {
+			wantData[i] = byte(i * 31)
+		}
+		bs.WriteBlob(p, a, mib+100, wantData)
+		bs.Persist(p)
+	})
+
+	// "Restart": reconstruct everything from the device alone.
+	e2 := engine.New(engine.Config{NumCPUs: 4, Seed: 2})
+	run1(e2, func(p *engine.Proc) {
+		bs2, err := LoadBlobstore(p, drv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fm2 := LoadFileMap(p, bs2)
+		if !fm2.Exists("table-a") || !fm2.Exists("table-b") {
+			t.Fatal("names lost across restart")
+		}
+		a := fm2.Open(p, "table-a")
+		if a.Size() != 3*mib || a.Clusters() != 3 {
+			t.Errorf("blob a: size=%d clusters=%d", a.Size(), a.Clusters())
+		}
+		if lvl, ok := bs2.GetXattr(p, a, "level"); !ok || string(lvl) != "1" {
+			t.Error("xattr lost")
+		}
+		got := make([]byte, len(wantData))
+		bs2.ReadBlob(p, a, mib+100, got)
+		if !bytes.Equal(got, wantData) {
+			t.Error("blob content lost across restart")
+		}
+		// Free-list reconstruction: allocating must not collide with
+		// existing blobs or the md cluster.
+		c := bs2.Create(p, 2*mib)
+		for _, cl := range c.clusters {
+			if cl == 0 {
+				t.Error("allocated the metadata cluster")
+			}
+			for _, acl := range a.clusters {
+				if cl == acl {
+					t.Error("allocated a cluster owned by another blob")
+				}
+			}
+		}
+	})
+}
+
+func TestLoadBlobstoreOnBlankDeviceFails(t *testing.T) {
+	e := engine.New(engine.Config{NumCPUs: 1, Seed: 1})
+	drv := NewDriver(device.NewNVMe(64*mib, device.DefaultNVMeConfig()))
+	run1(e, func(p *engine.Proc) {
+		if _, err := LoadBlobstore(p, drv); err == nil {
+			t.Error("expected error loading a blank device")
+		}
+	})
+}
