@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build vet test race fmt ci bench-reports
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The observability layer is the only code a future change might plausibly
+# share across goroutines; keep it race-clean.
+race:
+	$(GO) test -race ./internal/obs/... ./internal/metrics/...
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+ci: build vet fmt test race
+
+# Regenerate the checked-in machine-readable experiment reports.
+bench-reports:
+	$(GO) run ./cmd/aquila-bench -exp fig8a,fig7 -report-dir .

@@ -29,6 +29,7 @@ import (
 	"aquila/internal/core"
 	"aquila/internal/host"
 	"aquila/internal/iface"
+	"aquila/internal/obs"
 	"aquila/internal/sim/cpu"
 	"aquila/internal/sim/device"
 	simengine "aquila/internal/sim/engine"
@@ -127,6 +128,17 @@ type Options struct {
 	// Trace captures an execution trace; export it with
 	// Sim.WriteChromeTrace.
 	Trace bool
+	// Tracer, when non-nil, receives cycle-attributed spans from every
+	// layer (scheduler, fault paths, devices) for Chrome trace export.
+	// A tracer may be shared by several Systems; TraceLabel tells their
+	// track groups apart.
+	Tracer *obs.Tracer
+	// Registry, when non-nil, collects this System's metrics (fault-cycle
+	// breakdowns, latency histograms, counters). May be shared.
+	Registry *obs.Registry
+	// TraceLabel prefixes this System's tracks and labels its metrics.
+	// Empty derives a label from Mode ("aquila", "linux", ...).
+	TraceLabel string
 }
 
 func (o *Options) fill() {
@@ -172,22 +184,39 @@ type System struct {
 func New(opts Options) *System {
 	opts.fill()
 	s := &System{Opts: opts}
+	label := s.TraceLabel()
 	s.Sim = simengine.New(simengine.Config{
 		NumCPUs: opts.CPUs, NumNUMANodes: opts.NUMANodes, Seed: opts.Seed,
-		Trace: opts.Trace,
+		Trace: opts.Trace, Spans: opts.Tracer, TraceLabel: label,
 	})
 	var disk *host.Disk
+	var devName string
 	switch opts.Device {
 	case DevicePMem:
+		devName = "pmem0"
 		s.PMem = device.NewPMem(opts.DeviceBytes, device.DefaultPMemConfig())
-		disk = host.NewPMemDisk("pmem0", s.PMem)
+		disk = host.NewPMemDisk(devName, s.PMem)
 	case DeviceNVMe:
+		devName = "nvme0"
 		s.NVMe = device.NewNVMe(opts.DeviceBytes, device.DefaultNVMeConfig())
-		disk = host.NewNVMeDisk("nvme0", s.NVMe)
+		disk = host.NewNVMeDisk(devName, s.NVMe)
 	default:
 		panic(fmt.Sprintf("aquila: unknown device kind %d", opts.Device))
 	}
+	if opts.Tracer != nil || opts.Registry != nil {
+		devPID := 0
+		if opts.Tracer != nil {
+			devPID = opts.Tracer.RegisterProcess(label + "/devices")
+			opts.Tracer.SetThreadName(devPID, 0, devName)
+		}
+		if s.PMem != nil {
+			s.PMem.Instrument(opts.Tracer, devPID, 0, opts.Registry, label+"/"+devName)
+		} else {
+			s.NVMe.Instrument(opts.Tracer, devPID, 0, opts.Registry, label+"/"+devName)
+		}
+	}
 	s.Host = host.NewOS(s.Sim, disk, opts.CacheBytes)
+	s.Host.AttachObs(opts.Registry, label)
 
 	switch opts.Mode {
 	case ModeLinuxMmap:
@@ -201,6 +230,8 @@ func New(opts Options) *System {
 				CacheBytes:    opts.CacheBytes,
 				MaxCacheBytes: opts.MaxCacheBytes,
 				Params:        opts.Params,
+				Registry:      opts.Registry,
+				Label:         label,
 			})
 			s.NS = &core.Namespace{RT: s.RT}
 		})
@@ -208,6 +239,60 @@ func New(opts Options) *System {
 		panic(fmt.Sprintf("aquila: unknown mode %d", opts.Mode))
 	}
 	return s
+}
+
+// TraceLabel returns the label identifying this System in shared tracers and
+// registries: Options.TraceLabel, or one derived from the mode.
+func (s *System) TraceLabel() string {
+	if s.Opts.TraceLabel != "" {
+		return s.Opts.TraceLabel
+	}
+	switch s.Opts.Mode {
+	case ModeLinuxMmap:
+		return "linux"
+	case ModeLinuxDirect:
+		return "linux-direct"
+	default:
+		return "aquila"
+	}
+}
+
+// PublishStats pushes the System's operation counters (Aquila runtime stats,
+// page-cache stats, raw device stats) into the configured registry, labeled
+// with the System's trace label. No-op without a registry.
+func (s *System) PublishStats() {
+	reg := s.Opts.Registry
+	if reg == nil {
+		return
+	}
+	l := obs.L("world", s.TraceLabel())
+	if s.RT != nil {
+		st := s.RT.Stats
+		reg.Counter("aq_major_faults", l).Set(st.MajorFaults)
+		reg.Counter("aq_minor_faults", l).Set(st.MinorFaults)
+		reg.Counter("aq_wp_faults", l).Set(st.WPFaults)
+		reg.Counter("aq_evictions", l).Set(st.Evictions)
+		reg.Counter("aq_written_back", l).Set(st.WrittenBack)
+		reg.Counter("aq_shootdown_batches", l).Set(st.ShootdownBatches)
+		reg.Counter("aq_readahead_pages", l).Set(st.ReadaheadPages)
+	}
+	c := s.Host.Cache
+	reg.Counter("pagecache_inserted", l).Set(c.Inserted)
+	reg.Counter("pagecache_evicted", l).Set(c.Evicted)
+	reg.Counter("pagecache_written_back", l).Set(c.WrittenBk)
+	reg.Counter("pagecache_promoted", l).Set(c.Promoted)
+	reg.Counter("pagecache_demoted", l).Set(c.Demoted)
+	var dst device.Stats
+	if s.PMem != nil {
+		dst = s.PMem.Stats()
+	} else if s.NVMe != nil {
+		dst = s.NVMe.Stats()
+	}
+	reg.Counter("dev_content_reads", l).Set(dst.Reads)
+	reg.Counter("dev_content_writes", l).Set(dst.Writes)
+	reg.Counter("dev_bytes_read", l).Set(dst.BytesRead)
+	reg.Counter("dev_bytes_written", l).Set(dst.BytesWritten)
+	reg.Gauge("sim_cycles", l).Set(float64(s.Sim.Now()))
 }
 
 func (s *System) buildEngine(p *Proc) core.IOEngine {

@@ -5,31 +5,58 @@
 //	aquila-bench -list
 //	aquila-bench -exp fig5a,fig7 [-scale 1.0]
 //	aquila-bench -exp all
+//	aquila-bench -exp fig8a -trace trace.json -metrics-json metrics.json
 //
 // Every experiment prints the same rows/series the paper reports, plus notes
 // stating the paper's headline numbers next to the measured ones. Scale 1.0
 // is the default scaled-down configuration documented in EXPERIMENTS.md;
 // smaller scales run faster with coarser numbers.
+//
+// With -trace, every simulated world any experiment boots records
+// cycle-attributed spans into one Chrome trace-event file (open in
+// chrome://tracing or ui.perfetto.dev). With -metrics-json, all counters,
+// histograms and cycle breakdowns are snapshotted to one JSON file. With
+// -report-dir, each experiment that supports it writes a machine-readable
+// BENCH_<exp>.json report. All three are zero-cost when absent: the
+// simulation runs bit-identically with and without them.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"aquila/internal/harness"
+	"aquila/internal/obs"
 )
 
 func main() {
 	var (
-		list   = flag.Bool("list", false, "list experiments and exit")
-		exp    = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
-		scale  = flag.Float64("scale", 1.0, "experiment scale (dataset/ops multiplier)")
-		format = flag.String("format", "table", "output format: table or csv")
+		list      = flag.Bool("list", false, "list experiments and exit")
+		exp       = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		scale     = flag.Float64("scale", 1.0, "experiment scale (dataset/ops multiplier)")
+		format    = flag.String("format", "table", "output format: table or csv")
+		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON of all runs to this file")
+		metricsJ  = flag.String("metrics-json", "", "write a metrics registry snapshot (JSON) to this file")
+		reportDir = flag.String("report-dir", "", "write BENCH_<exp>.json reports into this directory")
 	)
 	flag.Parse()
+
+	var tracer *obs.Tracer
+	var reg *obs.Registry
+	if *traceOut != "" {
+		tracer = obs.NewTracer()
+	}
+	if *metricsJ != "" || *reportDir != "" {
+		reg = obs.NewRegistry()
+	}
+	if tracer != nil || reg != nil {
+		harness.Instrument(tracer, reg)
+	}
 
 	if *list {
 		for _, e := range harness.All() {
@@ -61,7 +88,47 @@ func main() {
 			} else {
 				fmt.Println(r)
 			}
+			if *reportDir != "" && r.Report != nil {
+				path := filepath.Join(*reportDir, "BENCH_"+r.ID+".json")
+				if err := r.Report.WriteFile(path); err != nil {
+					fmt.Fprintf(os.Stderr, "write report: %v\n", err)
+					os.Exit(1)
+				}
+				fmt.Printf("# report written to %s (breakdown coverage %.1f%%)\n",
+					path, 100*r.Report.Coverage())
+			}
 		}
 		fmt.Printf("# (%s wall-clock)\n\n", time.Since(start).Round(time.Millisecond))
 	}
+
+	if reg != nil {
+		harness.PublishAll()
+	}
+	if *traceOut != "" {
+		if err := writeTo(*traceOut, tracer.WriteChromeTrace); err != nil {
+			fmt.Fprintf(os.Stderr, "write trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("# trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", *traceOut)
+	}
+	if *metricsJ != "" {
+		if err := writeTo(*metricsJ, reg.WriteJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "write metrics: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("# metrics written to %s\n", *metricsJ)
+	}
+}
+
+// writeTo creates path and streams write into it.
+func writeTo(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

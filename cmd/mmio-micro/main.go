@@ -9,26 +9,38 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 
 	"aquila"
 	"aquila/internal/metrics"
+	"aquila/internal/obs"
 )
 
 func main() {
 	var (
-		modeS   = flag.String("mode", "aquila", "world: aquila or mmap")
-		device  = flag.String("device", "pmem", "device: pmem or nvme")
-		threads = flag.Int("threads", 1, "threads")
-		cacheMB = flag.Uint64("cache", 32, "DRAM cache (MB)")
-		dataMB  = flag.Uint64("dataset", 128, "dataset size (MB)")
-		ops     = flag.Int("ops", 10000, "operations per thread")
-		shared  = flag.Bool("shared", true, "one shared file (vs per-thread files)")
-		seed    = flag.Int64("seed", 1, "deterministic seed")
-		trace   = flag.String("trace", "", "write a chrome://tracing JSON of the run to this file")
+		modeS    = flag.String("mode", "aquila", "world: aquila or mmap")
+		device   = flag.String("device", "pmem", "device: pmem or nvme")
+		threads  = flag.Int("threads", 1, "threads")
+		cacheMB  = flag.Uint64("cache", 32, "DRAM cache (MB)")
+		dataMB   = flag.Uint64("dataset", 128, "dataset size (MB)")
+		ops      = flag.Int("ops", 10000, "operations per thread")
+		shared   = flag.Bool("shared", true, "one shared file (vs per-thread files)")
+		seed     = flag.Int64("seed", 1, "deterministic seed")
+		trace    = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file")
+		metricsJ = flag.String("metrics-json", "", "write a metrics registry snapshot (JSON) to this file")
 	)
 	flag.Parse()
+
+	var tracer *obs.Tracer
+	var reg *obs.Registry
+	if *trace != "" {
+		tracer = obs.NewTracer()
+	}
+	if *metricsJ != "" {
+		reg = obs.NewRegistry()
+	}
 
 	mode := aquila.ModeAquila
 	switch *modeS {
@@ -49,7 +61,7 @@ func main() {
 	sys := aquila.New(aquila.Options{
 		Mode: mode, Device: dev, CacheBytes: cache,
 		DeviceBytes: dataset + 128<<20, Seed: *seed,
-		Trace: *trace != "",
+		Tracer: tracer, Registry: reg,
 	})
 	maps := make([]aquila.Mapping, *threads)
 	sys.Do(func(p *aquila.Proc) {
@@ -99,17 +111,36 @@ func main() {
 			sys.RT.Stats.MajorFaults, sys.RT.Stats.MinorFaults, sys.RT.Stats.WPFaults,
 			sys.RT.Stats.Evictions, sys.RT.Stats.ShootdownBatches)
 	}
+	if reg != nil {
+		reg.Histogram("fault_latency_cycles", obs.L("mode", *modeS)).Merge(all)
+		reg.Counter("micro_faults").Set(total)
+		sys.PublishStats()
+	}
 	if *trace != "" {
-		f, err := os.Create(*trace)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		if err := sys.Sim.WriteChromeTrace(f); err != nil {
+		if err := writeTo(*trace, tracer.WriteChromeTrace); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		fmt.Printf("trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", *trace)
 	}
+	if *metricsJ != "" {
+		if err := writeTo(*metricsJ, reg.WriteJSON); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics written to %s\n", *metricsJ)
+	}
+}
+
+// writeTo creates path and streams write into it.
+func writeTo(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -11,12 +11,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"aquila"
 	"aquila/internal/kvs/kreon"
 	"aquila/internal/kvs/lsm"
 	"aquila/internal/metrics"
+	"aquila/internal/obs"
 	"aquila/internal/ycsb"
 )
 
@@ -32,8 +34,19 @@ func main() {
 		cacheMB  = flag.Uint64("cache", 32, "DRAM cache size (MB)")
 		dist     = flag.String("dist", "uniform", "distribution: uniform, zipfian, latest")
 		seed     = flag.Int64("seed", 1, "deterministic seed")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file")
+		metricsJ = flag.String("metrics-json", "", "write a metrics registry snapshot (JSON) to this file")
 	)
 	flag.Parse()
+
+	var tracer *obs.Tracer
+	var reg *obs.Registry
+	if *traceOut != "" {
+		tracer = obs.NewTracer()
+	}
+	if *metricsJ != "" {
+		reg = obs.NewRegistry()
+	}
 
 	dev := aquila.DevicePMem
 	if *device == "nvme" {
@@ -64,6 +77,7 @@ func main() {
 	sys := aquila.New(aquila.Options{
 		Mode: mode, Device: dev, CacheBytes: cache,
 		DeviceBytes: *records*4096 + 512<<20, Seed: *seed,
+		Tracer: tracer, Registry: reg,
 	})
 
 	var kv ycsb.KV
@@ -77,6 +91,7 @@ func main() {
 			db := lsm.Open(p, sys.Sim, lsm.Options{
 				NS: sys.NS, Mode: lsmMode, BlockCacheBytes: cache,
 				DisableWAL: true, Seed: *seed,
+				Registry: reg, MetricsLabel: sys.TraceLabel(),
 			})
 			db.BulkLoad(p, *records, 1000)
 			kv = db
@@ -127,4 +142,39 @@ func main() {
 	fmt.Printf("ops=%d  throughput=%.1f Kops/s  avg=%.2fus  p99=%.2fus  p99.9=%.2fus\n",
 		done, aquila.ThroughputOpsPerSec(done, elapsed)/1e3,
 		all.Mean()/2400, float64(all.P99())/2400, float64(all.P999())/2400)
+
+	if reg != nil {
+		wl := fmt.Sprintf("%c", w)
+		reg.Histogram("ycsb_op_cycles",
+			obs.L("workload", wl), obs.L("store", *store)).Merge(all)
+		reg.Counter("ycsb_ops", obs.L("workload", wl)).Set(done)
+		sys.PublishStats()
+	}
+	if *traceOut != "" {
+		if err := writeTo(*traceOut, tracer.WriteChromeTrace); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", *traceOut)
+	}
+	if *metricsJ != "" {
+		if err := writeTo(*metricsJ, reg.WriteJSON); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics written to %s\n", *metricsJ)
+	}
+}
+
+// writeTo creates path and streams write into it.
+func writeTo(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -7,6 +7,7 @@ import (
 	"aquila/internal/host"
 	"aquila/internal/iface"
 	"aquila/internal/metrics"
+	"aquila/internal/obs"
 	"aquila/internal/sim/cpu"
 	"aquila/internal/sim/engine"
 	"aquila/internal/sim/mem"
@@ -42,6 +43,12 @@ type Config struct {
 	MaxCacheBytes uint64
 	// Params overrides the cost/policy table (nil: defaults).
 	Params *Params
+	// Registry receives the runtime's metrics (fault-cycle breakdown,
+	// counters). Nil creates a private registry, so Break always works.
+	Registry *obs.Registry
+	// Label distinguishes this runtime's series in a shared Registry
+	// (metric key "aquila_fault_cycles{world=<label>}").
+	Label string
 }
 
 // Runtime is one Aquila instance: the library OS state of a single process
@@ -86,8 +93,11 @@ type Runtime struct {
 	Readahead ReadaheadPolicy
 	Prefer    func(*Page) bool
 
-	// Break attributes fault-path cycles to components (Figs 7, 8).
+	// Break attributes fault-path cycles to components (Figs 7, 8). It is
+	// interned in Reg as "aquila_fault_cycles".
 	Break *metrics.Breakdown
+	// Reg is the metrics registry (never nil; private unless configured).
+	Reg   *obs.Registry
 	Stats Stats
 }
 
@@ -103,6 +113,14 @@ func NewRuntime(p *engine.Proc, hostOS *host.OS, eng IOEngine, cfg Config) *Runt
 	if cfg.Params != nil {
 		params = *cfg.Params
 	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	var labels []obs.Label
+	if cfg.Label != "" {
+		labels = append(labels, obs.L("world", cfg.Label))
+	}
 	rt := &Runtime{
 		e:        hostOS.E,
 		C:        cpu.Default(),
@@ -117,7 +135,8 @@ func NewRuntime(p *engine.Proc, hostOS *host.OS, eng IOEngine, cfg Config) *Runt
 		nextVA:   0x6000_0000_0000,
 		gpaBase:  16 << 30,
 		evictSel: engine.NewMutex(hostOS.E, "aquila_evict_select"),
-		Break:    metrics.NewBreakdown(),
+		Break:    reg.Breakdown("aquila_fault_cycles", labels...),
+		Reg:      reg,
 	}
 	rt.framePool = mem.NewAllocator(cfg.MaxCacheBytes, hostOS.E.NumNUMANodes())
 	rt.fl = newFreelist(rt)
@@ -372,6 +391,8 @@ func (rt *Runtime) access(p *engine.Proc, va uint64, write bool) *mem.Frame {
 // wpFault handles the first store to a read-only-mapped page: a ring-0
 // exception that only marks the page dirty (§3.2 dirty tracking).
 func (rt *Runtime) wpFault(p *engine.Proc, va uint64) *mem.Frame {
+	p.BeginSpan("aq.wp_fault")
+	defer p.EndSpan()
 	va &^= uint64(pageSize - 1)
 	rt.mmMask[p.CPU()] = true
 	rt.Stats.WPFaults++
@@ -428,6 +449,8 @@ func (rt *Runtime) defaultReadahead(r *Region, idx uint64) int {
 // lookup, and — on a miss — allocation (with synchronous batched eviction),
 // device I/O through the configured engine, and PTE installation.
 func (rt *Runtime) fault(p *engine.Proc, va uint64, write bool) *mem.Frame {
+	p.BeginSpan("aq.fault")
+	defer p.EndSpan()
 	va &^= uint64(pageSize - 1)
 	rt.mmMask[p.CPU()] = true
 	rt.charge(p, "exception", rt.C.ExceptionRing0+rt.P.ExceptionEntry)
@@ -480,6 +503,8 @@ func (rt *Runtime) fault(p *engine.Proc, va uint64, write bool) *mem.Frame {
 // majorFault claims (f, idx) plus any readahead window, reads the owned
 // pages through the I/O engine and returns the target page.
 func (rt *Runtime) majorFault(p *engine.Proc, r *Region, f *fileState, idx uint64) *Page {
+	p.BeginSpan("aq.major_fault")
+	defer p.EndSpan()
 	rt.Stats.MajorFaults++
 	filePages := (f.size + pageSize - 1) / pageSize
 	if filePages == 0 {
@@ -529,7 +554,9 @@ func (rt *Runtime) majorFault(p *engine.Proc, r *Region, f *fileState, idx uint6
 			frames[k] = pg.frame
 		}
 		t0 := p.Now()
+		p.BeginSpan("aq.io")
 		rt.Engine.ReadRun(p, f, run[0].idx, frames)
+		p.EndSpan()
 		rt.Break.Add("device-io", p.Now()-t0)
 		i = j
 	}
@@ -563,6 +590,8 @@ func (rt *Runtime) allocFrame(p *engine.Proc) *mem.Frame {
 // with one batched TLB shootdown, writes dirty ones back in device order
 // with merged I/Os, and recycles the frames.
 func (rt *Runtime) evict(p *engine.Proc) {
+	p.BeginSpan("aq.evict")
+	defer p.EndSpan()
 	rt.evictSel.Lock(p)
 	victims := rt.Victims(p, rt.P.EvictBatch)
 	rt.evictSel.Unlock(p)
@@ -617,6 +646,8 @@ func (rt *Runtime) evict(p *engine.Proc) {
 // rate-limited (vmexit) send covering the whole batch, posted IPIs to every
 // other core, vmexit-less receive.
 func (rt *Runtime) shootdown(p *engine.Proc) {
+	p.BeginSpan("aq.shootdown")
+	defer p.EndSpan()
 	rt.Stats.ShootdownBatches++
 	targets := make([]int, 0, rt.e.NumCPUs())
 	for c := 0; c < rt.e.NumCPUs(); c++ {
@@ -667,7 +698,9 @@ func (rt *Runtime) writeSorted(p *engine.Proc, pages []*Page) {
 			frames[k] = pg.frame
 		}
 		t0 := p.Now()
+		p.BeginSpan("aq.writeback")
 		rt.Engine.WriteRun(p, run[0].file, run[0].idx, frames)
+		p.EndSpan()
 		rt.Break.Add("writeback", p.Now()-t0)
 		rt.Stats.WrittenBack += uint64(len(run))
 		i = j

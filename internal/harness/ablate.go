@@ -54,7 +54,7 @@ func runAblateBatch(scale float64) []*Result {
 	for _, batch := range []int{8, 32, 128, 512} {
 		params := aquilaParams(cache)
 		params.EvictBatch = batch
-		sys := aquila.New(aquila.Options{
+		sys := boot(aquila.Options{
 			Mode: aquila.ModeAquila, Device: aquila.DevicePMem,
 			CacheBytes: cache, DeviceBytes: cache*12 + 96*mib,
 			CPUs: 32, Seed: 91, Params: params,
@@ -83,7 +83,7 @@ func runAblateFreelist(scale float64) []*Result {
 			name = "single shared queue"
 			params.SingleQueueFreelist = true
 		}
-		sys := aquila.New(aquila.Options{
+		sys := boot(aquila.Options{
 			Mode: aquila.ModeAquila, Device: aquila.DevicePMem,
 			CacheBytes: cache, DeviceBytes: cache*12 + 96*mib,
 			CPUs: 32, Seed: 93, Params: params,
@@ -133,7 +133,7 @@ func runAblateReadahead(scale float64) []*Result {
 	}
 	size := scaled(48*mib, scale, 8*mib)
 	for _, seq := range []bool{false, true} {
-		sys := aquila.New(aquila.Options{
+		sys := boot(aquila.Options{
 			Mode: aquila.ModeAquila, Device: aquila.DeviceNVMe,
 			CacheBytes: size / 4, DeviceBytes: size + 96*mib,
 			CPUs: 8, Seed: 95, Params: aquilaParams(size / 4),

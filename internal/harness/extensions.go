@@ -50,7 +50,7 @@ func runResize(scale float64) []*Result {
 	}
 	small := scaled(8*mib, scale, 4*mib)
 	big := small * 4
-	sys := aquila.New(aquila.Options{
+	sys := boot(aquila.Options{
 		Mode: aquila.ModeAquila, Device: aquila.DevicePMem,
 		CacheBytes: small, MaxCacheBytes: big * 2,
 		DeviceBytes: big*8 + 96*mib, CPUs: 8, Seed: 101,
@@ -123,7 +123,7 @@ func runPageRankWorlds(scale float64) []*Result {
 		if cfg.mode == aquila.ModeAquila {
 			opts.Params = aquilaParams(cache)
 		}
-		sys := aquila.New(opts)
+		sys := boot(opts)
 		var g *graph.Graph
 		sys.Do(func(p *aquila.Proc) {
 			f := sys.NS.Create(p, "heap", heapBytes*2)

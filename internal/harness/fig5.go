@@ -55,7 +55,7 @@ func rocksRun(mode rocksMode, dev aquila.DeviceKind, cache uint64, records uint6
 	if mode.mode == aquila.ModeAquila {
 		opts.Params = aquilaParams(cache)
 	}
-	sys := aquila.New(opts)
+	sys := boot(opts)
 	var db *lsm.DB
 	sys.Do(func(p *aquila.Proc) {
 		db = lsm.Open(p, sys.Sim, lsm.Options{

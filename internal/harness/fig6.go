@@ -84,7 +84,7 @@ func runBFSConfig(cfg fig6Config, vertices uint32, edges [][2]uint32,
 	if cfg.mode == aquila.ModeAquila {
 		opts.Params = aquilaParams(cache)
 	}
-	sys := aquila.New(opts)
+	sys := boot(opts)
 	var h graph.Heap
 	var g *graph.Graph
 	sys.Do(func(p *aquila.Proc) {

@@ -1,8 +1,11 @@
 package harness
 
 import (
+	"fmt"
+
 	"aquila"
 	"aquila/internal/kvs/lsm"
+	"aquila/internal/obs"
 	"aquila/internal/sim/cpu"
 	"aquila/internal/ycsb"
 )
@@ -16,9 +19,18 @@ func init() {
 	})
 }
 
+// fig7Measure carries the raw numbers of one fig7 run alongside the per-get
+// component breakdown, so runFig7 can build the machine-readable report.
+type fig7Measure struct {
+	ops        uint64
+	cycles     uint64
+	gets       uint64
+	breakDelta map[string]uint64 // LSM cycle breakdown, read phase only
+}
+
 // fig7Run executes single-threaded YCSB-C random reads over an out-of-memory
 // dataset and returns the per-get breakdown.
-func fig7Run(mode rocksMode, cache uint64, records uint64, ops int, seed int64) (map[string]float64, float64) {
+func fig7Run(mode rocksMode, cache uint64, records uint64, ops int, seed int64) (map[string]float64, float64, fig7Measure) {
 	opts := aquila.Options{
 		Mode: mode.mode, Device: aquila.DevicePMem,
 		CacheBytes:  cache,
@@ -29,24 +41,29 @@ func fig7Run(mode rocksMode, cache uint64, records uint64, ops int, seed int64) 
 	if mode.mode == aquila.ModeAquila {
 		opts.Params = aquilaParams(cache)
 	}
-	sys := aquila.New(opts)
+	sys := boot(opts)
 	var db *lsm.DB
 	sys.Do(func(p *aquila.Proc) {
 		db = lsm.Open(p, sys.Sim, lsm.Options{
 			NS: sys.NS, Mode: mode.io, BlockCacheBytes: cache,
 			SSTTargetBytes: int(minU64(8*mib, cache/2)),
 			DisableWAL:     true, Seed: seed,
+			Registry: Registry(), MetricsLabel: sys.TraceLabel(),
 		})
 		db.BulkLoad(p, records, 1000)
 	})
 	var thr float64
+	var meas fig7Measure
+	break0 := db.Break.Map()
 	sys.Do(func(p *aquila.Proc) {
 		g := ycsb.NewGenerator(ycsb.Config{
 			Workload: ycsb.WorkloadC, Records: records, ValueSize: 1000, Seed: seed,
 		})
 		res := ycsb.RunThread(p, db, g, uint64(ops))
 		thr = aquila.ThroughputOpsPerSec(res.Ops, res.Cycles)
+		meas.ops, meas.cycles = res.Ops, res.Cycles
 	})
+	meas.breakDelta = subMap(db.Break.Map(), break0)
 
 	gets := db.Gets
 	if gets == 0 {
@@ -80,7 +97,8 @@ func fig7Run(mode rocksMode, cache uint64, records uint64, ops int, seed int64) 
 		out["get"] = db.Break.PerOp("get", gets)
 	}
 	out["total"] = out["device-io"] + out["cache-mgmt"] + out["get"]
-	return out, thr
+	meas.gets = gets
+	return out, thr, meas
 }
 
 func runFig7(scale float64) []*Result {
@@ -93,11 +111,45 @@ func runFig7(scale float64) []*Result {
 	records := 4 * cache / sstBytesPerRecord(1000)
 	ops := scaledN(6000, scale, 1000)
 
-	rw, rwThr := fig7Run(rocksModes[0], cache, records, ops, 99)
-	aq, aqThr := fig7Run(rocksModes[2], cache, records, ops, 99)
+	rw, rwThr, _ := fig7Run(rocksModes[0], cache, records, ops, 99)
+	aq, aqThr, aqMeas := fig7Run(rocksModes[2], cache, records, ops, 99)
 
 	for _, c := range []string{"device-io", "cache-mgmt", "get", "total"} {
 		r.AddRow(c, f2(rw[c]), f2(aq[c]), ratio(rw[c], aq[c]))
+	}
+
+	extra := map[string]float64{
+		"throughput_user_cache_ops_per_sec": rwThr,
+		"throughput_aquila_ops_per_sec":     aqThr,
+		"throughput_gain":                   safeDiv(aqThr, rwThr),
+		"cache_mgmt_ratio":                  safeDiv(rw["cache-mgmt"], aq["cache-mgmt"]),
+	}
+	for _, c := range []string{"device-io", "cache-mgmt", "get", "total"} {
+		extra["user_cache_"+c+"_per_get"] = rw[c]
+		extra["aquila_"+c+"_per_get"] = aq[c]
+	}
+	r.Report = &obs.Report{
+		Schema:     obs.ReportSchemaVersion,
+		Experiment: "fig7",
+		Title:      r.Title,
+		Scale:      scale,
+		Config: map[string]string{
+			"mode":    "aquila",
+			"device":  "pmem",
+			"cache":   fmt.Sprintf("%d", cache),
+			"records": fmt.Sprintf("%d", records),
+			"ops":     fmt.Sprintf("%d", ops),
+			"threads": "1",
+			"cpus":    "8",
+			"seed":    "99",
+		},
+		Ops:                 aqMeas.ops,
+		ElapsedCycles:       aqMeas.cycles,
+		ThroughputOpsPerSec: aqThr,
+		Breakdown:           aqMeas.breakDelta,
+		BreakdownTotal:      sumMap(aqMeas.breakDelta),
+		TotalCycles:         aqMeas.cycles,
+		Extra:               extra,
 	}
 	r.AddNote("paper: cache mgmt 45.2K -> 17.5K = 2.58x fewer cycles; measured %s",
 		ratio(rw["cache-mgmt"], aq["cache-mgmt"]))

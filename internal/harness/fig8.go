@@ -5,6 +5,7 @@ import (
 
 	"aquila"
 	"aquila/internal/host"
+	"aquila/internal/obs"
 	"aquila/internal/sim/cpu"
 )
 
@@ -72,7 +73,38 @@ func runFig8a(scale float64) []*Result {
 	r.AddNote("paper: Linux ~5380 total, 2724 excluding I/O; trap/exception = 1287/552 = 2.33x")
 	r.AddNote("measured trap/exception ratio: %s; Linux/Aquila total: %s",
 		ratio(linTrap, aqExc), ratio(linTotal, aqTotal))
-	_ = aqRes
+
+	lat := aqRes.lat.Summarize()
+	r.Report = &obs.Report{
+		Schema:     obs.ReportSchemaVersion,
+		Experiment: "fig8a",
+		Title:      r.Title,
+		Scale:      scale,
+		Config: map[string]string{
+			"mode":    "aquila",
+			"device":  "pmem",
+			"cache":   fmt.Sprintf("%d", cache),
+			"dataset": fmt.Sprintf("%d", cache),
+			"threads": "1",
+			"cpus":    "4",
+			"seed":    "42",
+		},
+		Ops:                 aqRes.ops,
+		ElapsedCycles:       aqRes.elapsed,
+		ThroughputOpsPerSec: aquila.ThroughputOpsPerSec(aqRes.ops, aqRes.elapsed),
+		Latency:             &lat,
+		Breakdown:           aqRes.breakDelta,
+		BreakdownTotal:      sumMap(aqRes.breakDelta),
+		TotalCycles:         aqRes.lat.Sum(),
+		Extra: map[string]float64{
+			"linux_total_per_fault":  linTotal,
+			"aquila_total_per_fault": aqTotal,
+			"trap_cycles":            linTrap,
+			"exception_cycles":       aqExc,
+			"linux_over_aquila":      safeDiv(linTotal, aqTotal),
+			"trap_over_exception":    safeDiv(linTrap, aqExc),
+		},
+	}
 	return []*Result{r}
 }
 
@@ -157,7 +189,7 @@ func runFig8c(scale float64) []*Result {
 // measureCacheHitFault warms the Aquila cache, drops the mapping, then
 // re-faults every page: each fault finds its page cached (no I/O).
 func measureCacheHitFault(cache uint64) float64 {
-	sys := aquila.New(aquila.Options{
+	sys := boot(aquila.Options{
 		Mode: aquila.ModeAquila, Device: aquila.DevicePMem,
 		CacheBytes: cache * 2, DeviceBytes: cache + 64*mib, CPUs: 4, Seed: 45,
 		Params: aquilaParams(cache * 2),

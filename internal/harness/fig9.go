@@ -35,7 +35,7 @@ func kreonRun(useAquila bool, dev aquila.DeviceKind, cache uint64,
 	if useAquila {
 		opts.Params = aquilaParams(cache)
 	}
-	sys := aquila.New(opts)
+	sys := boot(opts)
 	kopts := kreon.Options{
 		LogBytes: logBytes, IndexBytes: idxBytes,
 		L0Entries: int(records)/3 + 1,

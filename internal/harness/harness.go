@@ -16,6 +16,7 @@ import (
 
 	"aquila"
 	"aquila/internal/metrics"
+	"aquila/internal/obs"
 )
 
 // Result is one regenerated table/figure.
@@ -25,6 +26,9 @@ type Result struct {
 	Header []string
 	Rows   [][]string
 	Notes  []string
+	// Report is the machine-readable form of the experiment's headline
+	// numbers (BENCH_<id>.json), populated by experiments that support it.
+	Report *obs.Report
 }
 
 // AddRow appends a formatted row.

@@ -34,6 +34,9 @@ type microResult struct {
 	elapsed uint64
 	lat     *metrics.Histogram
 	sys     *aquila.System
+	// breakDelta is the world's fault-cycle breakdown accumulated during
+	// the measured phase only (setup excluded).
+	breakDelta map[string]uint64
 }
 
 func (r microResult) throughputKops() float64 {
@@ -86,7 +89,7 @@ func newWorld(cfg microConfig) *aquila.System {
 	if cfg.mode == aquila.ModeAquila {
 		opts.Params = aquilaParams(cfg.cache)
 	}
-	return aquila.New(opts)
+	return boot(opts)
 }
 
 // runMicro executes the microbenchmark in the given world.
@@ -115,6 +118,12 @@ func runMicro(cfg microConfig) microResult {
 			}
 		}
 	})
+
+	worldBreak := sys.Host.Break
+	if sys.RT != nil {
+		worldBreak = sys.RT.Break
+	}
+	break0 := worldBreak.Map()
 
 	lats := make([]*metrics.Histogram, cfg.threads)
 	var totalOps uint64
@@ -165,5 +174,8 @@ func runMicro(cfg microConfig) microResult {
 		}
 		totalOps += uint64(ops)
 	})
-	return microResult{ops: totalOps, elapsed: elapsed, lat: mergeHists(lats), sys: sys}
+	return microResult{
+		ops: totalOps, elapsed: elapsed, lat: mergeHists(lats), sys: sys,
+		breakDelta: subMap(worldBreak.Map(), break0),
+	}
 }

@@ -74,7 +74,7 @@ func runIPI(scale float64) []*Result {
 
 	// End-to-end check with the real machinery: shootdown batches during
 	// Aquila eviction deliver IRQs to every other CPU.
-	sys := aquila.New(aquila.Options{
+	sys := boot(aquila.Options{
 		Mode: aquila.ModeAquila, Device: aquila.DevicePMem,
 		CacheBytes: 8 * mib, DeviceBytes: 160 * mib, CPUs: 8, Seed: 47,
 		Params: aquilaParams(8 * mib),

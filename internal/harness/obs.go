@@ -1,0 +1,104 @@
+package harness
+
+import (
+	"fmt"
+
+	"aquila"
+	"aquila/internal/obs"
+)
+
+// Harness-wide observability: cmd/aquila-bench calls Instrument once with a
+// shared tracer and registry, and every System any experiment boots from then
+// on reports into them. Each System gets a unique trace label
+// ("<mode>.<seq>"), so several experiments can share one trace file and one
+// metrics snapshot without their series colliding.
+
+var (
+	obsTracer  *obs.Tracer
+	obsReg     *obs.Registry
+	obsSeq     int
+	obsSystems []*aquila.System
+)
+
+// Instrument routes all subsequently booted Systems into tr and reg (either
+// may be nil). Pass nil, nil to turn instrumentation back off.
+func Instrument(tr *obs.Tracer, reg *obs.Registry) {
+	obsTracer, obsReg, obsSeq = tr, reg, 0
+	obsSystems = nil
+}
+
+// Registry returns the registry experiments currently report into (nil when
+// uninstrumented).
+func Registry() *obs.Registry { return obsReg }
+
+// boot creates a System, injecting the harness tracer/registry. With no
+// instrumentation configured it is exactly aquila.New.
+func boot(opts aquila.Options) *aquila.System {
+	if obsTracer == nil && obsReg == nil {
+		return aquila.New(opts)
+	}
+	opts.Tracer = obsTracer
+	opts.Registry = obsReg
+	if opts.TraceLabel == "" {
+		obsSeq++
+		opts.TraceLabel = fmt.Sprintf("%s.%d", modeLabel(opts.Mode), obsSeq)
+	}
+	sys := aquila.New(opts)
+	obsSystems = append(obsSystems, sys)
+	return sys
+}
+
+// PublishAll pushes the final per-System counters (fault stats, page-cache
+// and device totals, final simulated clock) of every instrumented System into
+// the registry. Call once after the experiments finish, before snapshotting.
+func PublishAll() {
+	for _, s := range obsSystems {
+		s.PublishStats()
+	}
+}
+
+func modeLabel(m aquila.Mode) string {
+	switch m {
+	case aquila.ModeLinuxMmap:
+		return "linux"
+	case aquila.ModeLinuxDirect:
+		return "linux-direct"
+	default:
+		return "aquila"
+	}
+}
+
+// subMap returns after-before per category (clamped at zero), dropping empty
+// categories: the per-phase delta of a cumulative breakdown.
+func subMap(after, before map[string]uint64) map[string]uint64 {
+	out := make(map[string]uint64, len(after))
+	for k, v := range after {
+		if b, ok := before[k]; ok {
+			if v <= b {
+				continue
+			}
+			v -= b
+		}
+		if v > 0 {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// safeDiv is a/b with 0 for an empty denominator (reports must not carry
+// NaN/Inf — encoding/json rejects them).
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+func sumMap(m map[string]uint64) uint64 {
+	var t uint64
+	for _, v := range m {
+		t += v
+	}
+	return t
+}

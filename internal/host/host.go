@@ -15,6 +15,7 @@ package host
 import (
 	"fmt"
 
+	"aquila/internal/obs"
 	"aquila/internal/sim/cpu"
 	"aquila/internal/sim/device"
 	"aquila/internal/sim/engine"
@@ -154,6 +155,36 @@ type OS struct {
 	// PT aliases the default process's page table (compatibility for
 	// single-process callers and tests).
 	PT *pagetable.Table
+
+	// Reg is the metrics registry (never nil; private unless AttachObs is
+	// called). Break attributes kernel fault-path cycles to components,
+	// interned as "linux_fault_cycles".
+	Reg   *obs.Registry
+	Break *obs.Breakdown
+}
+
+// AttachObs points the OS at a shared metrics registry. label (may be empty)
+// distinguishes this OS's series when several share a registry. Call right
+// after NewOS, before the simulation runs: breakdowns accumulated so far stay
+// in the previous registry.
+func (os *OS) AttachObs(reg *obs.Registry, label string) {
+	if reg == nil {
+		return
+	}
+	os.Reg = reg
+	var labels []obs.Label
+	if label != "" {
+		labels = append(labels, obs.L("world", label))
+	}
+	os.Break = reg.Breakdown("linux_fault_cycles", labels...)
+}
+
+// charge advances p by cyc system cycles and attributes them to a breakdown
+// category. The advance is identical to a bare AdvanceSystem, so attribution
+// never alters simulated timing.
+func (os *OS) charge(p *engine.Proc, cat string, cyc uint64) {
+	p.AdvanceSystem(cyc)
+	os.Break.Add(cat, cyc)
 }
 
 // NewProcess forks a fresh address space sharing this OS's page cache.
@@ -182,7 +213,9 @@ func NewOS(e *engine.Engine, disk *Disk, cacheBytes uint64) *OS {
 		C:    cpu.Default(),
 		P:    DefaultParams(),
 		TLBs: cpu.NewTLBSet(e.NumCPUs(), 1536, 17),
+		Reg:  obs.NewRegistry(),
 	}
+	os.Break = os.Reg.Breakdown("linux_fault_cycles")
 	os.FS = newFS(os, disk)
 	os.Cache = newPageCache(os, cacheBytes)
 	os.HV = newHypervisor(os)
@@ -198,15 +231,17 @@ func (os *OS) Disk() *Disk { return os.FS.disk }
 // for NVMe the process sleeps until the interrupt-driven completion.
 func (os *OS) blockRead(p *engine.Proc, off uint64, buf []byte) {
 	disk := os.FS.disk
+	p.BeginSpan("lx.block_io")
+	defer p.EndSpan()
 	if disk.PMem {
-		p.AdvanceSystem(os.P.PMemBlockOverhead + os.C.MemcpyNoSIMD(len(buf)))
+		os.charge(p, "block-io", os.P.PMemBlockOverhead+os.C.MemcpyNoSIMD(len(buf)))
 		done := disk.Timing.Submit(p.Now(), len(buf), false)
 		p.WaitUntil(done, engine.KindIOWait)
 	} else {
-		p.AdvanceSystem(os.P.BlockLayerSubmit)
+		os.charge(p, "block-io", os.P.BlockLayerSubmit)
 		done := disk.Timing.Submit(p.Now(), len(buf), false)
 		p.WaitUntil(done, engine.KindIOWait)
-		p.AdvanceSystem(os.P.BlockLayerComplete + os.C.InterruptDelivery + os.C.ContextSwitch)
+		os.charge(p, "block-io", os.P.BlockLayerComplete+os.C.InterruptDelivery+os.C.ContextSwitch)
 	}
 	disk.Content.ReadAt(off, buf)
 }
@@ -215,15 +250,17 @@ func (os *OS) blockRead(p *engine.Proc, off uint64, buf []byte) {
 func (os *OS) blockWrite(p *engine.Proc, off uint64, buf []byte) {
 	disk := os.FS.disk
 	disk.Content.WriteAt(off, buf)
+	p.BeginSpan("lx.block_io")
+	defer p.EndSpan()
 	if disk.PMem {
-		p.AdvanceSystem(os.P.PMemBlockOverhead + os.C.MemcpyNoSIMD(len(buf)))
+		os.charge(p, "block-io", os.P.PMemBlockOverhead+os.C.MemcpyNoSIMD(len(buf)))
 		done := disk.Timing.Submit(p.Now(), len(buf), true)
 		p.WaitUntil(done, engine.KindIOWait)
 	} else {
-		p.AdvanceSystem(os.P.BlockLayerSubmit)
+		os.charge(p, "block-io", os.P.BlockLayerSubmit)
 		done := disk.Timing.Submit(p.Now(), len(buf), true)
 		p.WaitUntil(done, engine.KindIOWait)
-		p.AdvanceSystem(os.P.BlockLayerComplete + os.C.InterruptDelivery + os.C.ContextSwitch)
+		os.charge(p, "block-io", os.P.BlockLayerComplete+os.C.InterruptDelivery+os.C.ContextSwitch)
 	}
 }
 
@@ -233,13 +270,15 @@ func (os *OS) blockWrite(p *engine.Proc, off uint64, buf []byte) {
 // kernel's reclaim-time TLB batching.
 func (pr *Process) shootdown(p *engine.Proc, pages int) {
 	os := pr.os
+	p.BeginSpan("lx.shootdown")
+	defer p.EndSpan()
 	targets := 0
 	for c, used := range pr.mmMask {
 		if used && c != p.CPU() {
 			targets++
 		}
 	}
-	p.AdvanceSystem(os.P.ShootdownBase + os.P.ShootdownPerCPU*uint64(targets))
+	os.charge(p, "shootdown", os.P.ShootdownBase+os.P.ShootdownPerCPU*uint64(targets))
 	recv := os.C.IPIReceive + os.C.TLBFlushAll
 	for c, used := range pr.mmMask {
 		if !used || c == p.CPU() {
@@ -249,6 +288,6 @@ func (pr *Process) shootdown(p *engine.Proc, pages int) {
 		os.TLBs.CPU(c).FlushAll()
 	}
 	os.TLBs.CPU(p.CPU()).FlushAll()
-	p.AdvanceSystem(os.C.TLBFlushAll)
+	os.charge(p, "shootdown", os.C.TLBFlushAll)
 	_ = pages
 }

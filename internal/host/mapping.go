@@ -93,14 +93,14 @@ func (pr *Process) Mmap(p *engine.Proc, f *FSFile, size uint64) *Mapping {
 
 func (pr *Process) mmapInternal(p *engine.Proc, f *FSFile, size uint64, kmmap bool) *Mapping {
 	os := pr.os
-	p.AdvanceSystem(os.C.Syscall + os.P.SyscallKernelPath)
+	os.charge(p, "syscall", os.C.Syscall+os.P.SyscallKernelPath)
 	pr.mmapSem.Lock(p)
 	pages := (size + PageSize - 1) / PageSize
 	start := pr.nextVA
 	pr.nextVA += (pages + 16) * PageSize // guard gap
 	v := &vma{start: start, end: start + pages*PageSize, f: f, kmmap: kmmap}
 	pr.vmas.insert(v)
-	p.AdvanceSystem(os.P.VMALookup) // rb-tree insert
+	os.charge(p, "vma", os.P.VMALookup) // rb-tree insert
 	pr.mmapSem.Unlock(p)
 	return &Mapping{os: os, pr: pr, v: v, f: f, size: size}
 }
@@ -110,7 +110,7 @@ func (m *Mapping) Size() uint64 { return m.size }
 
 // Advise implements iface.Mapping.
 func (m *Mapping) Advise(p *engine.Proc, advice iface.Advice) {
-	p.AdvanceSystem(m.os.C.Syscall + m.os.P.SyscallKernelPath)
+	m.os.charge(p, "syscall", m.os.C.Syscall+m.os.P.SyscallKernelPath)
 	m.pr.mmapSem.Lock(p)
 	m.v.advice = advice
 	m.pr.mmapSem.Unlock(p)
@@ -161,14 +161,14 @@ func (m *Mapping) Store(p *engine.Proc, off uint64, buf []byte) {
 
 // Msync implements iface.Mapping: writes the file's dirty pages back.
 func (m *Mapping) Msync(p *engine.Proc) {
-	p.AdvanceSystem(m.os.C.Syscall + m.os.P.SyscallKernelPath)
+	m.os.charge(p, "syscall", m.os.C.Syscall+m.os.P.SyscallKernelPath)
 	m.os.Cache.fsyncFile(p, m.f)
 }
 
 // MsyncRange implements iface.Mapping: only dirty pages overlapping
 // [off, off+length) are written back.
 func (m *Mapping) MsyncRange(p *engine.Proc, off, length uint64) {
-	p.AdvanceSystem(m.os.C.Syscall + m.os.P.SyscallKernelPath)
+	m.os.charge(p, "syscall", m.os.C.Syscall+m.os.P.SyscallKernelPath)
 	m.os.Cache.fsyncFileRange(p, m.f, off, length)
 }
 
@@ -179,13 +179,13 @@ func (m *Mapping) Munmap(p *engine.Proc) {
 		return
 	}
 	m.dead = true
-	p.AdvanceSystem(m.os.C.Syscall + m.os.P.SyscallKernelPath)
+	m.os.charge(p, "syscall", m.os.C.Syscall+m.os.P.SyscallKernelPath)
 	m.pr.mmapSem.Lock(p)
 	m.pr.vmas.remove(m.v)
 	unmapped := 0
 	for va := m.v.start; va < m.v.end; va += PageSize {
 		if m.pr.PT.Unmap(va) {
-			p.AdvanceSystem(m.os.C.PTEUpdate)
+			m.os.charge(p, "pte", m.os.C.PTEUpdate)
 			unmapped++
 			idx := (va - m.v.start) / PageSize
 			if pg := m.os.Cache.find(p, m.f, idx); pg != nil {
@@ -277,11 +277,13 @@ func (pr *Process) access(p *engine.Proc, va uint64, write bool) *mem.Frame {
 // mapping: mark the page dirty (under tree_lock) and upgrade the PTE.
 func (pr *Process) wpFault(p *engine.Proc, va uint64) *mem.Frame {
 	os := pr.os
+	p.BeginSpan("lx.wp_fault")
+	defer p.EndSpan()
 	va &^= uint64(PageSize - 1)
 	pr.noteCPU(p.CPU())
-	p.AdvanceSystem(os.C.TrapRing3 + os.P.FaultEntry)
+	os.charge(p, "trap", os.C.TrapRing3+os.P.FaultEntry)
 	pr.mmapSem.RLock(p)
-	p.AdvanceSystem(os.P.VMALookup)
+	os.charge(p, "vma", os.P.VMALookup)
 	v := pr.vmas.find(va)
 	if v == nil {
 		panic(fmt.Sprintf("host: wp fault outside any vma: %#x", va))
@@ -297,7 +299,7 @@ func (pr *Process) wpFault(p *engine.Proc, va uint64) *mem.Frame {
 	defer func() { pg.pins-- }()
 	os.Cache.markDirty(p, pg)
 	pr.PT.Protect(va, pagetable.FlagUser|pagetable.FlagWritable|pagetable.FlagAccessed|pagetable.FlagDirty)
-	p.AdvanceSystem(os.C.PTEUpdate + os.C.TLBInvalidatePage)
+	os.charge(p, "pte", os.C.PTEUpdate+os.C.TLBInvalidatePage)
 	tlb := os.TLBs.CPU(p.CPU())
 	tlb.InvalidatePage(pr.PT.ASID(), va>>mem.PageShift)
 	tlb.Insert(pr.PT.ASID(), va>>mem.PageShift)
@@ -309,11 +311,13 @@ func (pr *Process) wpFault(p *engine.Proc, va uint64) *mem.Frame {
 // mmap_sem, filemap_fault with 4.14-style read-around, PTE installation.
 func (pr *Process) pageFault(p *engine.Proc, va uint64, write bool) *mem.Frame {
 	os := pr.os
+	p.BeginSpan("lx.fault")
+	defer p.EndSpan()
 	va &^= uint64(PageSize - 1)
 	pr.noteCPU(p.CPU())
-	p.AdvanceSystem(os.C.TrapRing3 + os.P.FaultEntry)
+	os.charge(p, "trap", os.C.TrapRing3+os.P.FaultEntry)
 	pr.mmapSem.RLock(p)
-	p.AdvanceSystem(os.P.VMALookup)
+	os.charge(p, "vma", os.P.VMALookup)
 	v := pr.vmas.find(va)
 	if v == nil {
 		panic(fmt.Sprintf("host: page fault outside any vma: %#x", va))
@@ -366,7 +370,7 @@ func (pr *Process) pageFault(p *engine.Proc, va uint64, write bool) *mem.Frame {
 	} else {
 		pr.PT.Protect(va, flags)
 	}
-	p.AdvanceSystem(os.C.PTEUpdate)
+	os.charge(p, "pte", os.C.PTEUpdate)
 	os.TLBs.CPU(p.CPU()).Insert(pr.PT.ASID(), va>>mem.PageShift)
 	pr.mmapSem.RUnlock(p)
 	return os.Cache.allocator.Frame(pg.frame.ID)
@@ -378,6 +382,8 @@ func (pr *Process) pageFault(p *engine.Proc, va uint64, write bool) *mem.Frame {
 // page raced away and the caller must retry.
 func (pr *Process) majorFault(p *engine.Proc, v *vma, idx uint64) *cachedPage {
 	os := pr.os
+	p.BeginSpan("lx.major_fault")
+	defer p.EndSpan()
 	f := v.f
 	f.mmapMiss++
 	filePages := (f.size + PageSize - 1) / PageSize
@@ -440,15 +446,17 @@ func (pr *Process) majorFault(p *engine.Proc, v *vma, idx uint64) *cachedPage {
 // timedRead charges the kernel read path without content movement.
 func (os *OS) timedRead(p *engine.Proc, off uint64, bytes int) {
 	disk := os.FS.disk
+	p.BeginSpan("lx.readahead_io")
+	defer p.EndSpan()
 	if disk.PMem {
-		p.AdvanceSystem(os.P.PMemBlockOverhead + os.C.MemcpyNoSIMD(bytes))
+		os.charge(p, "readahead", os.P.PMemBlockOverhead+os.C.MemcpyNoSIMD(bytes))
 		done := disk.Timing.Submit(p.Now(), bytes, false)
 		p.WaitUntil(done, engine.KindIOWait)
 	} else {
-		p.AdvanceSystem(os.P.BlockLayerSubmit)
+		os.charge(p, "readahead", os.P.BlockLayerSubmit)
 		done := disk.Timing.Submit(p.Now(), bytes, false)
 		p.WaitUntil(done, engine.KindIOWait)
-		p.AdvanceSystem(os.P.BlockLayerComplete + os.C.InterruptDelivery + os.C.ContextSwitch)
+		os.charge(p, "readahead", os.P.BlockLayerComplete+os.C.InterruptDelivery+os.C.ContextSwitch)
 	}
 }
 
@@ -467,14 +475,14 @@ func (os *OS) readPageContent(pg *cachedPage) {
 // rewrites the live PTEs and issues one batched shootdown; upgrading is lazy
 // (shared-mapping stores always re-arm through write-protect faults).
 func (m *Mapping) Mprotect(p *engine.Proc, readOnly bool) {
-	p.AdvanceSystem(m.os.C.Syscall + m.os.P.SyscallKernelPath)
+	m.os.charge(p, "syscall", m.os.C.Syscall+m.os.P.SyscallKernelPath)
 	m.pr.mmapSem.Lock(p)
 	if readOnly && !m.v.readOnly {
 		changed := 0
 		for va := m.v.start; va < m.v.end; va += PageSize {
 			if e, ok := m.pr.PT.Lookup(va); ok && e.Flags.Has(pagetable.FlagWritable) {
 				m.pr.PT.Protect(va, pagetable.FlagUser|pagetable.FlagAccessed)
-				p.AdvanceSystem(m.os.C.PTEUpdate)
+				m.os.charge(p, "pte", m.os.C.PTEUpdate)
 				changed++
 			}
 		}
@@ -490,7 +498,7 @@ func (m *Mapping) Mprotect(p *engine.Proc, readOnly bool) {
 // range, moving live PTEs (MREMAP_MAYMOVE semantics); shrinking unmaps the
 // tail.
 func (m *Mapping) Mremap(p *engine.Proc, newSize uint64) {
-	p.AdvanceSystem(m.os.C.Syscall + m.os.P.SyscallKernelPath)
+	m.os.charge(p, "syscall", m.os.C.Syscall+m.os.P.SyscallKernelPath)
 	m.pr.mmapSem.Lock(p)
 	newPages := (newSize + PageSize - 1) / PageSize
 	oldPages := (m.v.end - m.v.start) / PageSize
@@ -500,7 +508,7 @@ func (m *Mapping) Mremap(p *engine.Proc, newSize uint64) {
 		unmapped := 0
 		for va := m.v.start + newPages*PageSize; va < m.v.end; va += PageSize {
 			if m.pr.PT.Unmap(va) {
-				p.AdvanceSystem(m.os.C.PTEUpdate)
+				m.os.charge(p, "pte", m.os.C.PTEUpdate)
 				unmapped++
 				idx := (va - m.v.start) / PageSize
 				if pg := m.os.Cache.find(p, m.f, idx); pg != nil {
@@ -521,7 +529,7 @@ func (m *Mapping) Mremap(p *engine.Proc, newSize uint64) {
 			if e, ok := m.pr.PT.Lookup(oldVA); ok {
 				m.pr.PT.Unmap(oldVA)
 				m.pr.PT.Map(newStart+i*PageSize, e.Frame, e.Flags, pagetable.Size4K)
-				p.AdvanceSystem(2 * m.os.C.PTEUpdate)
+				m.os.charge(p, "pte", 2*m.os.C.PTEUpdate)
 				if pg := m.os.Cache.find(p, m.f, i); pg != nil {
 					removeVA(pg, m.pr, oldVA)
 					pg.vas = append(pg.vas, mappedVA{pr: m.pr, va: newStart + i*PageSize})

@@ -132,7 +132,7 @@ func (c *PageCache) NrDirty() int { return c.nrDirty }
 // find returns the cached page at (f, idx), taking the file's tree_lock.
 func (c *PageCache) find(p *engine.Proc, f *FSFile, idx uint64) *cachedPage {
 	f.treeLock.Lock(p)
-	p.AdvanceSystem(c.os.P.RadixLookup)
+	c.os.charge(p, "tree-lock", c.os.P.RadixLookup)
 	pg := f.pages[idx]
 	f.treeLock.Unlock(p)
 	return pg
@@ -156,7 +156,7 @@ func (c *PageCache) lruRemove(pg *cachedPage) {
 // second access promotes an inactive page to the active list.
 func (c *PageCache) touch(p *engine.Proc, pg *cachedPage) {
 	c.lruLock.Lock(p)
-	p.AdvanceSystem(c.os.P.LRUUpdate)
+	c.os.charge(p, "lru", c.os.P.LRUUpdate)
 	if pg.inLRU {
 		if pg.referenced && !pg.active {
 			c.inactive.remove(pg)
@@ -187,13 +187,13 @@ func (c *PageCache) allocFrame(p *engine.Proc) *mem.Frame {
 func (c *PageCache) insertNew(p *engine.Proc, f *FSFile, idx uint64) (*cachedPage, bool) {
 	frame := c.allocFrame(p)
 	f.treeLock.Lock(p)
-	p.AdvanceSystem(c.os.P.RadixLookup)
+	c.os.charge(p, "tree-lock", c.os.P.RadixLookup)
 	if existing := f.pages[idx]; existing != nil {
 		f.treeLock.Unlock(p)
 		c.allocator.Release(frame)
 		return existing, false
 	}
-	p.AdvanceSystem(c.os.P.RadixInsert)
+	c.os.charge(p, "tree-lock", c.os.P.RadixInsert)
 	pg := &cachedPage{
 		f: f, idx: idx, frame: frame,
 		io: engine.NewEvent(c.os.E, fmt.Sprintf("pgio:%s:%d", f.name, idx)),
@@ -202,7 +202,7 @@ func (c *PageCache) insertNew(p *engine.Proc, f *FSFile, idx uint64) (*cachedPag
 	f.treeLock.Unlock(p)
 
 	c.lruLock.Lock(p)
-	p.AdvanceSystem(c.os.P.LRUUpdate)
+	c.os.charge(p, "lru", c.os.P.LRUUpdate)
 	c.inactive.push(pg)
 	c.nrPages++
 	c.lruLock.Unlock(p)
@@ -221,7 +221,7 @@ func (c *PageCache) waitPage(p *engine.Proc, pg *cachedPage) {
 // paper identifies as the shared-file write-scaling bottleneck.
 func (c *PageCache) markDirty(p *engine.Proc, pg *cachedPage) {
 	pg.f.treeLock.Lock(p)
-	p.AdvanceSystem(c.os.P.RadixLookup)
+	c.os.charge(p, "tree-lock", c.os.P.RadixLookup)
 	if !pg.dirty {
 		pg.dirty = true
 		pg.f.nrDirty++
@@ -262,6 +262,8 @@ func (c *PageCache) writePages(p *engine.Proc, pages []*cachedPage) {
 	if len(pages) == 0 {
 		return
 	}
+	p.BeginSpan("lx.writeback")
+	defer p.EndSpan()
 	sort.Slice(pages, func(i, j int) bool {
 		if pages[i].f != pages[j].f {
 			return pages[i].f.id < pages[j].f.id
@@ -283,7 +285,7 @@ func (c *PageCache) writePages(p *engine.Proc, pages []*cachedPage) {
 		// lost at eviction.
 		for _, mv := range pg.vas {
 			if mv.pr.PT.Protect(mv.va, pagetable.FlagUser|pagetable.FlagAccessed) {
-				p.AdvanceSystem(c.os.C.PTEUpdate)
+				c.os.charge(p, "writeback", c.os.C.PTEUpdate)
 				protected++
 				protectedProcs[mv.pr] = struct{}{}
 			}
@@ -317,15 +319,17 @@ func (c *PageCache) writePages(p *engine.Proc, pages []*cachedPage) {
 // (content is copied per page above).
 func (c *PageCache) timedWrite(p *engine.Proc, off uint64, bytes int) {
 	disk := c.os.FS.disk
+	p.BeginSpan("lx.block_io")
+	defer p.EndSpan()
 	if disk.PMem {
-		p.AdvanceSystem(c.os.P.PMemBlockOverhead + c.os.C.MemcpyNoSIMD(bytes))
+		c.os.charge(p, "writeback", c.os.P.PMemBlockOverhead+c.os.C.MemcpyNoSIMD(bytes))
 		done := disk.Timing.Submit(p.Now(), bytes, true)
 		p.WaitUntil(done, engine.KindIOWait)
 	} else {
-		p.AdvanceSystem(c.os.P.BlockLayerSubmit)
+		c.os.charge(p, "writeback", c.os.P.BlockLayerSubmit)
 		done := disk.Timing.Submit(p.Now(), bytes, true)
 		p.WaitUntil(done, engine.KindIOWait)
-		p.AdvanceSystem(c.os.P.BlockLayerComplete + c.os.C.InterruptDelivery + c.os.C.ContextSwitch)
+		c.os.charge(p, "writeback", c.os.P.BlockLayerComplete+c.os.C.InterruptDelivery+c.os.C.ContextSwitch)
 	}
 }
 
@@ -335,6 +339,8 @@ func (c *PageCache) timedWrite(p *engine.Proc, off uint64, bytes int) {
 // completes — concurrent faulters wait on the page instead of re-reading
 // stale device content (the kernel's PG_writeback discipline).
 func (c *PageCache) reclaim(p *engine.Proc) {
+	p.BeginSpan("lx.reclaim")
+	defer p.EndSpan()
 	c.lruLock.Lock(p)
 	// Balance: when the inactive list runs low, demote from the active
 	// tail (shrink_active_list).
@@ -345,7 +351,7 @@ func (c *PageCache) reclaim(p *engine.Proc) {
 		pg.referenced = false
 		c.inactive.push(pg)
 		c.Demoted++
-		p.AdvanceSystem(c.os.P.LRUUpdate)
+		c.os.charge(p, "lru", c.os.P.LRUUpdate)
 	}
 	var victims []*cachedPage
 	pg := c.inactive.tail
@@ -368,7 +374,7 @@ func (c *PageCache) reclaim(p *engine.Proc) {
 			pg.io = engine.NewEvent(c.os.E, "reclaim")
 			victims = append(victims, pg)
 		}
-		p.AdvanceSystem(c.os.P.LRUUpdate)
+		c.os.charge(p, "lru", c.os.P.LRUUpdate)
 		pg = prev
 	}
 	c.nrPages -= len(victims)
@@ -376,7 +382,7 @@ func (c *PageCache) reclaim(p *engine.Proc) {
 
 	if len(victims) == 0 {
 		// Everything pinned or in flight: let I/O owners make progress.
-		p.AdvanceSystem(c.os.P.LRUUpdate * 8)
+		c.os.charge(p, "lru", c.os.P.LRUUpdate*8)
 		p.Yield()
 		return
 	}
@@ -388,10 +394,10 @@ func (c *PageCache) reclaim(p *engine.Proc) {
 	var dirty []*cachedPage
 	for _, v := range victims {
 		// page_referenced + rmap walk per victim.
-		p.AdvanceSystem(c.os.P.ReclaimPerPage)
+		c.os.charge(p, "reclaim", c.os.P.ReclaimPerPage)
 		for _, mv := range v.vas {
 			if mv.pr.PT.Unmap(mv.va) {
-				p.AdvanceSystem(c.os.C.PTEUpdate)
+				c.os.charge(p, "reclaim", c.os.C.PTEUpdate)
 				unmapped++
 				unmappedProcs[mv.pr] = struct{}{}
 			}
@@ -408,7 +414,7 @@ func (c *PageCache) reclaim(p *engine.Proc) {
 	// Now drop the pages from their trees and recycle the frames.
 	for _, v := range victims {
 		v.f.treeLock.Lock(p)
-		p.AdvanceSystem(c.os.P.RadixLookup)
+		c.os.charge(p, "tree-lock", c.os.P.RadixLookup)
 		delete(v.f.pages, v.idx)
 		v.f.treeLock.Unlock(p)
 	}
@@ -475,7 +481,7 @@ func (c *PageCache) fsyncFileRange(p *engine.Proc, f *FSFile, off, length uint64
 	if max := (f.cap + PageSize - 1) / PageSize; hi > max {
 		hi = max
 	}
-	p.AdvanceSystem((hi - lo) * 20) // per-page range walk
+	c.os.charge(p, "msync", (hi-lo)*20) // per-page range walk
 	f.treeLock.Lock(p)
 	var dirty []*cachedPage
 	for idx, pg := range f.pages {

@@ -8,6 +8,7 @@ import (
 
 	"aquila/internal/iface"
 	"aquila/internal/metrics"
+	"aquila/internal/obs"
 	"aquila/internal/sim/engine"
 	"aquila/internal/ycsb"
 )
@@ -93,6 +94,11 @@ type Options struct {
 	Costs *Costs
 	// Seed for the memtable skiplist.
 	Seed int64
+	// Registry receives the store's cycle breakdown (interned as
+	// "lsm_cycles"). Nil keeps a private breakdown.
+	Registry *obs.Registry
+	// MetricsLabel distinguishes this store's series in a shared Registry.
+	MetricsLabel string
 }
 
 // DB is the store.
@@ -159,7 +165,15 @@ func Open(p *engine.Proc, e *engine.Engine, opts Options) *DB {
 		writeLock: engine.NewMutex(e, "lsm_write"),
 		mem:       newSkiplist(opts.Seed + 1),
 		levels:    make([][]*SST, 4),
-		Break:     metrics.NewBreakdown(),
+	}
+	if opts.Registry != nil {
+		var labels []obs.Label
+		if opts.MetricsLabel != "" {
+			labels = append(labels, obs.L("world", opts.MetricsLabel))
+		}
+		db.Break = opts.Registry.Breakdown("lsm_cycles", labels...)
+	} else {
+		db.Break = metrics.NewBreakdown()
 	}
 	if opts.Mode == IODirectCached {
 		cap := opts.BlockCacheBytes

@@ -1,242 +1,20 @@
-// Package metrics provides the measurement plumbing for the benchmark
-// harness: HDR-style latency histograms (for the paper's average, p99 and
-// p99.9 numbers) and named cycle breakdowns (for the per-component bars of
-// Figures 7 and 8).
+// Package metrics is a thin re-export shim over aquila/internal/obs, the
+// central observability layer. It exists so the many pre-obs import sites
+// (harness, CLIs, kvs, core) keep compiling; new code should import
+// aquila/internal/obs directly, where the same types live alongside the
+// metrics registry, the span tracer and the experiment report schema.
 package metrics
 
-import (
-	"fmt"
-	"math"
-	"math/bits"
-	"sort"
-	"strings"
-)
+import "aquila/internal/obs"
 
-const subBucketBits = 4 // 16 sub-buckets per power of two: ~6% resolution
+// Histogram is a log-bucketed histogram of uint64 samples (cycles).
+type Histogram = obs.Histogram
 
-// Histogram is a log-bucketed histogram of uint64 samples (cycles). It is
-// HDR-like: constant memory, bounded relative error, exact count/sum/min/max.
-type Histogram struct {
-	buckets map[uint32]uint64
-	count   uint64
-	sum     uint64
-	min     uint64
-	max     uint64
-}
+// Breakdown attributes cycles to named categories.
+type Breakdown = obs.Breakdown
 
 // NewHistogram creates an empty histogram.
-func NewHistogram() *Histogram {
-	return &Histogram{buckets: make(map[uint32]uint64), min: math.MaxUint64}
-}
-
-// bucketOf maps a value to its bucket index.
-func bucketOf(v uint64) uint32 {
-	if v < 1<<subBucketBits {
-		return uint32(v)
-	}
-	msb := 63 - bits.LeadingZeros64(v)
-	shift := msb - subBucketBits
-	sub := uint32(v>>uint(shift)) & ((1 << subBucketBits) - 1)
-	return uint32(msb+1)<<subBucketBits | sub
-}
-
-// bucketLow returns the smallest value mapping to bucket b (used as the
-// representative value when reporting quantiles).
-func bucketLow(b uint32) uint64 {
-	exp := b >> subBucketBits
-	if exp == 0 {
-		return uint64(b)
-	}
-	msb := int(exp) - 1
-	sub := uint64(b & ((1 << subBucketBits) - 1))
-	return 1<<uint(msb) | sub<<uint(msb-subBucketBits)
-}
-
-// Record adds one sample.
-func (h *Histogram) Record(v uint64) {
-	h.buckets[bucketOf(v)]++
-	h.count++
-	h.sum += v
-	if v < h.min {
-		h.min = v
-	}
-	if v > h.max {
-		h.max = v
-	}
-}
-
-// Count returns the number of samples.
-func (h *Histogram) Count() uint64 { return h.count }
-
-// Sum returns the sum of all samples.
-func (h *Histogram) Sum() uint64 { return h.sum }
-
-// Mean returns the arithmetic mean (0 when empty).
-func (h *Histogram) Mean() float64 {
-	if h.count == 0 {
-		return 0
-	}
-	return float64(h.sum) / float64(h.count)
-}
-
-// Min returns the smallest sample (0 when empty).
-func (h *Histogram) Min() uint64 {
-	if h.count == 0 {
-		return 0
-	}
-	return h.min
-}
-
-// Max returns the largest sample.
-func (h *Histogram) Max() uint64 { return h.max }
-
-// Quantile returns an approximation of the q-quantile (0 < q <= 1), accurate
-// to the bucket resolution. The exact max is returned for q=1.
-func (h *Histogram) Quantile(q float64) uint64 {
-	if h.count == 0 {
-		return 0
-	}
-	if q >= 1 {
-		return h.max
-	}
-	if q < 0 {
-		q = 0
-	}
-	target := uint64(q * float64(h.count))
-	if target >= h.count {
-		target = h.count - 1
-	}
-	keys := make([]uint32, 0, len(h.buckets))
-	for k := range h.buckets {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	var seen uint64
-	for _, k := range keys {
-		seen += h.buckets[k]
-		if seen > target {
-			return bucketLow(k)
-		}
-	}
-	return h.max
-}
-
-// P99 is Quantile(0.99); P999 is Quantile(0.999).
-func (h *Histogram) P99() uint64  { return h.Quantile(0.99) }
-func (h *Histogram) P999() uint64 { return h.Quantile(0.999) }
-
-// Merge adds all samples of other into h.
-func (h *Histogram) Merge(other *Histogram) {
-	for k, c := range other.buckets {
-		h.buckets[k] += c
-	}
-	h.count += other.count
-	h.sum += other.sum
-	if other.count > 0 {
-		if other.min < h.min {
-			h.min = other.min
-		}
-		if other.max > h.max {
-			h.max = other.max
-		}
-	}
-}
-
-// Reset empties the histogram.
-func (h *Histogram) Reset() {
-	h.buckets = make(map[uint32]uint64)
-	h.count, h.sum, h.max = 0, 0, 0
-	h.min = math.MaxUint64
-}
-
-// String summarizes the distribution.
-func (h *Histogram) String() string {
-	return fmt.Sprintf("n=%d mean=%.0f p99=%d p99.9=%d max=%d",
-		h.count, h.Mean(), h.P99(), h.P999(), h.max)
-}
-
-// Breakdown attributes cycles to named categories, preserving first-use
-// order for stable reporting.
-type Breakdown struct {
-	order  []string
-	cycles map[string]uint64
-	counts map[string]uint64
-}
+func NewHistogram() *Histogram { return obs.NewHistogram() }
 
 // NewBreakdown creates an empty breakdown.
-func NewBreakdown() *Breakdown {
-	return &Breakdown{cycles: make(map[string]uint64), counts: make(map[string]uint64)}
-}
-
-// Add attributes cycles to a category.
-func (b *Breakdown) Add(category string, cycles uint64) {
-	if _, ok := b.cycles[category]; !ok {
-		b.order = append(b.order, category)
-	}
-	b.cycles[category] += cycles
-	b.counts[category]++
-}
-
-// Get returns the cycles attributed to a category.
-func (b *Breakdown) Get(category string) uint64 { return b.cycles[category] }
-
-// Count returns the number of Add calls for a category.
-func (b *Breakdown) Count(category string) uint64 { return b.counts[category] }
-
-// PerOp returns category cycles divided by n (average per operation).
-func (b *Breakdown) PerOp(category string, n uint64) float64 {
-	if n == 0 {
-		return 0
-	}
-	return float64(b.cycles[category]) / float64(n)
-}
-
-// Total returns the sum over all categories.
-func (b *Breakdown) Total() uint64 {
-	var t uint64
-	for _, v := range b.cycles {
-		t += v
-	}
-	return t
-}
-
-// Categories returns category names in first-use order.
-func (b *Breakdown) Categories() []string {
-	out := make([]string, len(b.order))
-	copy(out, b.order)
-	return out
-}
-
-// Merge adds all categories of other into b.
-func (b *Breakdown) Merge(other *Breakdown) {
-	for _, c := range other.order {
-		if _, ok := b.cycles[c]; !ok {
-			b.order = append(b.order, c)
-		}
-		b.cycles[c] += other.cycles[c]
-		b.counts[c] += other.counts[c]
-	}
-}
-
-// Table renders the breakdown as per-op averages over n operations.
-func (b *Breakdown) Table(n uint64) string {
-	var sb strings.Builder
-	total := b.Total()
-	for _, c := range b.order {
-		v := b.cycles[c]
-		pct := 0.0
-		if total > 0 {
-			pct = 100 * float64(v) / float64(total)
-		}
-		fmt.Fprintf(&sb, "  %-28s %10.0f cycles/op  %5.1f%%\n", c, b.PerOp(c, n), pct)
-	}
-	fmt.Fprintf(&sb, "  %-28s %10.0f cycles/op\n", "TOTAL", float64(total)/float64(maxU64(n, 1)))
-	return sb.String()
-}
-
-func maxU64(a, b uint64) uint64 {
-	if a > b {
-		return a
-	}
-	return b
-}
+func NewBreakdown() *Breakdown { return obs.NewBreakdown() }

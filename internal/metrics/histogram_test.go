@@ -58,14 +58,38 @@ func TestHistogramQuantileAccuracy(t *testing.T) {
 	}
 }
 
+// Edge cases: empty histogram, q=0, q=1, single sample, out-of-range q.
 func TestHistogramQuantileEdges(t *testing.T) {
-	h := NewHistogram()
-	h.Record(1000)
-	if h.Quantile(1.0) != 1000 {
-		t.Fatalf("q=1 should be exact max")
+	empty := NewHistogram()
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %d, want 0", q, got)
+		}
 	}
-	if h.Quantile(-1) > 1000 {
-		t.Fatal("negative q should clamp")
+
+	single := NewHistogram()
+	single.Record(1000)
+	for _, q := range []float64{-1, 0, 0.25, 0.5, 0.99, 1, 2} {
+		if got := single.Quantile(q); got != 1000 {
+			t.Fatalf("single-sample Quantile(%v) = %d, want 1000", q, got)
+		}
+	}
+
+	h := NewHistogram()
+	h.Record(100)
+	h.Record(2000)
+	h.Record(30000)
+	if got := h.Quantile(0); got != 100 {
+		t.Fatalf("q=0 should be exact min, got %d", got)
+	}
+	if got := h.Quantile(1); got != 30000 {
+		t.Fatalf("q=1 should be exact max, got %d", got)
+	}
+	if got := h.Quantile(-3); got != 100 {
+		t.Fatalf("negative q should clamp to min, got %d", got)
+	}
+	if got := h.Quantile(7); got != 30000 {
+		t.Fatalf("q>1 should clamp to max, got %d", got)
 	}
 }
 
@@ -88,47 +112,60 @@ func TestHistogramReset(t *testing.T) {
 	}
 }
 
-// Property: quantiles are monotone in q and bounded by [min, max].
+// Property: quantiles are monotone in q and bounded by [Min, Max], for any
+// sample multiset including empty, single-sample and duplicate-heavy ones.
 func TestHistogramQuantileMonotoneProperty(t *testing.T) {
 	check := func(vals []uint32) bool {
-		if len(vals) == 0 {
-			return true
-		}
 		h := NewHistogram()
 		for _, v := range vals {
 			h.Record(uint64(v))
 		}
 		prev := uint64(0)
-		for q := 0.0; q <= 1.0; q += 0.05 {
+		for i := 0; i <= 100; i++ {
+			q := float64(i) / 100
 			v := h.Quantile(q)
 			if v < prev {
 				return false
 			}
-			if v > h.Max() {
+			if v < h.Min() || v > h.Max() {
 				return false
 			}
 			prev = v
 		}
-		return h.Quantile(0.0) >= 0 && h.Quantile(1.0) == h.Max()
+		return h.Quantile(0.0) == h.Min() && h.Quantile(1.0) == h.Max()
 	}
-	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
 	}
 }
 
-// Property: bucketLow(bucketOf(v)) <= v and relative error bounded.
-func TestBucketRoundTripProperty(t *testing.T) {
-	check := func(v uint64) bool {
-		low := bucketLow(bucketOf(v))
-		if low > v {
+// Property: merging two histograms then taking quantiles is consistent with
+// recording all samples into one histogram — Merge must not change the
+// distribution.
+func TestHistogramMergeQuantileConsistency(t *testing.T) {
+	check := func(xs, ys []uint32) bool {
+		a, b, all := NewHistogram(), NewHistogram(), NewHistogram()
+		for _, v := range xs {
+			a.Record(uint64(v))
+			all.Record(uint64(v))
+		}
+		for _, v := range ys {
+			b.Record(uint64(v))
+			all.Record(uint64(v))
+		}
+		a.Merge(b)
+		if a.Count() != all.Count() || a.Sum() != all.Sum() ||
+			a.Min() != all.Min() || a.Max() != all.Max() {
 			return false
 		}
-		if v > 16 && float64(v-low) > float64(v)*0.07 {
-			return false
+		for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1} {
+			if a.Quantile(q) != all.Quantile(q) {
+				return false
+			}
 		}
 		return true
 	}
-	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: bucketLow(bucketOf(v)) <= v and relative error bounded.
+func TestBucketRoundTripProperty(t *testing.T) {
+	check := func(v uint64) bool {
+		low := bucketLow(bucketOf(v))
+		if low > v {
+			return false
+		}
+		if v > 16 && float64(v-low) > float64(v)*0.07 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramSummarize(t *testing.T) {
+	h := NewHistogram()
+	for v := uint64(1); v <= 100; v++ {
+		h.Record(v * 100)
+	}
+	s := h.Summarize()
+	if s.Count != 100 || s.Min != 100 || s.Max != 10000 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.P50 > s.P90 || s.P90 > s.P99 || s.P99 > s.P999 || s.P999 > s.Max {
+		t.Fatalf("summary quantiles not monotone: %+v", s)
+	}
+	if s.Mean != h.Mean() || s.Sum != h.Sum() {
+		t.Fatalf("summary mean/sum mismatch: %+v", s)
+	}
+}

@@ -1,0 +1,24 @@
+// Package obs is the observability layer of the repository: a central
+// metrics registry (labeled counters, gauges, log-bucketed histograms and
+// named cycle breakdowns behind one Registry type with snapshot/diff/JSON
+// encoding), a cycle-clock span tracer with per-track event rings and Chrome
+// trace-event export, and the machine-readable per-experiment report schema
+// (BENCH_<exp>.json) the harness emits.
+//
+// The package is deliberately a leaf: it imports only the standard library,
+// so every simulation layer — the DES engine, the Aquila runtime, the Linux
+// host model, the device models — can depend on it without cycles.
+//
+// All times are simulated cycles at the paper's 2.4 GHz testbed clock; the
+// trace exporter converts to microseconds for chrome://tracing / Perfetto.
+//
+// Everything here is designed for the deterministic single-execution model
+// of the DES engine: at most one simulated process runs at any real instant,
+// so none of the types take locks. Recording into a nil *Tracer, nil
+// *Counter, nil *Gauge or nil *Registry is a no-op, giving instrumented hot
+// paths a zero-cost off switch (one nil check).
+package obs
+
+// CyclesPerMicro converts simulated cycles to microseconds at the paper's
+// 2.4 GHz testbed clock.
+const CyclesPerMicro = 2400.0

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	r.Counter("c").Inc()
+	r.Gauge("g").Set(1)
+	r.Breakdown("b").Add("x", 10)
+	if h := r.Histogram("h"); h != nil {
+		t.Fatal("nil registry should hand out nil histograms")
+	}
+	s := r.Snapshot()
+	if s.Counters != nil || s.Gauges != nil || s.Histograms != nil || s.Breakdowns != nil {
+		t.Fatal("nil registry snapshot should be empty")
+	}
+	if r.Keys() != nil {
+		t.Fatal("nil registry should have no keys")
+	}
+}
+
+func TestRegistryInterning(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("faults", L("world", "aquila"))
+	c2 := r.Counter("faults", L("world", "aquila"))
+	if c1 != c2 {
+		t.Fatal("same name+labels should intern to the same counter")
+	}
+	c3 := r.Counter("faults", L("world", "linux"))
+	if c1 == c3 {
+		t.Fatal("different labels should be distinct metrics")
+	}
+	c1.Add(5)
+	c3.Add(7)
+	if c1.Value() != 5 || c3.Value() != 7 {
+		t.Fatalf("values: %d, %d", c1.Value(), c3.Value())
+	}
+	if r.Breakdown("bk") != r.Breakdown("bk") || r.Histogram("h") != r.Histogram("h") {
+		t.Fatal("breakdowns/histograms should intern")
+	}
+}
+
+func TestSnapshotDiffJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ops").Add(10)
+	r.Gauge("util").Set(0.5)
+	r.Histogram("lat").Record(100)
+	r.Breakdown("break").Add("trap", 1000)
+
+	before := r.Snapshot()
+
+	r.Counter("ops").Add(32)
+	r.Gauge("util").Set(0.75)
+	r.Histogram("lat").Record(300)
+	r.Breakdown("break").Add("trap", 500)
+	r.Breakdown("break").Add("io", 2000)
+
+	after := r.Snapshot()
+	d := after.Diff(before)
+
+	if d.Counters["ops"] != 32 {
+		t.Fatalf("diff ops = %d", d.Counters["ops"])
+	}
+	if d.Gauges["util"] != 0.75 {
+		t.Fatalf("diff gauge = %v (gauges keep current)", d.Gauges["util"])
+	}
+	if d.Histograms["lat"].Count != 1 || d.Histograms["lat"].Sum != 300 {
+		t.Fatalf("diff hist = %+v", d.Histograms["lat"])
+	}
+	if d.Breakdowns["break"]["trap"] != 500 || d.Breakdowns["break"]["io"] != 2000 {
+		t.Fatalf("diff break = %v", d.Breakdowns["break"])
+	}
+
+	// Snapshots are deep copies: further writes must not leak in.
+	r.Counter("ops").Add(1)
+	if after.Counters["ops"] != 42 {
+		t.Fatalf("snapshot not isolated: %d", after.Counters["ops"])
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var round Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if round.Counters["ops"] != 43 || round.Breakdowns["break"]["io"] != 2000 {
+		t.Fatalf("round-tripped snapshot = %+v", round)
+	}
+}
+
+func TestMetricKeyRendering(t *testing.T) {
+	if k := metricKey("a", nil); k != "a" {
+		t.Fatalf("key = %q", k)
+	}
+	k := metricKey("a", []Label{L("x", "1"), L("y", "2")})
+	if k != "a{x=1,y=2}" {
+		t.Fatalf("key = %q", k)
+	}
+}

@@ -1,0 +1,278 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Span is one cycle-attributed interval on a trace track. Begin and End are
+// simulated cycles; PID/TID select the track (the DES engine emits scheduler
+// segments on a per-CPU track group and named spans on a per-Proc track
+// group; devices get their own tracks).
+type Span struct {
+	Name string
+	// Cat groups spans for Perfetto filtering: "span" (instrumented code
+	// intervals), "sched" (engine scheduler segments), "dev" (device
+	// queue/service intervals).
+	Cat        string
+	PID        int
+	TID        int
+	Proc       string // owning simulated process name ("" for device spans)
+	Begin, End uint64
+}
+
+// ring is a fixed-capacity overwrite-oldest span buffer: one per track, so a
+// long run keeps the most recent window of each track instead of growing
+// without bound.
+type ring struct {
+	buf     []Span
+	next    int
+	wrapped bool
+	dropped uint64
+}
+
+func (r *ring) add(s Span) {
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.wrapped = true
+	}
+	if r.wrapped {
+		r.dropped++
+	}
+	r.buf[r.next] = s
+	r.next++
+}
+
+// spans returns the ring content in recording order.
+func (r *ring) spans() []Span {
+	if !r.wrapped {
+		return r.buf[:r.next]
+	}
+	out := make([]Span, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// DefaultRingCapacity is the per-track event ring size.
+const DefaultRingCapacity = 1 << 16
+
+type trackKey struct{ pid, tid int }
+
+// Tracer accumulates cycle-attributed spans on per-track event rings and
+// exports them in the Chrome trace-event format (chrome://tracing /
+// https://ui.perfetto.dev). A nil *Tracer swallows everything, so the
+// enabled check on hot paths is a single nil comparison.
+type Tracer struct {
+	ringCap int
+	rings   map[trackKey]*ring
+	order   []trackKey // track creation order (deterministic export)
+
+	procNames   map[int]string
+	threadNames map[trackKey]string
+	nextPID     int
+}
+
+// NewTracer creates a tracer with the default per-track ring capacity.
+func NewTracer() *Tracer {
+	return &Tracer{
+		ringCap:     DefaultRingCapacity,
+		rings:       make(map[trackKey]*ring),
+		procNames:   make(map[int]string),
+		threadNames: make(map[trackKey]string),
+		nextPID:     1,
+	}
+}
+
+// SetRingCapacity sets the per-track ring size for tracks created after the
+// call (tests use small rings to exercise overwrite).
+func (t *Tracer) SetRingCapacity(n int) {
+	if t != nil && n > 0 {
+		t.ringCap = n
+	}
+}
+
+// RegisterProcess allocates a trace pid for a named track group (one
+// simulated machine registers e.g. "sim/cpus", "sim/procs", "sim/devices").
+func (t *Tracer) RegisterProcess(label string) int {
+	if t == nil {
+		return 0
+	}
+	pid := t.nextPID
+	t.nextPID++
+	t.procNames[pid] = label
+	return pid
+}
+
+// SetThreadName names one track within a pid group.
+func (t *Tracer) SetThreadName(pid, tid int, name string) {
+	if t == nil {
+		return
+	}
+	t.threadNames[trackKey{pid, tid}] = name
+}
+
+// Add records a span. Zero-length spans are kept: they mark instants (an
+// instrumented section whose cost was fully absorbed elsewhere).
+func (t *Tracer) Add(s Span) {
+	if t == nil {
+		return
+	}
+	k := trackKey{s.PID, s.TID}
+	r, ok := t.rings[k]
+	if !ok {
+		r = &ring{buf: make([]Span, t.ringCap)}
+		t.rings[k] = r
+		t.order = append(t.order, k)
+	}
+	r.add(s)
+}
+
+// Spans returns every retained span, ordered by track creation then
+// recording order.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	var out []Span
+	for _, k := range t.order {
+		out = append(out, t.rings[k].spans()...)
+	}
+	return out
+}
+
+// Dropped returns the number of spans evicted from full rings.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	var n uint64
+	for _, r := range t.rings {
+		n += r.dropped
+	}
+	return n
+}
+
+// chromeEvent is one trace-event-format record.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object container Perfetto and chrome://tracing
+// both accept.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace serializes the retained spans as Chrome trace-event JSON:
+// timestamps in microseconds at the 2.4 GHz testbed clock, process/thread
+// metadata first, then complete ("X") events. Output is deterministic for a
+// deterministic simulation run.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	out := chromeTrace{DisplayTimeUnit: "ns", TraceEvents: []chromeEvent{}}
+	if t != nil {
+		pids := make([]int, 0, len(t.procNames))
+		for pid := range t.procNames {
+			pids = append(pids, pid)
+		}
+		sort.Ints(pids)
+		for _, pid := range pids {
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "process_name", Ph: "M", PID: pid,
+				Args: map[string]any{"name": t.procNames[pid]},
+			})
+		}
+		tks := make([]trackKey, 0, len(t.threadNames))
+		for k := range t.threadNames {
+			tks = append(tks, k)
+		}
+		sort.Slice(tks, func(i, j int) bool {
+			if tks[i].pid != tks[j].pid {
+				return tks[i].pid < tks[j].pid
+			}
+			return tks[i].tid < tks[j].tid
+		})
+		for _, k := range tks {
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", PID: k.pid, TID: k.tid,
+				Args: map[string]any{"name": t.threadNames[k]},
+			})
+		}
+		tracks := append([]trackKey(nil), t.order...)
+		sort.Slice(tracks, func(i, j int) bool {
+			if tracks[i].pid != tracks[j].pid {
+				return tracks[i].pid < tracks[j].pid
+			}
+			return tracks[i].tid < tracks[j].tid
+		})
+		for _, k := range tracks {
+			for _, s := range t.rings[k].spans() {
+				dur := float64(s.End-s.Begin) / CyclesPerMicro
+				ev := chromeEvent{
+					Name: s.Name, Cat: s.Cat, Ph: "X",
+					Ts:  float64(s.Begin) / CyclesPerMicro,
+					Dur: &dur, PID: s.PID, TID: s.TID,
+				}
+				if s.Proc != "" {
+					ev.Args = map[string]any{"proc": s.Proc}
+				}
+				out.TraceEvents = append(out.TraceEvents, ev)
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// ValidateChromeTrace parses trace-event JSON produced by WriteChromeTrace
+// (or any object-form trace) and checks the invariants Perfetto relies on:
+// every event has a phase, metadata precedes data on first use of a track,
+// durations are non-negative and X events carry a dur. It returns the number
+// of X events. Used by the exporter's schema tests and available to external
+// tooling.
+func ValidateChromeTrace(data []byte) (int, error) {
+	var tr struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return 0, fmt.Errorf("trace is not valid JSON object form: %w", err)
+	}
+	if tr.TraceEvents == nil {
+		return 0, fmt.Errorf("trace has no traceEvents array")
+	}
+	nX := 0
+	for i, ev := range tr.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		switch ph {
+		case "M":
+			// metadata: needs a name and args.name
+		case "X":
+			nX++
+			ts, tsOK := ev["ts"].(float64)
+			dur, durOK := ev["dur"].(float64)
+			if !tsOK || !durOK {
+				return 0, fmt.Errorf("event %d: X event missing ts/dur", i)
+			}
+			if ts < 0 || dur < 0 {
+				return 0, fmt.Errorf("event %d: negative ts/dur", i)
+			}
+		case "":
+			return 0, fmt.Errorf("event %d: missing ph", i)
+		}
+		if _, ok := ev["name"].(string); !ok {
+			return 0, fmt.Errorf("event %d: missing name", i)
+		}
+	}
+	return nX, nil
+}

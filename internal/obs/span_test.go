@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	tr.Add(Span{Name: "x"})
+	tr.SetThreadName(1, 0, "cpu0")
+	if tr.RegisterProcess("p") != 0 {
+		t.Fatal("nil tracer should hand out pid 0")
+	}
+	if tr.Spans() != nil || tr.Dropped() != 0 {
+		t.Fatal("nil tracer should retain nothing")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Fatalf("nil tracer export should still be a valid trace: %v", err)
+	}
+}
+
+func TestTracerRingOverwrite(t *testing.T) {
+	tr := NewTracer()
+	tr.SetRingCapacity(4)
+	pid := tr.RegisterProcess("sim")
+	for i := 0; i < 10; i++ {
+		tr.Add(Span{Name: "s", PID: pid, TID: 0, Begin: uint64(i), End: uint64(i + 1)})
+	}
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("ring should cap retention: %d", len(spans))
+	}
+	// Oldest are dropped: the remaining window is [6, 10).
+	if spans[0].Begin != 6 || spans[3].Begin != 9 {
+		t.Fatalf("ring kept wrong window: %+v", spans)
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", tr.Dropped())
+	}
+}
+
+func TestTracerTracksAreIndependent(t *testing.T) {
+	tr := NewTracer()
+	pid := tr.RegisterProcess("sim")
+	tr.Add(Span{Name: "a", PID: pid, TID: 0, Begin: 0, End: 10})
+	tr.Add(Span{Name: "b", PID: pid, TID: 1, Begin: 5, End: 15})
+	tr.Add(Span{Name: "c", PID: pid, TID: 0, Begin: 10, End: 20})
+	if len(tr.Spans()) != 3 {
+		t.Fatalf("spans = %d", len(tr.Spans()))
+	}
+}
+
+func TestWriteChromeTraceSchema(t *testing.T) {
+	tr := NewTracer()
+	cpus := tr.RegisterProcess("sim/cpus")
+	tr.SetThreadName(cpus, 0, "cpu0")
+	tr.SetThreadName(cpus, 1, "cpu1")
+	tr.Add(Span{Name: "fault", Cat: "span", PID: cpus, TID: 0, Proc: "w0", Begin: 2400, End: 4800})
+	tr.Add(Span{Name: "io", Cat: "dev", PID: cpus, TID: 1, Begin: 0, End: 2400})
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	nX, err := ValidateChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nX != 2 {
+		t.Fatalf("X events = %d, want 2", nX)
+	}
+	out := buf.String()
+	for _, want := range []string{"process_name", "thread_name", "sim/cpus", "cpu1", "\"fault\"", "\"dur\""} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestValidateChromeTraceRejectsGarbage(t *testing.T) {
+	if _, err := ValidateChromeTrace([]byte("[1,2,3]")); err == nil {
+		t.Fatal("array-of-numbers should not validate")
+	}
+	if _, err := ValidateChromeTrace([]byte(`{"traceEvents":[{"ph":"X","name":"a"}]}`)); err == nil {
+		t.Fatal("X event without ts/dur should not validate")
+	}
+	if _, err := ValidateChromeTrace([]byte(`{"traceEvents":[{"ts":1}]}`)); err == nil {
+		t.Fatal("event without ph should not validate")
+	}
+}

@@ -37,6 +37,7 @@ type NVMe struct {
 	// busyCycles integrates service time, for utilization reporting.
 	busyCycles uint64
 	lastSubmit uint64
+	obs        *devObs
 }
 
 // NewNVMe creates an NVMe device with the given capacity and timing config.
@@ -65,6 +66,7 @@ func (d *NVMe) Submit(now uint64, bytes int, write bool) uint64 {
 	if min := start + service; completion < min {
 		completion = min
 	}
+	d.obs.record(now, start, completion, write)
 	return completion
 }
 

@@ -27,6 +27,7 @@ func OptanePMMConfig() PMemConfig {
 type PMem struct {
 	*Store
 	cfg PMemConfig
+	obs *devObs
 }
 
 // NewPMem creates a pmem device with the given capacity and timing config.
@@ -37,7 +38,9 @@ func NewPMem(capacity uint64, cfg PMemConfig) *PMem {
 // Submit implements Timing: pmem access is synchronous, so the completion
 // time is just now + media cost. Software memcpy cost is charged by callers.
 func (d *PMem) Submit(now uint64, bytes int, write bool) uint64 {
-	return now + d.AccessCycles(bytes)
+	completion := now + d.AccessCycles(bytes)
+	d.obs.record(now, now, completion, write)
+	return completion
 }
 
 // AccessCycles returns the media-side cost of moving n bytes.

@@ -18,6 +18,8 @@ package engine
 import (
 	"fmt"
 	"math/rand"
+
+	"aquila/internal/obs"
 )
 
 // Kind attributes simulated cycles to an execution category. The categories
@@ -65,6 +67,13 @@ type Config struct {
 	Seed int64
 	// Trace captures per-process execution segments for WriteChromeTrace.
 	Trace bool
+	// Spans, when non-nil, receives named cycle-attributed spans and
+	// scheduler segments (see obs.go). Instrumentation is free when nil and
+	// never alters simulated timing either way.
+	Spans *obs.Tracer
+	// TraceLabel prefixes the engine's track-group names in a shared span
+	// tracer (e.g. "aquila", "linux"). Empty defaults to "sim".
+	TraceLabel string
 }
 
 // CPU is the per-CPU simulated state tracked by the engine.
@@ -100,6 +109,12 @@ type Engine struct {
 	baton chan batonMsg
 
 	tr *tracer
+
+	// spans is the obs tracer from Config.Spans; pidCPU/pidProc are the
+	// track groups registered for scheduler segments and process spans.
+	spans   *obs.Tracer
+	pidCPU  int
+	pidProc int
 }
 
 type batonKind uint8
@@ -134,6 +149,7 @@ func New(cfg Config) *Engine {
 	if cfg.Trace {
 		e.tr = &tracer{}
 	}
+	e.spans = cfg.Spans
 	perNode := cfg.NumCPUs / cfg.NumNUMANodes
 	if perNode == 0 {
 		perNode = 1
@@ -145,6 +161,7 @@ func New(cfg Config) *Engine {
 		}
 		e.cpus = append(e.cpus, &CPU{ID: i, Node: node})
 	}
+	e.registerObs()
 	return e
 }
 
@@ -191,6 +208,9 @@ func (e *Engine) SpawnAt(cpu int, name string, start uint64, fn func(*Proc)) *Pr
 	}
 	e.procs = append(e.procs, p)
 	e.runq.Push(p)
+	if e.spans != nil {
+		e.spans.SetThreadName(e.pidProc, p.id, name)
+	}
 	return p
 }
 

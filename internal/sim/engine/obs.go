@@ -1,0 +1,86 @@
+package engine
+
+import (
+	"fmt"
+
+	"aquila/internal/obs"
+)
+
+// Span tracing (internal/obs) complements the legacy segment tracer: where
+// Trace/WriteChromeTrace capture raw scheduler segments, the obs tracer
+// carries named, cycle-attributed spans opened and closed by simulated code
+// (fault handlers, eviction, device I/O). The engine contributes two track
+// groups to a shared tracer:
+//
+//   - "<label>/cpus":  one track per simulated CPU, holding scheduler
+//     segments ("sched" category) showing which process occupied the CPU.
+//   - "<label>/procs": one track per process, holding the nested spans the
+//     process itself opened via BeginSpan/EndSpan ("span" category). Spans
+//     live on per-process tracks because processes sharing a CPU overlap in
+//     simulated time, which the trace-event format cannot nest on one track.
+//
+// Everything is nil-safe: with Config.Spans unset the per-call cost is one
+// pointer comparison and no allocation.
+
+type spanFrame struct {
+	name  string
+	begin uint64
+}
+
+// registerObs attaches the configured span tracer to a freshly built engine.
+func (e *Engine) registerObs() {
+	if e.spans == nil {
+		return
+	}
+	label := e.cfg.TraceLabel
+	if label == "" {
+		label = "sim"
+	}
+	e.pidCPU = e.spans.RegisterProcess(label + "/cpus")
+	e.pidProc = e.spans.RegisterProcess(label + "/procs")
+	for _, c := range e.cpus {
+		e.spans.SetThreadName(e.pidCPU, c.ID, fmt.Sprintf("cpu%d", c.ID))
+	}
+}
+
+// Spans returns the obs tracer the engine records into (nil when disabled).
+func (e *Engine) Spans() *obs.Tracer { return e.spans }
+
+// SchedPID and ProcPID return the trace process-group ids the engine
+// registered for scheduler segments and per-process spans.
+func (e *Engine) SchedPID() int { return e.pidCPU }
+func (e *Engine) ProcPID() int  { return e.pidProc }
+
+// BeginSpan opens a named span on this process's trace track at the current
+// simulated cycle. Spans nest; close with EndSpan. With tracing disabled the
+// call is a no-op costing one nil check, and it never consumes simulated time.
+func (p *Proc) BeginSpan(name string) {
+	if p.e.spans == nil {
+		return
+	}
+	p.spanStack = append(p.spanStack, spanFrame{name: name, begin: p.now})
+}
+
+// EndSpan closes the innermost open span and emits it to the tracer. Calling
+// it with no open span is a no-op, so instrumented code can defer it safely.
+func (p *Proc) EndSpan() {
+	if p.e.spans == nil || len(p.spanStack) == 0 {
+		return
+	}
+	fr := p.spanStack[len(p.spanStack)-1]
+	p.spanStack = p.spanStack[:len(p.spanStack)-1]
+	p.e.spans.Add(obs.Span{
+		Name: fr.name, Cat: "span",
+		PID: p.e.pidProc, TID: p.id, Proc: p.name,
+		Begin: fr.begin, End: p.now,
+	})
+}
+
+// obsSchedSegment mirrors a scheduler segment onto the per-CPU track group.
+func (e *Engine) obsSchedSegment(p *Proc, start uint64) {
+	e.spans.Add(obs.Span{
+		Name: p.name, Cat: "sched",
+		PID: e.pidCPU, TID: p.cpu, Proc: p.name,
+		Begin: start, End: p.now,
+	})
+}

@@ -26,6 +26,9 @@ type Proc struct {
 
 	// irqAbsorbed counts interrupt-handler cycles this process absorbed.
 	irqAbsorbed uint64
+
+	// spanStack holds the open BeginSpan frames (nil unless tracing).
+	spanStack []spanFrame
 }
 
 // ID returns the process id (spawn order).

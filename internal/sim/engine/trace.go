@@ -37,7 +37,13 @@ func (e *Engine) Trace() []TraceEvent {
 }
 
 func (e *Engine) traceSegment(p *Proc, start uint64, outcome batonKind) {
-	if e.tr == nil || p.now == start {
+	if p.now == start {
+		return
+	}
+	if e.spans != nil {
+		e.obsSchedSegment(p, start)
+	}
+	if e.tr == nil {
 		return
 	}
 	name := map[batonKind]string{

@@ -1,0 +1,92 @@
+package aquila
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"aquila/internal/obs"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// traceWorkload runs a small deterministic fault storm on 2 CPUs: two
+// threads cold-faulting disjoint halves of a shared 1 MiB file. Every fault
+// misses the cache, so the trace exercises the full Aquila path (exception,
+// cache insert, device read).
+func traceWorkload(tr *obs.Tracer, reg *obs.Registry) *System {
+	sys := New(Options{
+		Mode: ModeAquila, Device: DevicePMem, CPUs: 2,
+		CacheBytes: 8 << 20, DeviceBytes: 32 << 20, Seed: 7,
+		Tracer: tr, Registry: reg, TraceLabel: "golden",
+	})
+	var m Mapping
+	sys.Do(func(p *Proc) {
+		f := sys.NS.Create(p, "golden", 1<<20)
+		m = sys.NS.Mmap(p, f, 1<<20)
+		m.Advise(p, AdviceRandom)
+	})
+	sys.Run(2, func(tid int, p *Proc) {
+		buf := make([]byte, 8)
+		for pg := uint64(tid); pg < 48; pg += 2 {
+			m.Load(p, pg*4096, buf)
+		}
+	})
+	return sys
+}
+
+// TestChromeTraceGolden pins the exporter's byte-exact output for the
+// deterministic 2-CPU fault workload. Regenerate with `go test -run
+// ChromeTraceGolden -update .` after intentional format changes.
+func TestChromeTraceGolden(t *testing.T) {
+	tr := obs.NewTracer()
+	traceWorkload(tr, nil)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	n, err := obs.ValidateChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("trace does not validate: %v", err)
+	}
+	if n == 0 {
+		t.Fatal("trace has no complete events")
+	}
+
+	golden := filepath.Join("testdata", "golden_trace.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace differs from %s (got %d bytes, want %d); run with -update after intentional exporter changes",
+			golden, buf.Len(), len(want))
+	}
+}
+
+// TestObservabilityIsZeroCost verifies the tentpole's invariant: tracing and
+// metrics must not perturb the simulation. The same workload with and
+// without instrumentation must land on the identical final cycle count and
+// fault statistics.
+func TestObservabilityIsZeroCost(t *testing.T) {
+	bare := traceWorkload(nil, nil)
+	inst := traceWorkload(obs.NewTracer(), obs.NewRegistry())
+
+	if a, b := bare.Sim.Now(), inst.Sim.Now(); a != b {
+		t.Errorf("final simulated clock differs: bare=%d instrumented=%d", a, b)
+	}
+	if a, b := bare.RT.Stats, inst.RT.Stats; a != b {
+		t.Errorf("fault stats differ: bare=%+v instrumented=%+v", a, b)
+	}
+	if a, b := bare.RT.Break.Total(), inst.RT.Break.Total(); a != b {
+		t.Errorf("breakdown totals differ: bare=%d instrumented=%d", a, b)
+	}
+}
