@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fmt ci bench-reports
+.PHONY: all build vet test race fmt ci bench-reports bench-async
 
 all: ci
 
@@ -13,10 +13,11 @@ vet:
 test:
 	$(GO) test ./...
 
-# The observability layer is the only code a future change might plausibly
-# share across goroutines; keep it race-clean.
+# The observability layer shares data across goroutines, and the background
+# evictor daemons run as extra procs inside the simulated worlds; keep both
+# race-clean.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/metrics/...
+	$(GO) test -race ./internal/obs/... ./internal/metrics/... ./internal/core/...
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -28,4 +29,9 @@ ci: build vet fmt test race
 
 # Regenerate the checked-in machine-readable experiment reports.
 bench-reports:
-	$(GO) run ./cmd/aquila-bench -exp fig8a,fig7 -report-dir .
+	$(GO) run ./cmd/aquila-bench -exp fig8a,fig7,fig5b -report-dir .
+
+# Background-eviction comparison: fig5b's sync-vs-async rows plus the
+# watermark-sweep ablation.
+bench-async:
+	$(GO) run ./cmd/aquila-bench -exp fig5b,ablate-async-evict

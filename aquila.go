@@ -275,6 +275,9 @@ func (s *System) PublishStats() {
 		reg.Counter("aq_written_back", l).Set(st.WrittenBack)
 		reg.Counter("aq_shootdown_batches", l).Set(st.ShootdownBatches)
 		reg.Counter("aq_readahead_pages", l).Set(st.ReadaheadPages)
+		reg.Counter("aq_direct_reclaim_pages", l).Set(st.DirectReclaimPages)
+		reg.Counter("aq_bg_reclaim_pages", l).Set(st.BgReclaimPages)
+		reg.Counter("aq_evict_stalls", l).Set(st.EvictStalls)
 	}
 	c := s.Host.Cache
 	reg.Counter("pagecache_inserted", l).Set(c.Inserted)

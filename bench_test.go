@@ -58,7 +58,10 @@ func BenchmarkNVMHeap(b *testing.B)         { benchExperiment(b, "nvm-heap") }
 func BenchmarkAblateBatchSize(b *testing.B) { benchExperiment(b, "ablate-batch") }
 func BenchmarkAblateFreelist(b *testing.B)  { benchExperiment(b, "ablate-freelist") }
 func BenchmarkAblateReadahead(b *testing.B) { benchExperiment(b, "ablate-readahead") }
-func BenchmarkIOUring(b *testing.B)         { benchExperiment(b, "iouring") }
+func BenchmarkAblateAsyncEvict(b *testing.B) {
+	benchExperiment(b, "ablate-async-evict")
+}
+func BenchmarkIOUring(b *testing.B) { benchExperiment(b, "iouring") }
 
 // Hot-path microbenchmarks: how fast the simulator itself executes the two
 // fault paths (real time, not simulated time).

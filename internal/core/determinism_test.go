@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"aquila/internal/sim/engine"
+)
+
+// determinismWorkload drives an eviction-heavy mixed read/write pattern over
+// a mapping four times the cache and returns a fingerprint of everything the
+// simulation decided: final clocks, fault/eviction counters, and freelist
+// population.
+func determinismWorkload(boot func(p *engine.Proc) *Runtime, e *engine.Engine, cpus int) string {
+	var rt *Runtime
+	e.Spawn(0, "init", func(p *engine.Proc) {
+		rt = boot(p)
+		f := rt.CreateFile(p, "det", 16*mib)
+		m := rt.Mmap(p, f, 16*mib)
+		m.Store(p, 0, []byte{1}) // touch so workers share a warm mapping
+		for w := 0; w < cpus; w++ {
+			w := w
+			e.SpawnAt(w%cpus, fmt.Sprintf("w%d", w), p.Now(), func(p *engine.Proc) {
+				buf := make([]byte, 64)
+				n := uint64(16 * mib)
+				for i := 0; i < 3000; i++ {
+					off := (uint64(i)*40009 + uint64(w)*7919) * 64 % (n - 64)
+					if i%3 == 0 {
+						m.Store(p, off, buf)
+					} else {
+						m.Load(p, off, buf)
+					}
+				}
+			})
+		}
+	})
+	e.Run()
+	st := rt.Stats
+	return fmt.Sprintf("now=%d major=%d minor=%d wp=%d evict=%d wb=%d shoot=%d free=%d resident=%d",
+		e.Now(), st.MajorFaults, st.MinorFaults, st.WPFaults, st.Evictions,
+		st.WrittenBack, st.ShootdownBatches, rt.FreePages(), rt.ResidentPages())
+}
+
+// TestAquilaSyncModeDeterminism pins the default (synchronous reclaim)
+// configuration against the behavior of the seed commit: AsyncEvict=false
+// must stay bit-identical as the background-evictor code evolves. The golden
+// strings were captured before the background evictor existed; any change
+// here means the synchronous path's timing or ordering changed.
+func TestAquilaSyncModeDeterminism(t *testing.T) {
+	goldens := map[string]string{
+		"dax":  "now=15098022 major=8813 minor=1419 wp=1329 evict=8339 wb=3851 shoot=37 free=550 resident=470",
+		"spdk": "now=141287200 major=8784 minor=2290 wp=1514 evict=8562 wb=3926 shoot=41 free=802 resident=222",
+	}
+	{
+		e, _, boot := daxWorld(4*mib, 4)
+		got := determinismWorkload(boot, e, 4)
+		t.Logf("dax: %s", got)
+		if got != goldens["dax"] {
+			t.Errorf("dax fingerprint drifted:\n got  %s\n want %s", got, goldens["dax"])
+		}
+	}
+	{
+		e, boot := spdkWorld(4*mib, 4)
+		got := determinismWorkload(boot, e, 4)
+		t.Logf("spdk: %s", got)
+		if got != goldens["spdk"] {
+			t.Errorf("spdk fingerprint drifted:\n got  %s\n want %s", got, goldens["spdk"])
+		}
+	}
+}

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"aquila/internal/sim/engine"
+	"aquila/internal/sim/mem"
+)
+
+// Background eviction (Params.AsyncEvict): one ring-0 daemon per NUMA node
+// reclaims frames between the low and high freelist watermarks, keeping
+// victim selection, batched shootdowns and writeback off the fault path.
+// Writeback overlaps: engines implementing AsyncWriter accept all merged
+// runs up front (io_uring-style submission, modeled on internal/host/iouring)
+// and the daemon drains the queue with a single wait on the last completion.
+// Faulting procs fall back to synchronous direct reclaim only when the
+// freelist is empty and every daemon is asleep or out of budget.
+
+// evictorEmptyRounds is how many consecutive empty selection rounds (every
+// candidate pinned or in flight) a daemon tolerates — each followed by one
+// throttled wait — before going back to sleep until the next kick.
+const evictorEmptyRounds = 8
+
+type bgEvictor struct {
+	rt   *Runtime
+	node int
+	wake *engine.Signal
+	proc *engine.Proc
+	// idle is true while the daemon is parked on wake (or about to park);
+	// kickers only Set the signal for idle daemons, and allocations only
+	// throttle-wait while some daemon is not idle.
+	idle bool
+}
+
+// setWatermarks derives the reclaim watermarks from the params and the
+// current cache size (re-derived on every resize).
+func (rt *Runtime) setWatermarks() {
+	limit := int(rt.limitPages)
+	low := rt.P.LowWatermark
+	if low == 0 {
+		low = 2 * rt.P.EvictBatch
+		if m := limit / 16; low > m {
+			low = m
+		}
+		if low < 1 {
+			low = 1
+		}
+	}
+	high := rt.P.HighWatermark
+	if high == 0 {
+		high = 3 * low
+		if m := limit / 4; high > m {
+			high = m
+		}
+	}
+	if high <= low {
+		high = low + 1
+	}
+	rt.lowWater, rt.highWater = low, high
+}
+
+// LowWater and HighWater expose the derived watermarks (tests, reports).
+func (rt *Runtime) LowWater() int  { return rt.lowWater }
+func (rt *Runtime) HighWater() int { return rt.highWater }
+
+// startEvictors spawns one background evictor daemon per NUMA node, pinned
+// to the node's first CPU.
+func (rt *Runtime) startEvictors(p *engine.Proc) {
+	rt.setWatermarks()
+	nodes := rt.e.NumNUMANodes()
+	perNode := rt.e.NumCPUs() / nodes
+	if perNode < 1 {
+		perNode = 1
+	}
+	for n := 0; n < nodes; n++ {
+		cpu := n * perNode
+		if cpu >= rt.e.NumCPUs() {
+			cpu = rt.e.NumCPUs() - 1
+		}
+		name := fmt.Sprintf("bg-evict.%d", n)
+		ev := &bgEvictor{
+			rt:   rt,
+			node: n,
+			wake: engine.NewSignal(rt.e, name),
+			idle: true,
+		}
+		ev.proc = rt.e.SpawnDaemon(cpu, name, ev.run)
+		rt.bg = append(rt.bg, ev)
+	}
+}
+
+// kickEvictors wakes the daemons when a successful allocation drops the
+// freelist below the low watermark (the normal wakeup path: reclaim starts
+// before the list runs dry).
+func (rt *Runtime) kickEvictors(p *engine.Proc) {
+	if rt.bg == nil || rt.fl.Free() >= rt.lowWater {
+		return
+	}
+	rt.wakeEvictors(p)
+}
+
+// wakeEvictors signals every idle daemon (empty-freelist path: all hands).
+func (rt *Runtime) wakeEvictors(p *engine.Proc) {
+	for _, ev := range rt.bg {
+		if ev.idle {
+			ev.idle = false
+			ev.wake.Set(p.Now())
+		}
+	}
+}
+
+// evictorActive reports whether any daemon is awake and reclaiming; while
+// true an empty-handed allocation throttle-waits instead of direct-reclaiming.
+func (rt *Runtime) evictorActive() bool {
+	for _, ev := range rt.bg {
+		if !ev.idle {
+			return true
+		}
+	}
+	return false
+}
+
+// run is the daemon body: sleep until kicked, then reclaim batches until the
+// freelist reaches the high watermark (hysteresis), tolerating a bounded
+// number of empty selection rounds before sleeping again.
+func (ev *bgEvictor) run(p *engine.Proc) {
+	rt := ev.rt
+	for {
+		ev.idle = true
+		ev.wake.Wait(p)
+		ev.idle = false
+		empty := 0
+		for rt.fl.Free() < rt.highWater {
+			if ev.reclaimBatch(p) > 0 {
+				empty = 0
+				continue
+			}
+			empty++
+			if empty > evictorEmptyRounds {
+				// Every candidate busy; faulters will re-kick, or direct
+				// reclaim takes over once its throttle budget runs out.
+				break
+			}
+			p.WaitUntil(p.Now()+evictStallQuantum, engine.KindIOWait)
+		}
+	}
+}
+
+// reclaimBatch is one background reclaim round: select under the shared
+// victim-selection mutex, batch-unmap with one shootdown, stream dirty runs
+// through the overlapped writeback path, and refill the NUMA freelist queues
+// directly (bypassing this core's private queue so all cores see the frames).
+func (ev *bgEvictor) reclaimBatch(p *engine.Proc) int {
+	rt := ev.rt
+	p.BeginSpan("aq.bg_evict")
+	defer p.EndSpan()
+	t0 := p.Now()
+	rt.evictSel.Lock(p)
+	victims := rt.Victims(p, rt.P.EvictBatch)
+	rt.evictSel.Unlock(p)
+	rt.charge(p, "evict-select", rt.P.HashRemove*uint64(len(victims)))
+	if len(victims) == 0 {
+		rt.Break.Add("bg_reclaim", p.Now()-t0)
+		return 0
+	}
+	unmapped := 0
+	for _, v := range victims {
+		for _, va := range v.vas {
+			if rt.PT.Unmap(va) {
+				rt.charge(p, "unmap", rt.C.PTEUpdate)
+				unmapped++
+			}
+		}
+		v.vas = nil
+	}
+	if unmapped > 0 {
+		rt.shootdown(p)
+	}
+	var dirtyV []*Page
+	for _, v := range victims {
+		if v.dirty {
+			rt.dirty[v.dirtyCore].Delete(dirtyKey(v))
+			rt.charge(p, "dirty-track", rt.P.DirtyTreeOp)
+			v.dirty = false
+			dirtyV = append(dirtyV, v)
+		}
+	}
+	ev.writeOverlapped(p, dirtyV)
+	doneAt := p.Now()
+	frames := make([]*mem.Frame, 0, len(victims))
+	for _, v := range victims {
+		delete(rt.pages, v.Key())
+		v.io.Fire(doneAt)
+		v.io = nil
+		frames = append(frames, v.frame)
+		v.frame = nil
+	}
+	rt.fl.pushBatch(p, frames)
+	n := uint64(len(victims))
+	rt.Stats.Evictions += n
+	rt.Stats.BgReclaimPages += n
+	rt.Break.Add("bg_reclaim", p.Now()-t0)
+	return len(victims)
+}
+
+// writeOverlapped writes dirty victims in device-offset order with merged
+// runs, like writeSorted, but submits asynchronously when the engine supports
+// it: all runs enter the device queue back to back and the daemon waits once
+// for the last completion, so device time overlaps submission work instead of
+// serializing run after run. Victims are already unmapped here, so no
+// write-protect pass is needed.
+func (ev *bgEvictor) writeOverlapped(p *engine.Proc, pages []*Page) {
+	rt := ev.rt
+	if len(pages) == 0 {
+		return
+	}
+	sort.Slice(pages, func(i, j int) bool { return dirtyKey(pages[i]) < dirtyKey(pages[j]) })
+	aw, _ := rt.Engine.(AsyncWriter)
+	var lastDone uint64
+	i := 0
+	for i < len(pages) {
+		j := i + 1
+		for j < len(pages) && j-i < rt.P.WritebackMaxRun &&
+			pages[j].file == pages[i].file && pages[j].idx == pages[j-1].idx+1 {
+			j++
+		}
+		run := pages[i:j]
+		frames := make([]*mem.Frame, len(run))
+		for k, pg := range run {
+			frames[k] = pg.frame
+		}
+		t0 := p.Now()
+		p.BeginSpan("aq.bg_writeback")
+		if aw != nil {
+			if done := aw.SubmitWriteRun(p, run[0].file, run[0].idx, frames); done > lastDone {
+				lastDone = done
+			}
+		} else {
+			rt.Engine.WriteRun(p, run[0].file, run[0].idx, frames)
+		}
+		p.EndSpan()
+		rt.Break.Add("writeback", p.Now()-t0)
+		rt.Stats.WrittenBack += uint64(len(run))
+		i = j
+	}
+	if lastDone > p.Now() {
+		// Drain: one wait for the deepest queued completion.
+		t0 := p.Now()
+		p.BeginSpan("aq.bg_writeback")
+		p.WaitUntil(lastDone, engine.KindIOWait)
+		p.EndSpan()
+		rt.Break.Add("writeback", p.Now()-t0)
+	}
+}

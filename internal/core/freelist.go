@@ -153,6 +153,60 @@ func (fl *freelist) push(p *engine.Proc, f *mem.Frame) {
 	}
 }
 
+// pushBatch returns a batch of reclaimed frames straight to their NUMA
+// queues (background-evictor refill): unlike push, the frames bypass the
+// evicting core's private queue so every core can allocate them immediately
+// instead of waiting for a spill.
+func (fl *freelist) pushBatch(p *engine.Proc, frames []*mem.Frame) {
+	if len(frames) == 0 {
+		return
+	}
+	if fl.singleLock != nil {
+		fl.singleLock.Lock(p)
+		fl.rt.charge(p, "alloc", fl.rt.P.FreelistPop)
+		fl.single = append(fl.single, frames...)
+		fl.free += len(frames)
+		fl.singleLock.Unlock(p)
+		return
+	}
+	for _, f := range frames {
+		fl.nodes[f.Node] = append(fl.nodes[f.Node], f)
+	}
+	fl.free += len(frames)
+	fl.rt.charge(p, "alloc", fl.rt.P.FreelistMove*uint64(len(frames)))
+}
+
+// steal takes one frame from any core's private queue. Last resort on the
+// direct-reclaim path: frames parked on other cores' queues are invisible to
+// pop, and a starving allocation must not fail while they exist.
+func (fl *freelist) steal(p *engine.Proc) *mem.Frame {
+	if fl.singleLock != nil {
+		return nil // the single queue has no private levels to strand frames
+	}
+	fl.rt.charge(p, "alloc", fl.rt.C.NUMARemoteAccess)
+	for c := range fl.cores {
+		if q := fl.cores[c]; len(q) > 0 {
+			f := q[len(q)-1]
+			fl.cores[c] = q[:len(q)-1]
+			fl.free--
+			return f
+		}
+	}
+	return nil
+}
+
+// audit recounts frames across every queue; tests assert it equals Free().
+func (fl *freelist) audit() int {
+	n := len(fl.single)
+	for _, q := range fl.cores {
+		n += len(q)
+	}
+	for _, q := range fl.nodes {
+		n += len(q)
+	}
+	return n
+}
+
 // drain removes up to n frames from the queues (cache shrink), preferring
 // NUMA queues.
 func (fl *freelist) drain(n int) []*mem.Frame {

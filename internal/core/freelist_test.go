@@ -1,0 +1,154 @@
+package core
+
+import (
+	"testing"
+
+	"aquila/internal/sim/engine"
+	"aquila/internal/sim/mem"
+)
+
+// buildFreelistWorld constructs a dax runtime with small freelist batches so
+// level movement happens within test-sized pools.
+func buildFreelistWorld(cacheBytes uint64, cpus int, mut func(*Params)) (*engine.Engine, func(p *engine.Proc) *Runtime) {
+	ps := DefaultParams()
+	ps.FreelistBatch = 16
+	ps.CoreQueueLimit = 32
+	if mut != nil {
+		mut(&ps)
+	}
+	e, os, _ := daxWorld(cacheBytes, cpus)
+	return e, func(p *engine.Proc) *Runtime {
+		return NewRuntime(p, os, NewDAXEngine(os), Config{CacheBytes: cacheBytes, Params: &ps})
+	}
+}
+
+// checkConsistent asserts Free() matches a recount of every queue.
+func checkConsistent(t *testing.T, fl *freelist, where string) {
+	t.Helper()
+	if fl.Free() != fl.audit() {
+		t.Fatalf("%s: Free()=%d but audit()=%d", where, fl.Free(), fl.audit())
+	}
+	if fl.Free() < 0 {
+		t.Fatalf("%s: negative free count %d", where, fl.Free())
+	}
+}
+
+func TestFreelistAccountingInterleaved(t *testing.T) {
+	for _, single := range []bool{false, true} {
+		name := "two-level"
+		if single {
+			name = "single-queue"
+		}
+		t.Run(name, func(t *testing.T) {
+			e, boot := buildFreelistWorld(2*mib, 4, func(ps *Params) {
+				ps.SingleQueueFreelist = single
+			})
+			e.Spawn(0, "t", func(p *engine.Proc) {
+				rt := boot(p)
+				fl := rt.fl
+				checkConsistent(t, fl, "after boot")
+				total := fl.Free()
+
+				// Interleave pops and pushes, auditing throughout.
+				var held []*mem.Frame
+				for i := 0; i < 200; i++ {
+					f := fl.pop(p)
+					if f == nil {
+						t.Fatalf("pop %d returned nil with %d free", i, fl.Free())
+					}
+					held = append(held, f)
+					if i%3 == 0 {
+						fl.push(p, held[len(held)-1])
+						held = held[:len(held)-1]
+					}
+					checkConsistent(t, fl, "interleave")
+				}
+				if got := fl.Free() + len(held); got != total {
+					t.Fatalf("conservation broken: free %d + held %d != %d", fl.Free(), len(held), total)
+				}
+				// Batch refill (the background evictor's push path).
+				fl.pushBatch(p, held)
+				checkConsistent(t, fl, "after pushBatch")
+				if fl.Free() != total {
+					t.Fatalf("free %d after returning everything, want %d", fl.Free(), total)
+				}
+				// pushBatch of nothing is a no-op.
+				fl.pushBatch(p, nil)
+				checkConsistent(t, fl, "after empty pushBatch")
+
+				// drain + fill round trip.
+				drained := fl.drain(total / 2)
+				if len(drained) != total/2 {
+					t.Fatalf("drain returned %d, want %d", len(drained), total/2)
+				}
+				checkConsistent(t, fl, "after drain")
+				fl.fill(drained)
+				checkConsistent(t, fl, "after fill")
+				if fl.Free() != total {
+					t.Fatalf("free %d after refill, want %d", fl.Free(), total)
+				}
+			})
+			e.Run()
+		})
+	}
+}
+
+func TestFreelistPopSpillsAndRefills(t *testing.T) {
+	// pop must pull batches from NUMA queues into the core queue; push must
+	// spill back above the core-queue limit — with Free() consistent at
+	// every transition.
+	e, boot := buildFreelistWorld(2*mib, 4, nil)
+	e.Spawn(0, "t", func(p *engine.Proc) {
+		rt := boot(p)
+		fl := rt.fl
+		total := fl.Free()
+		// Exhaust everything through one core.
+		var held []*mem.Frame
+		for {
+			f := fl.pop(p)
+			if f == nil {
+				break
+			}
+			held = append(held, f)
+			checkConsistent(t, fl, "exhaust")
+		}
+		if len(held) != total || fl.Free() != 0 {
+			t.Fatalf("popped %d of %d, free=%d", len(held), total, fl.Free())
+		}
+		// Push everything back one by one: core queue must spill to NUMA
+		// queues at the limit.
+		for _, f := range held {
+			fl.push(p, f)
+			if n := len(fl.cores[p.CPU()]); n > rt.P.CoreQueueLimit+1 {
+				t.Fatalf("core queue grew to %d, limit %d", n, rt.P.CoreQueueLimit)
+			}
+			checkConsistent(t, fl, "push-back")
+		}
+		if fl.Free() != total {
+			t.Fatalf("free %d, want %d", fl.Free(), total)
+		}
+		nodeFrames := 0
+		for _, q := range fl.nodes {
+			nodeFrames += len(q)
+		}
+		if nodeFrames == 0 {
+			t.Error("no spill to NUMA queues despite core-queue limit")
+		}
+	})
+	e.Run()
+}
+
+func TestFreelistStealAblation(t *testing.T) {
+	// steal has no private levels to scan in single-queue mode.
+	e, boot := buildFreelistWorld(1*mib, 2, func(ps *Params) {
+		ps.SingleQueueFreelist = true
+	})
+	e.Spawn(0, "t", func(p *engine.Proc) {
+		rt := boot(p)
+		if f := rt.fl.steal(p); f != nil {
+			t.Error("steal returned a frame in single-queue mode")
+		}
+		checkConsistent(t, rt.fl, "after steal attempt")
+	})
+	e.Run()
+}

@@ -34,6 +34,16 @@ type IOEngine interface {
 	DirectWrite(p *engine.Proc, f *fileState, off uint64, buf []byte)
 }
 
+// AsyncWriter is the optional overlapped-writeback extension used by the
+// background evictor: SubmitWriteRun persists the frames like WriteRun but
+// does not wait for the device — it returns the completion cycle, so the
+// caller can queue many runs back to back and drain once. Engines that
+// cannot overlap (e.g. HOST-*, where each I/O is a blocking syscall) simply
+// don't implement it and the evictor falls back to WriteRun.
+type AsyncWriter interface {
+	SubmitWriteRun(p *engine.Proc, f *fileState, pageIdx uint64, frames []*mem.Frame) uint64
+}
+
 // readFrames / writeFrames helpers: move content between device store and
 // frames with the zero-page fast path.
 func fillFrame(st *device.Store, off uint64, fr *mem.Frame) {
@@ -114,6 +124,20 @@ func (e *DAXEngine) WriteRun(p *engine.Proc, f *fileState, pageIdx uint64, frame
 	p.AdvanceSystem(e.costs.MemcpyAVX2(bytes))
 	done := e.OS.Disk().Timing.Submit(p.Now(), bytes, true)
 	p.WaitUntil(done, engine.KindIOWait)
+}
+
+// SubmitWriteRun implements AsyncWriter: the streaming memcpy is still paid
+// by the caller, but the persistence-domain drain (Timing.Submit models the
+// ADR flush latency) is left queued for a later single wait, so consecutive
+// runs overlap their drains.
+func (e *DAXEngine) SubmitWriteRun(p *engine.Proc, f *fileState, pageIdx uint64, frames []*mem.Frame) uint64 {
+	hf := e.file(f)
+	for i, fr := range frames {
+		flushFrame(e.OS.Disk().Content, hf.DevOffset((pageIdx+uint64(i))*pageSize), fr)
+	}
+	bytes := len(frames) * pageSize
+	p.AdvanceSystem(e.costs.MemcpyAVX2(bytes))
+	return e.OS.Disk().Timing.Submit(p.Now(), bytes, true)
 }
 
 // DirectRead implements IOEngine: load/memcpy straight from the DAX mapping.
@@ -201,6 +225,32 @@ func (e *SPDKEngine) WriteRun(p *engine.Proc, f *fileState, pageIdx uint64, fram
 		drv.WriteTimed(p, n*pageSize)
 		i += n
 	}
+}
+
+// SubmitWriteRun implements AsyncWriter: per-cluster extents enter the NVMe
+// submission queue without busy-polling each completion; the returned cycle
+// is the last extent's completion.
+func (e *SPDKEngine) SubmitWriteRun(p *engine.Proc, f *fileState, pageIdx uint64, frames []*mem.Frame) uint64 {
+	b := e.blob(f)
+	bs := e.FM.Blobstore()
+	drv := bs.Drv()
+	var done uint64
+	for i := 0; i < len(frames); {
+		off := (pageIdx + uint64(i)) * pageSize
+		inCluster := int((spdk.ClusterSize - off%spdk.ClusterSize) / pageSize)
+		n := len(frames) - i
+		if n > inCluster {
+			n = inCluster
+		}
+		for j := 0; j < n; j++ {
+			flushFrame(drv.Device().Store, bs.DevOff(b, off+uint64(j)*pageSize), frames[i+j])
+		}
+		if d := drv.WriteAsync(p, n*pageSize); d > done {
+			done = d
+		}
+		i += n
+	}
+	return done
 }
 
 // DirectRead implements IOEngine.

@@ -40,7 +40,12 @@ func (m *AqMapping) Load(p *engine.Proc, off uint64, buf []byte) {
 		if chunk > len(buf)-n {
 			chunk = len(buf) - n
 		}
-		frame := m.rt.resolve(p, va, false)
+		frame, err := m.rt.resolve(p, va, false)
+		if err != nil {
+			// The mmap interface has no error channel; a stalled eviction
+			// surfaces like the kernel's SIGBUS on a failed fault-in.
+			panic(fmt.Sprintf("core: load from %q at %#x: %v (SIGBUS)", m.r.File.name, va, err))
+		}
 		copyOut(buf[n:n+chunk], frame, po)
 		p.AdvanceUser(loadStoreCost(chunk))
 		n += chunk
@@ -60,7 +65,10 @@ func (m *AqMapping) Store(p *engine.Proc, off uint64, buf []byte) {
 		if chunk > len(buf)-n {
 			chunk = len(buf) - n
 		}
-		frame := m.rt.resolve(p, va, true)
+		frame, err := m.rt.resolve(p, va, true)
+		if err != nil {
+			panic(fmt.Sprintf("core: store to %q at %#x: %v (SIGBUS)", m.r.File.name, va, err))
+		}
 		copy(frame.Data()[po:po+chunk], buf[n:n+chunk])
 		p.AdvanceUser(loadStoreCost(chunk))
 		n += chunk

@@ -59,6 +59,27 @@ type Params struct {
 	// freelist with one lock-protected shared queue — the design §3.2
 	// argues against. Ablation knob; default false.
 	SingleQueueFreelist bool
+
+	// AsyncEvict enables the per-NUMA-node background evictor: a ring-0
+	// daemon that reclaims frames between the low and high freelist
+	// watermarks with overlapped (submission-style) writeback, keeping
+	// reclaim off the fault path. Default false: the paper's figures use
+	// synchronous reclaim, and the false path is bit-identical to the
+	// pre-evictor runtime.
+	AsyncEvict bool
+	// LowWatermark is the free-page count below which the background
+	// evictor wakes. Zero derives 2*EvictBatch clamped to 1/16 of the
+	// cache.
+	LowWatermark int
+	// HighWatermark is the free-page count the evictor restores before
+	// going back to sleep. Zero derives 3*LowWatermark clamped to 1/4 of
+	// the cache.
+	HighWatermark int
+	// EvictStallBudget bounds, in cycles, how long an allocation may spend
+	// in throttled waiting when every reclaim candidate is busy before the
+	// runtime gives up with ErrEvictionStalled (the graceful replacement
+	// of the old starvation panic). Zero derives 50M cycles (~20 ms).
+	EvictStallBudget uint64
 }
 
 // DefaultParams returns the calibrated Aquila parameter set.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -23,7 +24,45 @@ type Stats struct {
 	WrittenBack      uint64
 	ShootdownBatches uint64
 	ReadaheadPages   uint64
+	// DirectReclaimPages and BgReclaimPages split Evictions by who did the
+	// work: the faulting proc inline vs the background evictor daemons.
+	DirectReclaimPages uint64
+	BgReclaimPages     uint64
+	// EvictStalls counts rounds in which an allocation found every reclaim
+	// candidate busy and had to yield or throttle-wait.
+	EvictStalls uint64
 }
+
+// Eviction stall handling: an empty selection round means every cached page
+// is pinned or under I/O. The first evictStallYields rounds yield for free
+// (letting the I/O owners progress — historical behavior); past that the
+// allocation burns a bounded throttled-wait budget in quanta of simulated
+// time, and only then gives up with ErrEvictionStalled instead of the former
+// hard panic.
+const (
+	// evictStallYields matches the threshold at which the runtime formerly
+	// panicked, so runs that completed before behave identically.
+	evictStallYields = 10000
+	// evictStallQuantum is one throttled wait (~8 µs at 2.4 GHz).
+	evictStallQuantum = 20000
+	// evictThrottleQuantum paces a faulter waiting on the background
+	// evictor: short enough to notice a freelist refill quickly (a daemon
+	// batch lands every few thousand cycles), long enough not to spin.
+	evictThrottleQuantum = 4000
+	// defaultEvictStallBudget (~17 µs) bounds throttled waiting per
+	// allocation: a daemon refill batch lands within a few thousand cycles
+	// when reclaim is keeping up, so waiting longer than roughly one inline
+	// batch reclaim costs means the daemons are behind — fall back to
+	// direct reclaim rather than queue behind the backlog (tail latency
+	// stays near the synchronous design's).
+	defaultEvictStallBudget = 40_000
+)
+
+// ErrEvictionStalled reports that an allocation exhausted its throttled-wait
+// budget with every reclaim candidate pinned or in flight: the cache is too
+// small for the in-flight windows of its users. Mappings surface it as a
+// SIGBUS-style panic; code calling the runtime directly can handle it.
+var ErrEvictionStalled = errors.New("core: eviction stalled — cache too small for in-flight windows")
 
 // VictimPolicy selects pages to evict; the default is the built-in LRU
 // approximation. Applications may install their own (cache customization,
@@ -82,6 +121,14 @@ type Runtime struct {
 	// evictSel serializes victim selection only (never held across I/O).
 	evictSel    *engine.Mutex
 	evictStalls int
+	// bg holds the per-NUMA-node background evictor daemons (nil unless
+	// Params.AsyncEvict); lowWater/highWater are the reclaim watermarks in
+	// pages, configured or derived from the cache size.
+	bg        []*bgEvictor
+	lowWater  int
+	highWater int
+	// stallCtr is the "aquila_evict_stall" metric.
+	stallCtr *obs.Counter
 	// mmMask tracks CPUs that have faulted in this address space; batched
 	// shootdowns target only these.
 	mmMask []bool
@@ -138,6 +185,7 @@ func NewRuntime(p *engine.Proc, hostOS *host.OS, eng IOEngine, cfg Config) *Runt
 		Break:    reg.Breakdown("aquila_fault_cycles", labels...),
 		Reg:      reg,
 	}
+	rt.stallCtr = reg.Counter("aquila_evict_stall", labels...)
 	rt.framePool = mem.NewAllocator(cfg.MaxCacheBytes, hostOS.E.NumNUMANodes())
 	rt.fl = newFreelist(rt)
 	rt.lru = newLRU(rt)
@@ -152,6 +200,9 @@ func NewRuntime(p *engine.Proc, hostOS *host.OS, eng IOEngine, cfg Config) *Runt
 	// Entering Aquila: one vmcall to set up VMCS/EPT state (Dune enter).
 	hostOS.HV.VMCall(p, 5000)
 	rt.grow(p, cfg.CacheBytes)
+	if params.AsyncEvict {
+		rt.startEvictors(p)
+	}
 	return rt
 }
 
@@ -193,6 +244,9 @@ func (rt *Runtime) grow(p *engine.Proc, bytes uint64) {
 	}
 	rt.fl.fill(frames)
 	rt.limitPages += uint64(len(frames))
+	if rt.bg != nil {
+		rt.setWatermarks()
+	}
 }
 
 // ResizeCache dynamically grows or shrinks the DRAM cache (§3.5). Shrinking
@@ -205,7 +259,11 @@ func (rt *Runtime) ResizeCache(p *engine.Proc, newBytes uint64) {
 	}
 	toRemove := int(rt.limitPages - newPages)
 	for rt.fl.Free() < toRemove {
-		rt.evict(p)
+		if err := rt.evict(p); err != nil {
+			// Shrinking below the live working set is a caller bug, not a
+			// transient condition a resize can wait out.
+			panic(err)
+		}
 	}
 	const gig = 1 << 30
 	frames := rt.fl.drain(toRemove)
@@ -217,6 +275,9 @@ func (rt *Runtime) ResizeCache(p *engine.Proc, newBytes uint64) {
 	if reclaim > 0 {
 		rt.gpaBase -= reclaim
 		rt.Host.HV.ReclaimRegion(p, rt.gpaBase, reclaim)
+	}
+	if rt.bg != nil {
+		rt.setWatermarks()
 	}
 }
 
@@ -350,27 +411,31 @@ func removeVAFrom(pg *Page, va uint64) {
 // resolve returns the frame currently backing va with the required
 // permission, re-validating the translation after each access attempt: a
 // concurrent eviction between the fault path returning and the caller's
-// copy may have recycled the frame.
-func (rt *Runtime) resolve(p *engine.Proc, va uint64, write bool) *mem.Frame {
+// copy may have recycled the frame. The only possible error is
+// ErrEvictionStalled, propagated up from a starved allocation.
+func (rt *Runtime) resolve(p *engine.Proc, va uint64, write bool) (*mem.Frame, error) {
 	for {
-		frame := rt.access(p, va, write)
+		frame, err := rt.access(p, va, write)
+		if err != nil {
+			return nil, err
+		}
 		if e, ok := rt.PT.Lookup(va); ok && e.Frame == frame.ID &&
 			(!write || e.Flags.Has(pagetable.FlagWritable)) {
-			return frame
+			return frame, nil
 		}
 	}
 }
 
 // access resolves a virtual address: TLB hit (free), TLB refill (2-D walk
 // under virtualization), or the ring-0 fault path.
-func (rt *Runtime) access(p *engine.Proc, va uint64, write bool) *mem.Frame {
+func (rt *Runtime) access(p *engine.Proc, va uint64, write bool) (*mem.Frame, error) {
 	vpn := va >> mem.PageShift
 	tlb := rt.TLBs.CPU(p.CPU())
 	asid := rt.PT.ASID()
 	if tlb.Lookup(asid, vpn) {
 		if e, ok := rt.PT.Lookup(va); ok {
 			if !write || e.Flags.Has(pagetable.FlagWritable) {
-				return rt.framePool.Frame(e.Frame)
+				return rt.framePool.Frame(e.Frame), nil
 			}
 			return rt.wpFault(p, va)
 		}
@@ -381,7 +446,7 @@ func (rt *Runtime) access(p *engine.Proc, va uint64, write bool) *mem.Frame {
 		p.AdvanceUser(rt.C.TLBRefill + rt.C.EPTWalkExtra)
 		tlb.Insert(asid, vpn)
 		if !write || e.Flags.Has(pagetable.FlagWritable) {
-			return rt.framePool.Frame(e.Frame)
+			return rt.framePool.Frame(e.Frame), nil
 		}
 		return rt.wpFault(p, va)
 	}
@@ -390,7 +455,7 @@ func (rt *Runtime) access(p *engine.Proc, va uint64, write bool) *mem.Frame {
 
 // wpFault handles the first store to a read-only-mapped page: a ring-0
 // exception that only marks the page dirty (§3.2 dirty tracking).
-func (rt *Runtime) wpFault(p *engine.Proc, va uint64) *mem.Frame {
+func (rt *Runtime) wpFault(p *engine.Proc, va uint64) (*mem.Frame, error) {
 	p.BeginSpan("aq.wp_fault")
 	defer p.EndSpan()
 	va &^= uint64(pageSize - 1)
@@ -416,7 +481,7 @@ func (rt *Runtime) wpFault(p *engine.Proc, va uint64) *mem.Frame {
 	tlb := rt.TLBs.CPU(p.CPU())
 	tlb.InvalidatePage(rt.PT.ASID(), va>>mem.PageShift)
 	tlb.Insert(rt.PT.ASID(), va>>mem.PageShift)
-	return rt.framePool.Frame(pg.frame.ID)
+	return rt.framePool.Frame(pg.frame.ID), nil
 }
 
 // markDirty inserts a page into the calling core's dirty red-black tree,
@@ -446,9 +511,10 @@ func (rt *Runtime) defaultReadahead(r *Region, idx uint64) int {
 }
 
 // fault is Aquila's page-fault handler: a ring-0 exception, a lock-free
-// lookup, and — on a miss — allocation (with synchronous batched eviction),
-// device I/O through the configured engine, and PTE installation.
-func (rt *Runtime) fault(p *engine.Proc, va uint64, write bool) *mem.Frame {
+// lookup, and — on a miss — allocation (with batched eviction, synchronous
+// or delegated to the background evictor), device I/O through the configured
+// engine, and PTE installation.
+func (rt *Runtime) fault(p *engine.Proc, va uint64, write bool) (*mem.Frame, error) {
 	p.BeginSpan("aq.fault")
 	defer p.EndSpan()
 	va &^= uint64(pageSize - 1)
@@ -475,7 +541,10 @@ func (rt *Runtime) fault(p *engine.Proc, va uint64, write bool) *mem.Frame {
 			rt.lru.record(p, pg)
 			break
 		}
-		pg = rt.majorFault(p, r, f, idx)
+		var err error
+		if pg, err = rt.majorFault(p, r, f, idx); err != nil {
+			return nil, err
+		}
 		break
 	}
 	// Pin across PTE installation: the remaining handler work yields, and
@@ -497,12 +566,12 @@ func (rt *Runtime) fault(p *engine.Proc, va uint64, write bool) *mem.Frame {
 	rt.charge(p, "map-pte", rt.C.PTEUpdate)
 	rt.TLBs.CPU(p.CPU()).Insert(rt.PT.ASID(), va>>mem.PageShift)
 	rt.charge(p, "accounting", rt.P.FaultAccounting)
-	return rt.framePool.Frame(pg.frame.ID)
+	return rt.framePool.Frame(pg.frame.ID), nil
 }
 
 // majorFault claims (f, idx) plus any readahead window, reads the owned
 // pages through the I/O engine and returns the target page.
-func (rt *Runtime) majorFault(p *engine.Proc, r *Region, f *fileState, idx uint64) *Page {
+func (rt *Runtime) majorFault(p *engine.Proc, r *Region, f *fileState, idx uint64) (*Page, error) {
 	p.BeginSpan("aq.major_fault")
 	defer p.EndSpan()
 	rt.Stats.MajorFaults++
@@ -519,6 +588,7 @@ func (rt *Runtime) majorFault(p *engine.Proc, r *Region, f *fileState, idx uint6
 	}
 	var mine []*Page
 	var target *Page
+	var allocErr error
 	for i := idx; i < hi; i++ {
 		key := pageKey{f.id, i}
 		if existing := rt.pages[key]; existing != nil {
@@ -533,7 +603,19 @@ func (rt *Runtime) majorFault(p *engine.Proc, r *Region, f *fileState, idx uint6
 		}
 		rt.charge(p, "cache-insert", rt.P.HashInsert)
 		rt.pages[key] = pg
-		pg.frame = rt.allocFrame(p)
+		fr, err := rt.allocFrame(p)
+		if err != nil {
+			// Unwind this page's claim: it was published but never read.
+			// Waiters re-probe on the fired event, miss, and fault it in
+			// themselves (taking the same stall error if it persists).
+			delete(rt.pages, key)
+			pg.resident = false
+			pg.io.Fire(p.Now())
+			pg.io = nil
+			allocErr = err
+			break
+		}
+		pg.frame = fr
 		if i == idx {
 			target = pg
 		} else {
@@ -565,6 +647,9 @@ func (rt *Runtime) majorFault(p *engine.Proc, r *Region, f *fileState, idx uint6
 		pg.io.Fire(doneAt)
 		pg.io = nil
 	}
+	if allocErr != nil {
+		return nil, allocErr
+	}
 	if target.io != nil && !target.io.Fired() {
 		target.io.Wait(p)
 		// The page may have been evicted while we waited; retry path.
@@ -572,26 +657,79 @@ func (rt *Runtime) majorFault(p *engine.Proc, r *Region, f *fileState, idx uint6
 			return rt.majorFault(p, r, f, idx)
 		}
 	}
-	return target
+	return target, nil
 }
 
-// allocFrame pops a frame from the freelist, evicting synchronously in
-// batches when all queues are empty (§3.2).
-func (rt *Runtime) allocFrame(p *engine.Proc) *mem.Frame {
+// allocFrame pops a frame from the freelist. With the background evictor
+// disabled it reclaims synchronously in batches when every queue is empty
+// (§3.2). With AsyncEvict the allocation instead kicks the evictor daemons
+// and gives them a bounded head start (throttled waits), falling back to
+// synchronous direct reclaim only when the freelist is still empty and the
+// evictor is behind.
+func (rt *Runtime) allocFrame(p *engine.Proc) (*mem.Frame, error) {
+	var throttled uint64
 	for {
 		if fr := rt.fl.pop(p); fr != nil {
-			return fr
+			rt.kickEvictors(p)
+			return fr, nil
 		}
-		rt.evict(p)
+		if rt.bg != nil {
+			rt.wakeEvictors(p)
+			if rt.evictorActive() && throttled < rt.stallBudget() {
+				rt.Stats.EvictStalls++
+				rt.stallCtr.Inc()
+				p.WaitUntil(p.Now()+evictThrottleQuantum, engine.KindIOWait)
+				throttled += evictThrottleQuantum
+				continue
+			}
+		}
+		if err := rt.evict(p); err != nil {
+			// Frames parked on other cores' private queues are invisible
+			// to pop; steal one before reporting starvation.
+			if fr := rt.fl.steal(p); fr != nil {
+				return fr, nil
+			}
+			return nil, err
+		}
 	}
 }
 
-// evict selects a batch of victims (short critical section), unmaps them
-// with one batched TLB shootdown, writes dirty ones back in device order
-// with merged I/Os, and recycles the frames.
-func (rt *Runtime) evict(p *engine.Proc) {
+// stallBudget returns the throttled-wait cycle budget.
+func (rt *Runtime) stallBudget() uint64 {
+	if rt.P.EvictStallBudget > 0 {
+		return rt.P.EvictStallBudget
+	}
+	return defaultEvictStallBudget
+}
+
+// evictStall handles a selection round that found every candidate busy: free
+// yields up to the historical threshold, then throttled waits consuming the
+// stall budget, then ErrEvictionStalled.
+func (rt *Runtime) evictStall(p *engine.Proc) error {
+	rt.evictStalls++
+	rt.Stats.EvictStalls++
+	rt.stallCtr.Inc()
+	if rt.evictStalls <= evictStallYields {
+		p.Yield()
+		return nil
+	}
+	waited := uint64(rt.evictStalls-evictStallYields) * evictStallQuantum
+	if waited <= rt.stallBudget() {
+		p.WaitUntil(p.Now()+evictStallQuantum, engine.KindIOWait)
+		return nil
+	}
+	return ErrEvictionStalled
+}
+
+// evict synchronously selects a batch of victims (short critical section),
+// unmaps them with one batched TLB shootdown, writes dirty ones back in
+// device order with merged I/Os, and recycles the frames. It returns
+// ErrEvictionStalled only after the throttled-wait budget expires with every
+// candidate busy.
+func (rt *Runtime) evict(p *engine.Proc) error {
 	p.BeginSpan("aq.evict")
 	defer p.EndSpan()
+	t0 := p.Now()
 	rt.evictSel.Lock(p)
 	victims := rt.Victims(p, rt.P.EvictBatch)
 	rt.evictSel.Unlock(p)
@@ -599,13 +737,7 @@ func (rt *Runtime) evict(p *engine.Proc) {
 	// charged outside the selection section: it does not serialize.
 	rt.charge(p, "evict-select", rt.P.HashRemove*uint64(len(victims)))
 	if len(victims) == 0 {
-		// All pages busy (in-flight I/O); let owners progress.
-		rt.evictStalls++
-		if rt.evictStalls > 10000 {
-			panic("core: eviction starved — cache too small for in-flight windows")
-		}
-		p.Yield()
-		return
+		return rt.evictStall(p)
 	}
 	rt.evictStalls = 0
 	unmapped := 0
@@ -640,6 +772,14 @@ func (rt *Runtime) evict(p *engine.Proc) {
 		v.frame = nil
 	}
 	rt.Stats.Evictions += uint64(len(victims))
+	rt.Stats.DirectReclaimPages += uint64(len(victims))
+	if rt.P.AsyncEvict {
+		// Summary wall-clock category for the sync-fallback share of
+		// reclaim; the fine-grained categories above still hold the parts.
+		// Only recorded in async mode so sync-mode output stays identical.
+		rt.Break.Add("direct_reclaim", p.Now()-t0)
+	}
+	return nil
 }
 
 // shootdown performs Aquila's batched TLB invalidation (§4.1): one

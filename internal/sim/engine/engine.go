@@ -102,8 +102,12 @@ type Engine struct {
 	current *Proc
 	rng     *rand.Rand
 
-	blocked  int // processes suspended on a primitive
-	finished int
+	blocked int // processes suspended on a primitive
+	// blockedDaemons counts suspended daemon processes. Daemons parked on
+	// their wakeup primitive are idle services, not deadlocks: Run returns
+	// when only daemons remain blocked.
+	blockedDaemons int
+	finished       int
 
 	// schedule channel carries the baton back from a yielding process.
 	baton chan batonMsg
@@ -214,14 +218,27 @@ func (e *Engine) SpawnAt(cpu int, name string, start uint64, fn func(*Proc)) *Pr
 	return p
 }
 
-// Run executes the simulation until every process has finished. It panics on
-// deadlock (blocked processes with an empty run queue), which always
-// indicates a bug in a simulated synchronization protocol.
+// SpawnDaemon creates a background service process (e.g. a per-node page
+// evictor): it is expected to park on a wakeup primitive between work bursts
+// and never finish. A blocked daemon does not hold Run open and does not
+// trigger the deadlock panic.
+func (e *Engine) SpawnDaemon(cpu int, name string, fn func(*Proc)) *Proc {
+	p := e.SpawnAt(cpu, name, 0, fn)
+	p.daemon = true
+	return p
+}
+
+// Run executes the simulation until every non-daemon process has finished.
+// It panics on deadlock (blocked non-daemon processes with an empty run
+// queue), which always indicates a bug in a simulated synchronization
+// protocol. Daemon processes (SpawnDaemon) parked on a wakeup primitive do
+// not count as deadlocked: they stay suspended across Run calls and resume
+// when some later process signals them.
 func (e *Engine) Run() {
 	for {
 		next := e.runq.Pop()
 		if next == nil {
-			if e.blocked > 0 {
+			if e.blocked > e.blockedDaemons {
 				panic(fmt.Sprintf("engine: deadlock, %d blocked process(es): %s",
 					e.blocked, e.blockedNames()))
 			}
@@ -243,6 +260,9 @@ func (e *Engine) Run() {
 			e.runq.Push(msg.p)
 		case batonBlock:
 			e.blocked++
+			if msg.p.daemon {
+				e.blockedDaemons++
+			}
 		case batonDone:
 			e.finished++
 		}
@@ -275,6 +295,9 @@ func (e *Engine) unblock(p *Proc, at uint64, waitKind Kind) {
 		p.now = at
 	}
 	e.blocked--
+	if p.daemon {
+		e.blockedDaemons--
+	}
 	e.runq.Push(p)
 }
 

@@ -17,6 +17,9 @@ type Proc struct {
 	resume  chan struct{}
 	started bool
 	done    bool
+	// daemon marks background service processes (SpawnDaemon): blocked
+	// daemons neither hold Run open nor count as deadlocked.
+	daemon bool
 
 	// blockedOn names the primitive the process is suspended on ("" when
 	// runnable). Used for deadlock diagnostics.
@@ -45,6 +48,9 @@ func (p *Proc) Node() int { return p.e.NodeOf(p.cpu) }
 
 // Engine returns the owning engine.
 func (p *Proc) Engine() *Engine { return p.e }
+
+// Daemon reports whether this is a background service process.
+func (p *Proc) Daemon() bool { return p.daemon }
 
 // Now returns the process's local simulated clock in cycles.
 func (p *Proc) Now() uint64 { return p.now }

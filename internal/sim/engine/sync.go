@@ -236,6 +236,60 @@ func (wg *WaitGroup) Wait(p *Proc) {
 	p.block("waitgroup:" + wg.name)
 }
 
+// Signal is a re-armable binary wakeup, the parking primitive for daemon
+// processes (kswapd-style services): Wait parks the daemon until the next
+// Set, and a Set with no waiter is latched so the wakeup is never lost.
+// Unlike Event it resets after every consumption. Set is free for the
+// sender — it models writing a flag plus a futex-wake whose cost is
+// negligible against the work the daemon then performs.
+type Signal struct {
+	e         *Engine
+	name      string
+	pending   bool
+	pendingAt uint64
+	waiter    *Proc
+}
+
+// NewSignal creates an unsignaled Signal.
+func NewSignal(e *Engine, name string) *Signal {
+	return &Signal{e: e, name: name}
+}
+
+// Pending reports whether a latched wakeup is waiting to be consumed.
+func (s *Signal) Pending() bool { return s.pending }
+
+// Set wakes the parked waiter at simulated time t (or the waiter's own
+// clock, if later); with no waiter the wakeup is latched for the next Wait.
+// Consecutive Sets before a Wait coalesce into one wakeup, keeping the
+// earliest time — exactly the semantics of a wakeup flag.
+func (s *Signal) Set(t uint64) {
+	if w := s.waiter; w != nil {
+		s.waiter = nil
+		s.e.unblock(w, t, KindIOWait)
+		return
+	}
+	if !s.pending || t < s.pendingAt {
+		s.pendingAt = t
+	}
+	s.pending = true
+}
+
+// Wait consumes a latched wakeup immediately (advancing the caller to the
+// Set time if it is in the future) or parks the caller until the next Set.
+// Only one process may wait at a time.
+func (s *Signal) Wait(p *Proc) {
+	if s.pending {
+		s.pending = false
+		p.WaitUntil(s.pendingAt, KindIOWait)
+		return
+	}
+	if s.waiter != nil {
+		panic(fmt.Sprintf("engine: second waiter on signal %q", s.name))
+	}
+	s.waiter = p
+	p.block("signal:" + s.name)
+}
+
 // Event is a one-shot level-triggered event. Fire releases current and
 // future waiters at the given simulated time.
 type Event struct {

@@ -84,6 +84,17 @@ func (d *Driver) ReadTimed(p *engine.Proc, bytes int) {
 	p.AdvanceSystem(completeCost)
 }
 
+// WriteAsync submits a write without polling for completion (io_uring-style
+// deep submission queue, cf. internal/host/iouring): the caller pays
+// submission plus a deferred completion-reap charge and receives the device
+// completion cycle to wait on later, letting it queue further I/Os behind
+// this one instead of busy-polling each in turn.
+func (d *Driver) WriteAsync(p *engine.Proc, bytes int) uint64 {
+	d.Writes++
+	p.AdvanceSystem(submitCost + completeCost)
+	return d.dev.Submit(p.Now(), bytes, true)
+}
+
 // WriteTimed charges only the timing of a write.
 func (d *Driver) WriteTimed(p *engine.Proc, bytes int) {
 	d.Writes++
