@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fmt ci bench-reports bench-async
+.PHONY: all build vet test race fmt faults ci bench-reports bench-async
 
 all: ci
 
@@ -25,7 +25,14 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: build vet fmt test race
+# The fault-injection suite end to end under the race detector: device fault
+# plans, retry/requeue/quarantine, errseq msync, SIGBUS delivery, io_uring
+# error completions, and fault-plan determinism.
+faults:
+	$(GO) test -race -run 'Fault|SigBus|Msync|Quarantin|Poison|IOURingInjected' \
+		./internal/sim/device/ ./internal/core/ ./internal/host/
+
+ci: build vet fmt test race faults
 
 # Regenerate the checked-in machine-readable experiment reports.
 bench-reports:

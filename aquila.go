@@ -60,6 +60,36 @@ const (
 	AdviceDontNeed   = iface.AdviceDontNeed
 )
 
+// Fault-injection types, re-exported so experiments can build plans without
+// importing internal packages.
+type (
+	// FaultPlan is a deterministic device fault schedule.
+	FaultPlan = device.FaultPlan
+	// FaultRule is one rule of a plan.
+	FaultRule = device.FaultRule
+	// FaultKind classifies an injected fault.
+	FaultKind = device.FaultKind
+	// IOError is the typed error injected operations return.
+	IOError = device.IOError
+	// SigBus is the typed panic value a failed mapped access delivers.
+	SigBus = core.SigBus
+	// IOFault is the per-page error wrapped inside SigBus and sync errors.
+	IOFault = core.IOFault
+)
+
+// Fault kinds, re-exported.
+const (
+	FaultTransientRead  = device.FaultTransientRead
+	FaultTransientWrite = device.FaultTransientWrite
+	FaultPermanentRead  = device.FaultPermanentRead
+	FaultPermanentWrite = device.FaultPermanentWrite
+	FaultLatencySpike   = device.FaultLatencySpike
+	FaultPoison         = device.FaultPoison
+)
+
+// LoadFaultPlan reads a fault plan from a JSON file (testdata fixtures).
+func LoadFaultPlan(path string) (*FaultPlan, error) { return device.LoadFaultPlan(path) }
+
 // DeviceKind selects the storage device model.
 type DeviceKind int
 
@@ -241,6 +271,30 @@ func New(opts Options) *System {
 	return s
 }
 
+// InjectFaults attaches a deterministic fault plan to the System's storage
+// device; every subsequent I/O (either world, any engine) is checked against
+// it. A nil plan detaches. Injection is recorded in the registry
+// (dev_faults_injected) and trace (dev.fault spans) when instrumented.
+func (s *System) InjectFaults(plan *device.FaultPlan) {
+	switch {
+	case s.PMem != nil:
+		s.PMem.InjectFaults("pmem0", plan)
+	case s.NVMe != nil:
+		s.NVMe.InjectFaults("nvme0", plan)
+	}
+}
+
+// InjectedFaults returns how many faults the device has injected so far.
+func (s *System) InjectedFaults() uint64 {
+	switch {
+	case s.PMem != nil:
+		return s.PMem.Store.InjectedFaults()
+	case s.NVMe != nil:
+		return s.NVMe.Store.InjectedFaults()
+	}
+	return 0
+}
+
 // TraceLabel returns the label identifying this System in shared tracers and
 // registries: Options.TraceLabel, or one derived from the mode.
 func (s *System) TraceLabel() string {
@@ -278,6 +332,11 @@ func (s *System) PublishStats() {
 		reg.Counter("aq_direct_reclaim_pages", l).Set(st.DirectReclaimPages)
 		reg.Counter("aq_bg_reclaim_pages", l).Set(st.BgReclaimPages)
 		reg.Counter("aq_evict_stalls", l).Set(st.EvictStalls)
+		reg.Counter("aq_io_retries", l).Set(st.IORetries)
+		reg.Counter("aq_poisoned_pages", l).Set(st.PoisonedPages)
+		reg.Counter("aq_quarantined_pages", l).Set(st.QuarantinedPages)
+		reg.Counter("aq_requeued_pages", l).Set(st.RequeuedPages)
+		reg.Counter("aq_sync_wb_fallbacks", l).Set(st.SyncWritebackFallbacks)
 	}
 	c := s.Host.Cache
 	reg.Counter("pagecache_inserted", l).Set(c.Inserted)

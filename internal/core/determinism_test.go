@@ -4,14 +4,22 @@ import (
 	"fmt"
 	"testing"
 
+	"aquila/internal/sim/device"
 	"aquila/internal/sim/engine"
 )
+
+// Golden fingerprints of the default (synchronous reclaim) configuration,
+// captured at the seed commit. See TestAquilaSyncModeDeterminism.
+var syncModeGoldens = map[string]string{
+	"dax":  "now=15098022 major=8813 minor=1419 wp=1329 evict=8339 wb=3851 shoot=37 free=550 resident=470",
+	"spdk": "now=141287200 major=8784 minor=2290 wp=1514 evict=8562 wb=3926 shoot=41 free=802 resident=222",
+}
 
 // determinismWorkload drives an eviction-heavy mixed read/write pattern over
 // a mapping four times the cache and returns a fingerprint of everything the
 // simulation decided: final clocks, fault/eviction counters, and freelist
-// population.
-func determinismWorkload(boot func(p *engine.Proc) *Runtime, e *engine.Engine, cpus int) string {
+// population (plus the runtime, for callers that fold in more state).
+func determinismWorkload(boot func(p *engine.Proc) *Runtime, e *engine.Engine, cpus int) (string, *Runtime) {
 	var rt *Runtime
 	e.Spawn(0, "init", func(p *engine.Proc) {
 		rt = boot(p)
@@ -38,7 +46,7 @@ func determinismWorkload(boot func(p *engine.Proc) *Runtime, e *engine.Engine, c
 	st := rt.Stats
 	return fmt.Sprintf("now=%d major=%d minor=%d wp=%d evict=%d wb=%d shoot=%d free=%d resident=%d",
 		e.Now(), st.MajorFaults, st.MinorFaults, st.WPFaults, st.Evictions,
-		st.WrittenBack, st.ShootdownBatches, rt.FreePages(), rt.ResidentPages())
+		st.WrittenBack, st.ShootdownBatches, rt.FreePages(), rt.ResidentPages()), rt
 }
 
 // TestAquilaSyncModeDeterminism pins the default (synchronous reclaim)
@@ -47,24 +55,60 @@ func determinismWorkload(boot func(p *engine.Proc) *Runtime, e *engine.Engine, c
 // strings were captured before the background evictor existed; any change
 // here means the synchronous path's timing or ordering changed.
 func TestAquilaSyncModeDeterminism(t *testing.T) {
-	goldens := map[string]string{
-		"dax":  "now=15098022 major=8813 minor=1419 wp=1329 evict=8339 wb=3851 shoot=37 free=550 resident=470",
-		"spdk": "now=141287200 major=8784 minor=2290 wp=1514 evict=8562 wb=3926 shoot=41 free=802 resident=222",
-	}
 	{
 		e, _, boot := daxWorld(4*mib, 4)
-		got := determinismWorkload(boot, e, 4)
+		got, _ := determinismWorkload(boot, e, 4)
 		t.Logf("dax: %s", got)
-		if got != goldens["dax"] {
-			t.Errorf("dax fingerprint drifted:\n got  %s\n want %s", got, goldens["dax"])
+		if got != syncModeGoldens["dax"] {
+			t.Errorf("dax fingerprint drifted:\n got  %s\n want %s", got, syncModeGoldens["dax"])
 		}
 	}
 	{
 		e, boot := spdkWorld(4*mib, 4)
-		got := determinismWorkload(boot, e, 4)
+		got, _ := determinismWorkload(boot, e, 4)
 		t.Logf("spdk: %s", got)
-		if got != goldens["spdk"] {
-			t.Errorf("spdk fingerprint drifted:\n got  %s\n want %s", got, goldens["spdk"])
+		if got != syncModeGoldens["spdk"] {
+			t.Errorf("spdk fingerprint drifted:\n got  %s\n want %s", got, syncModeGoldens["spdk"])
 		}
+	}
+}
+
+// TestFaultPlanDeterminism: a fixed-seed fault plan (probabilistic transient
+// write errors plus periodic latency spikes) under background eviction is
+// bit-identical across runs — injection points, retries, requeues and final
+// clocks all replay exactly.
+func TestFaultPlanDeterminism(t *testing.T) {
+	run := func() string {
+		e, pm, boot := faultDaxWorld(4*mib, 4, asyncParams(nil))
+		pm.InjectFaults("pmem0", &device.FaultPlan{Seed: 11, Rules: []device.FaultRule{
+			{Kind: device.FaultTransientWrite, Prob: 0.2},
+			{Kind: device.FaultLatencySpike, After: 5, Every: 40, Delay: 60000},
+		}})
+		fp, rt := determinismWorkload(boot, e, 4)
+		return fmt.Sprintf("%s retries=%d requeued=%d quarantined=%d injected=%d",
+			fp, rt.Stats.IORetries, rt.Stats.RequeuedPages,
+			rt.Stats.QuarantinedPages, pm.Store.InjectedFaults())
+	}
+	a, b := run(), run()
+	t.Logf("faulted: %s", a)
+	if a != b {
+		t.Errorf("fault plan replay diverged:\n run1 %s\n run2 %s", a, b)
+	}
+}
+
+// TestZeroFaultPlanMatchesNoPlan: attaching an empty fault plan must be
+// perfectly inert — the fingerprint stays bit-identical to the no-plan golden
+// (no stray delays, no extra RNG draws, no schedule bookkeeping side effects).
+func TestZeroFaultPlanMatchesNoPlan(t *testing.T) {
+	e, pm, boot := faultDaxWorld(4*mib, 4, nil)
+	pm.InjectFaults("pmem0", &device.FaultPlan{Seed: 5})
+	got, rt := determinismWorkload(boot, e, 4)
+	if got != syncModeGoldens["dax"] {
+		t.Errorf("empty fault plan perturbed the simulation:\n got  %s\n want %s",
+			got, syncModeGoldens["dax"])
+	}
+	if pm.Store.InjectedFaults() != 0 || rt.Stats.IORetries != 0 {
+		t.Errorf("empty plan injected faults: injected=%d retries=%d",
+			pm.Store.InjectedFaults(), rt.Stats.IORetries)
 	}
 }

@@ -26,6 +26,9 @@ type DirectMapping struct {
 	// mediaReads/mediaWrites count accesses (stats).
 	MediaReads  uint64
 	MediaWrites uint64
+	// errCursor is this mapping's position in the file's writeback error
+	// sequence (media errors detected on direct stores record there).
+	errCursor uint64
 }
 
 // MmapDirectNVM maps f's first size bytes directly (DAX, 2 MB pages).
@@ -50,35 +53,60 @@ func (rt *Runtime) MmapDirectNVM(p *engine.Proc, f *fileState, size uint64) *Dir
 			pagetable.FlagUser|pagetable.FlagWritable, huge)
 		rt.charge(p, "map-pte", rt.C.PTEUpdate)
 	}
-	return &DirectMapping{rt: rt, eng: eng, f: f, base: base, size: size}
+	return &DirectMapping{rt: rt, eng: eng, f: f, base: base, size: size,
+		errCursor: f.wbErr.seq}
 }
 
 // Size returns the mapped length.
 func (m *DirectMapping) Size() uint64 { return m.size }
 
 // Load reads directly from the NVM media: no fault, no cache — the access
-// cost is the media itself plus the load issue cost.
+// cost is the media itself plus the load issue cost. A load from a poisoned
+// line machine-checks: the simulated equivalent is a typed SIGBUS panic,
+// exactly what the kernel delivers for an MCE on a DAX mapping.
 func (m *DirectMapping) Load(p *engine.Proc, off uint64, buf []byte) {
 	m.checkRange(off, len(buf))
 	m.MediaReads++
 	hf := m.eng.file(m.f)
-	m.eng.OS.Disk().Content.ReadAt(hf.DevOffset(off), buf)
-	p.AdvanceUser(m.eng.PMemCost(len(buf)) + loadStoreCost(len(buf)))
+	st := m.eng.OS.Disk().Content
+	devOff := hf.DevOffset(off)
+	delay, ferr := st.CheckRead(p.Now(), devOff, len(buf))
+	if ferr != nil {
+		panic(&SigBus{VA: m.base + off, File: m.f.name,
+			Err: newIOFault("read", m.f.name, off/pageSize, ferr)})
+	}
+	st.ReadAt(devOff, buf)
+	p.AdvanceUser(m.eng.PMemCost(len(buf)) + loadStoreCost(len(buf)) + delay)
 }
 
 // Store writes directly to the NVM media, including the persistence flush
-// (clwb + fence) a direct-access store path must issue.
+// (clwb + fence) a direct-access store path must issue. A media error on the
+// flush does not trap the store (writes are posted); it is recorded in the
+// file's error sequence and surfaces on the next Msync, matching how real
+// pmem reports failed flushes.
 func (m *DirectMapping) Store(p *engine.Proc, off uint64, buf []byte) {
 	m.checkRange(off, len(buf))
 	m.MediaWrites++
 	hf := m.eng.file(m.f)
-	m.eng.OS.Disk().Content.WriteAt(hf.DevOffset(off), buf)
+	st := m.eng.OS.Disk().Content
+	devOff := hf.DevOffset(off)
+	delay, ferr := st.CheckWrite(p.Now(), devOff, len(buf))
+	if ferr != nil {
+		m.f.wbErr.record(newIOFault("write", m.f.name, off/pageSize, ferr))
+	} else {
+		st.WriteAt(devOff, buf)
+	}
 	lines := uint64(len(buf)+63) / 64
-	p.AdvanceUser(m.eng.PMemCost(len(buf)) + loadStoreCost(len(buf)) + lines*12 + 30)
+	p.AdvanceUser(m.eng.PMemCost(len(buf)) + loadStoreCost(len(buf)) + lines*12 + 30 + delay)
 }
 
-// Msync is a no-op beyond a fence: stores already reached the media.
-func (m *DirectMapping) Msync(p *engine.Proc) { p.AdvanceUser(30) }
+// Msync is a fence (stores already reached the media) plus the errseq check:
+// a DAX mapping reports media errors detected by earlier flushes exactly
+// once per caller, like any other mapping.
+func (m *DirectMapping) Msync(p *engine.Proc) error {
+	p.AdvanceUser(30)
+	return m.f.wbErr.check(&m.errCursor)
+}
 
 func (m *DirectMapping) checkRange(off uint64, n int) {
 	if off+uint64(n) > m.size {

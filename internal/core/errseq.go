@@ -1,0 +1,37 @@
+package core
+
+// errseq mirrors the kernel's errseq_t: a per-file writeback error cursor
+// that guarantees each sync caller observes an error at most once, and that
+// no error is lost between callers. Each recorded error advances a sequence
+// number; every consumer (mapping, open file) keeps its own cursor and
+// compares it against the sequence on Msync/Fsync. A caller whose cursor is
+// current gets nil; a stale caller gets the latest error and its cursor
+// advances. Two independent callers therefore both see the same error once
+// each — exactly Linux's file_check_and_advance_wb_err contract.
+//
+// The simulation is single-threaded per engine step, so no atomics needed.
+type errseq struct {
+	err error
+	seq uint64
+}
+
+// record notes a writeback error; nil is a no-op. Every record bumps the
+// sequence so an error that repeats after being reported is reported again.
+func (e *errseq) record(err error) {
+	if err == nil {
+		return
+	}
+	e.err = err
+	e.seq++
+}
+
+// check reports the latest unseen error for the caller owning *cursor and
+// marks it seen. Callers initialize their cursor to the sequence at
+// open/mmap time, so errors predating them are not re-reported.
+func (e *errseq) check(cursor *uint64) error {
+	if *cursor == e.seq {
+		return nil
+	}
+	*cursor = e.seq
+	return e.err
+}

@@ -22,6 +22,12 @@ import (
 // throttled wait — before going back to sleep until the next kick.
 const evictorEmptyRounds = 8
 
+// bgSyncFallbackAfter is how many consecutive batches with writeback
+// failures a daemon tolerates before abandoning overlapped submission for
+// fully synchronous writeback (inline retry/recovery per run); one clean
+// batch switches back.
+const bgSyncFallbackAfter = 2
+
 type bgEvictor struct {
 	rt   *Runtime
 	node int
@@ -31,6 +37,9 @@ type bgEvictor struct {
 	// kickers only Set the signal for idle daemons, and allocations only
 	// throttle-wait while some daemon is not idle.
 	idle bool
+	// failStreak counts consecutive reclaim batches that hit a final
+	// writeback failure; at bgSyncFallbackAfter the daemon stops overlapping.
+	failStreak int
 }
 
 // setWatermarks derives the reclaim watermarks from the params and the
@@ -186,22 +195,32 @@ func (ev *bgEvictor) reclaimBatch(p *engine.Proc) int {
 			dirtyV = append(dirtyV, v)
 		}
 	}
-	ev.writeOverlapped(p, dirtyV)
+	if ev.writeOverlapped(p, dirtyV) != nil {
+		ev.failStreak++
+	} else {
+		ev.failStreak = 0
+	}
 	doneAt := p.Now()
 	frames := make([]*mem.Frame, 0, len(victims))
+	recycled := 0
 	for _, v := range victims {
-		delete(rt.pages, v.Key())
 		v.io.Fire(doneAt)
 		v.io = nil
+		if v.quarantined || v.dirty {
+			// Writeback failed: the page was revived (quarantined or
+			// requeued) and keeps its frame.
+			continue
+		}
+		delete(rt.pages, v.Key())
 		frames = append(frames, v.frame)
 		v.frame = nil
+		recycled++
 	}
 	rt.fl.pushBatch(p, frames)
-	n := uint64(len(victims))
-	rt.Stats.Evictions += n
-	rt.Stats.BgReclaimPages += n
+	rt.Stats.Evictions += uint64(recycled)
+	rt.Stats.BgReclaimPages += uint64(recycled)
 	rt.Break.Add("bg_reclaim", p.Now()-t0)
-	return len(victims)
+	return recycled
 }
 
 // writeOverlapped writes dirty victims in device-offset order with merged
@@ -210,14 +229,24 @@ func (ev *bgEvictor) reclaimBatch(p *engine.Proc) int {
 // for the last completion, so device time overlaps submission work instead of
 // serializing run after run. Victims are already unmapped here, so no
 // write-protect pass is needed.
-func (ev *bgEvictor) writeOverlapped(p *engine.Proc, pages []*Page) {
+//
+// A run whose submission is rejected falls back to the synchronous
+// retry/recovery path inline (the rest of the batch keeps overlapping); a
+// daemon whose batches keep failing stops overlapping entirely until a batch
+// completes clean. Returns the first final write failure, if any.
+func (ev *bgEvictor) writeOverlapped(p *engine.Proc, pages []*Page) error {
 	rt := ev.rt
 	if len(pages) == 0 {
-		return
+		return nil
 	}
 	sort.Slice(pages, func(i, j int) bool { return dirtyKey(pages[i]) < dirtyKey(pages[j]) })
 	aw, _ := rt.Engine.(AsyncWriter)
+	if aw != nil && ev.failStreak >= bgSyncFallbackAfter {
+		aw = nil
+		rt.Stats.SyncWritebackFallbacks++
+	}
 	var lastDone uint64
+	var firstErr error
 	i := 0
 	for i < len(pages) {
 		j := i + 1
@@ -230,18 +259,26 @@ func (ev *bgEvictor) writeOverlapped(p *engine.Proc, pages []*Page) {
 		for k, pg := range run {
 			frames[k] = pg.frame
 		}
-		t0 := p.Now()
-		p.BeginSpan("aq.bg_writeback")
 		if aw != nil {
-			if done := aw.SubmitWriteRun(p, run[0].file, run[0].idx, frames); done > lastDone {
-				lastDone = done
+			t0 := p.Now()
+			p.BeginSpan("aq.bg_writeback")
+			done, err := aw.SubmitWriteRun(p, run[0].file, run[0].idx, frames)
+			p.EndSpan()
+			rt.Break.Add("writeback", p.Now()-t0)
+			if err == nil {
+				if done > lastDone {
+					lastDone = done
+				}
+				rt.Stats.WrittenBack += uint64(len(run))
+				i = j
+				continue
 			}
-		} else {
-			rt.Engine.WriteRun(p, run[0].file, run[0].idx, frames)
+			// Submission rejected: nothing of this run was queued. Recover
+			// synchronously (bounded retries, then per-page isolation).
 		}
-		p.EndSpan()
-		rt.Break.Add("writeback", p.Now()-t0)
-		rt.Stats.WrittenBack += uint64(len(run))
+		if werr := rt.writeRunOrRecover(p, "aq.bg_writeback", run, frames, true); werr != nil && firstErr == nil {
+			firstErr = werr
+		}
 		i = j
 	}
 	if lastDone > p.Now() {
@@ -252,4 +289,5 @@ func (ev *bgEvictor) writeOverlapped(p *engine.Proc, pages []*Page) {
 		p.EndSpan()
 		rt.Break.Add("writeback", p.Now()-t0)
 	}
+	return firstErr
 }

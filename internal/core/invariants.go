@@ -60,6 +60,16 @@ func (rt *Runtime) CheckInvariants() error {
 		if pg.dirty {
 			dirtyPages++
 		}
+		// Fault discipline: a poisoned page is unreadable, so it can never
+		// have been stored to (stores SIGBUS at resolve) — it must be clean,
+		// and it cannot also be quarantined (quarantine needs a writeback,
+		// writeback needs a dirtying store).
+		if pg.poison != nil && pg.dirty {
+			return fmt.Errorf("poisoned page (%s,%d) is dirty", pg.file.name, pg.idx)
+		}
+		if pg.poison != nil && pg.quarantined {
+			return fmt.Errorf("page (%s,%d) both poisoned and quarantined", pg.file.name, pg.idx)
+		}
 		for _, va := range pg.vas {
 			e, ok := rt.PT.Lookup(va)
 			if !ok {

@@ -14,6 +14,14 @@ import (
 // IOEngine is Aquila's pluggable device-access layer (§3.3): applications
 // choose how cache misses and write-backs reach storage. The four engines of
 // Figure 8(c) are provided; custom engines implement this interface.
+//
+// Every data-path method returns an error when the device's fault plan fails
+// the operation. On failure the engine still charges the full timing of the
+// attempt (submission, device service, completion — failure is detected at
+// completion, as on real hardware) but moves no content: a failed read
+// leaves the frames untouched, a failed write persists nothing. Injected
+// latency spikes delay the operation without failing it. Worlds without a
+// fault plan never see an error and pay no extra cost.
 type IOEngine interface {
 	// Name identifies the engine ("DAX-pmem", "SPDK-NVMe", ...).
 	Name() string
@@ -25,23 +33,24 @@ type IOEngine interface {
 	Delete(p *engine.Proc, name string)
 	// ReadRun fills frames with the content of pages [pageIdx,
 	// pageIdx+len(frames)) of f, charging the engine's full access cost.
-	ReadRun(p *engine.Proc, f *fileState, pageIdx uint64, frames []*mem.Frame)
+	ReadRun(p *engine.Proc, f *fileState, pageIdx uint64, frames []*mem.Frame) error
 	// WriteRun persists frames to pages starting at pageIdx.
-	WriteRun(p *engine.Proc, f *fileState, pageIdx uint64, frames []*mem.Frame)
+	WriteRun(p *engine.Proc, f *fileState, pageIdx uint64, frames []*mem.Frame) error
 	// DirectRead and DirectWrite bypass the cache entirely (explicit file
 	// I/O under Aquila, used e.g. by LSM compactions).
-	DirectRead(p *engine.Proc, f *fileState, off uint64, buf []byte)
-	DirectWrite(p *engine.Proc, f *fileState, off uint64, buf []byte)
+	DirectRead(p *engine.Proc, f *fileState, off uint64, buf []byte) error
+	DirectWrite(p *engine.Proc, f *fileState, off uint64, buf []byte) error
 }
 
 // AsyncWriter is the optional overlapped-writeback extension used by the
 // background evictor: SubmitWriteRun persists the frames like WriteRun but
 // does not wait for the device — it returns the completion cycle, so the
-// caller can queue many runs back to back and drain once. Engines that
-// cannot overlap (e.g. HOST-*, where each I/O is a blocking syscall) simply
-// don't implement it and the evictor falls back to WriteRun.
+// caller can queue many runs back to back and drain once. A submission error
+// reports the run failed without queueing anything (completion 0). Engines
+// that cannot overlap (e.g. HOST-*, where each I/O is a blocking syscall)
+// simply don't implement it and the evictor falls back to WriteRun.
 type AsyncWriter interface {
-	SubmitWriteRun(p *engine.Proc, f *fileState, pageIdx uint64, frames []*mem.Frame) uint64
+	SubmitWriteRun(p *engine.Proc, f *fileState, pageIdx uint64, frames []*mem.Frame) (uint64, error)
 }
 
 // readFrames / writeFrames helpers: move content between device store and
@@ -102,58 +111,95 @@ func (e *DAXEngine) Delete(p *engine.Proc, name string) {
 
 func (e *DAXEngine) file(f *fileState) *host.FSFile { return f.backing.(*host.FSFile) }
 
-// ReadRun implements IOEngine: one optimized memcpy per run.
-func (e *DAXEngine) ReadRun(p *engine.Proc, f *fileState, pageIdx uint64, frames []*mem.Frame) {
+// ReadRun implements IOEngine: one optimized memcpy per run. Host files are
+// single contiguous extents, so the whole run is one device range and the
+// fault plan is consulted once per run.
+func (e *DAXEngine) ReadRun(p *engine.Proc, f *fileState, pageIdx uint64, frames []*mem.Frame) error {
 	hf := e.file(f)
-	for i, fr := range frames {
-		fillFrame(e.OS.Disk().Content, hf.DevOffset((pageIdx+uint64(i))*pageSize), fr)
-	}
+	st := e.OS.Disk().Content
 	bytes := len(frames) * pageSize
+	delay, ferr := st.CheckRead(p.Now(), hf.DevOffset(pageIdx*pageSize), bytes)
+	if ferr == nil {
+		for i, fr := range frames {
+			fillFrame(st, hf.DevOffset((pageIdx+uint64(i))*pageSize), fr)
+		}
+	}
 	p.AdvanceSystem(e.costs.MemcpyAVX2(bytes))
 	done := e.OS.Disk().Timing.Submit(p.Now(), bytes, false)
-	p.WaitUntil(done, engine.KindIOWait)
+	p.WaitUntil(done+delay, engine.KindIOWait)
+	return ferr
 }
 
 // WriteRun implements IOEngine.
-func (e *DAXEngine) WriteRun(p *engine.Proc, f *fileState, pageIdx uint64, frames []*mem.Frame) {
+func (e *DAXEngine) WriteRun(p *engine.Proc, f *fileState, pageIdx uint64, frames []*mem.Frame) error {
 	hf := e.file(f)
-	for i, fr := range frames {
-		flushFrame(e.OS.Disk().Content, hf.DevOffset((pageIdx+uint64(i))*pageSize), fr)
-	}
+	st := e.OS.Disk().Content
 	bytes := len(frames) * pageSize
+	delay, ferr := st.CheckWrite(p.Now(), hf.DevOffset(pageIdx*pageSize), bytes)
+	if ferr == nil {
+		for i, fr := range frames {
+			flushFrame(st, hf.DevOffset((pageIdx+uint64(i))*pageSize), fr)
+		}
+	}
 	p.AdvanceSystem(e.costs.MemcpyAVX2(bytes))
 	done := e.OS.Disk().Timing.Submit(p.Now(), bytes, true)
-	p.WaitUntil(done, engine.KindIOWait)
+	p.WaitUntil(done+delay, engine.KindIOWait)
+	return ferr
 }
 
 // SubmitWriteRun implements AsyncWriter: the streaming memcpy is still paid
 // by the caller, but the persistence-domain drain (Timing.Submit models the
 // ADR flush latency) is left queued for a later single wait, so consecutive
 // runs overlap their drains.
-func (e *DAXEngine) SubmitWriteRun(p *engine.Proc, f *fileState, pageIdx uint64, frames []*mem.Frame) uint64 {
+func (e *DAXEngine) SubmitWriteRun(p *engine.Proc, f *fileState, pageIdx uint64, frames []*mem.Frame) (uint64, error) {
 	hf := e.file(f)
-	for i, fr := range frames {
-		flushFrame(e.OS.Disk().Content, hf.DevOffset((pageIdx+uint64(i))*pageSize), fr)
-	}
+	st := e.OS.Disk().Content
 	bytes := len(frames) * pageSize
+	delay, ferr := st.CheckWrite(p.Now(), hf.DevOffset(pageIdx*pageSize), bytes)
+	if ferr != nil {
+		// The streaming stores machine-check immediately; nothing queued.
+		p.AdvanceSystem(e.costs.MemcpyAVX2(bytes))
+		return 0, ferr
+	}
+	for i, fr := range frames {
+		flushFrame(st, hf.DevOffset((pageIdx+uint64(i))*pageSize), fr)
+	}
 	p.AdvanceSystem(e.costs.MemcpyAVX2(bytes))
-	return e.OS.Disk().Timing.Submit(p.Now(), bytes, true)
+	return e.OS.Disk().Timing.Submit(p.Now(), bytes, true) + delay, nil
 }
 
 // DirectRead implements IOEngine: load/memcpy straight from the DAX mapping.
-func (e *DAXEngine) DirectRead(p *engine.Proc, f *fileState, off uint64, buf []byte) {
-	e.OS.Disk().Content.ReadAt(e.file(f).DevOffset(off), buf)
+func (e *DAXEngine) DirectRead(p *engine.Proc, f *fileState, off uint64, buf []byte) error {
+	st := e.OS.Disk().Content
+	devOff := e.file(f).DevOffset(off)
+	delay, ferr := st.CheckRead(p.Now(), devOff, len(buf))
+	if ferr == nil {
+		st.ReadAt(devOff, buf)
+	}
 	p.AdvanceSystem(e.costs.MemcpyAVX2(len(buf)))
+	if delay > 0 {
+		p.WaitUntil(p.Now()+delay, engine.KindIOWait)
+	}
+	return ferr
 }
 
 // DirectWrite implements IOEngine.
-func (e *DAXEngine) DirectWrite(p *engine.Proc, f *fileState, off uint64, buf []byte) {
+func (e *DAXEngine) DirectWrite(p *engine.Proc, f *fileState, off uint64, buf []byte) error {
 	hf := e.file(f)
-	e.OS.Disk().Content.WriteAt(hf.DevOffset(off), buf)
-	if off+uint64(len(buf)) > hf.Size() {
-		hf.SetSize(off + uint64(len(buf)))
+	st := e.OS.Disk().Content
+	devOff := hf.DevOffset(off)
+	delay, ferr := st.CheckWrite(p.Now(), devOff, len(buf))
+	if ferr == nil {
+		st.WriteAt(devOff, buf)
+		if off+uint64(len(buf)) > hf.Size() {
+			hf.SetSize(off + uint64(len(buf)))
+		}
 	}
 	p.AdvanceSystem(e.costs.MemcpyAVX2(len(buf)))
+	if delay > 0 {
+		p.WaitUntil(p.Now()+delay, engine.KindIOWait)
+	}
+	return ferr
 }
 
 // SPDKEngine accesses a dedicated NVMe device from non-root ring 0 through
@@ -186,11 +232,14 @@ func (e *SPDKEngine) Delete(p *engine.Proc, name string) { e.FM.Delete(p, name) 
 func (e *SPDKEngine) blob(f *fileState) *spdk.Blob { return f.backing.(*spdk.Blob) }
 
 // ReadRun implements IOEngine: one polled NVMe I/O per device-contiguous
-// extent (blob clusters are 1 MB, so page runs rarely split).
-func (e *SPDKEngine) ReadRun(p *engine.Proc, f *fileState, pageIdx uint64, frames []*mem.Frame) {
+// extent (blob clusters are 1 MB, so page runs rarely split). Each extent is
+// one NVMe command, so the fault plan is consulted per extent; the first
+// failed extent aborts the run (the runtime re-issues per page to isolate).
+func (e *SPDKEngine) ReadRun(p *engine.Proc, f *fileState, pageIdx uint64, frames []*mem.Frame) error {
 	b := e.blob(f)
 	bs := e.FM.Blobstore()
 	drv := bs.Drv()
+	st := drv.Device().Store
 	for i := 0; i < len(frames); {
 		off := (pageIdx + uint64(i)) * pageSize
 		// Pages within one cluster are device-contiguous.
@@ -199,19 +248,29 @@ func (e *SPDKEngine) ReadRun(p *engine.Proc, f *fileState, pageIdx uint64, frame
 		if n > inCluster {
 			n = inCluster
 		}
+		delay, ferr := st.CheckRead(p.Now(), bs.DevOff(b, off), n*pageSize)
+		if delay > 0 {
+			p.WaitUntil(p.Now()+delay, engine.KindIOWait)
+		}
+		if ferr != nil {
+			drv.ReadTimed(p, n*pageSize)
+			return ferr
+		}
 		for j := 0; j < n; j++ {
-			fillFrame(drv.Device().Store, bs.DevOff(b, off+uint64(j)*pageSize), frames[i+j])
+			fillFrame(st, bs.DevOff(b, off+uint64(j)*pageSize), frames[i+j])
 		}
 		drv.ReadTimed(p, n*pageSize)
 		i += n
 	}
+	return nil
 }
 
 // WriteRun implements IOEngine.
-func (e *SPDKEngine) WriteRun(p *engine.Proc, f *fileState, pageIdx uint64, frames []*mem.Frame) {
+func (e *SPDKEngine) WriteRun(p *engine.Proc, f *fileState, pageIdx uint64, frames []*mem.Frame) error {
 	b := e.blob(f)
 	bs := e.FM.Blobstore()
 	drv := bs.Drv()
+	st := drv.Device().Store
 	for i := 0; i < len(frames); {
 		off := (pageIdx + uint64(i)) * pageSize
 		inCluster := int((spdk.ClusterSize - off%spdk.ClusterSize) / pageSize)
@@ -219,21 +278,31 @@ func (e *SPDKEngine) WriteRun(p *engine.Proc, f *fileState, pageIdx uint64, fram
 		if n > inCluster {
 			n = inCluster
 		}
+		delay, ferr := st.CheckWrite(p.Now(), bs.DevOff(b, off), n*pageSize)
+		if delay > 0 {
+			p.WaitUntil(p.Now()+delay, engine.KindIOWait)
+		}
+		if ferr != nil {
+			drv.WriteTimed(p, n*pageSize)
+			return ferr
+		}
 		for j := 0; j < n; j++ {
-			flushFrame(drv.Device().Store, bs.DevOff(b, off+uint64(j)*pageSize), frames[i+j])
+			flushFrame(st, bs.DevOff(b, off+uint64(j)*pageSize), frames[i+j])
 		}
 		drv.WriteTimed(p, n*pageSize)
 		i += n
 	}
+	return nil
 }
 
 // SubmitWriteRun implements AsyncWriter: per-cluster extents enter the NVMe
 // submission queue without busy-polling each completion; the returned cycle
 // is the last extent's completion.
-func (e *SPDKEngine) SubmitWriteRun(p *engine.Proc, f *fileState, pageIdx uint64, frames []*mem.Frame) uint64 {
+func (e *SPDKEngine) SubmitWriteRun(p *engine.Proc, f *fileState, pageIdx uint64, frames []*mem.Frame) (uint64, error) {
 	b := e.blob(f)
 	bs := e.FM.Blobstore()
 	drv := bs.Drv()
+	st := drv.Device().Store
 	var done uint64
 	for i := 0; i < len(frames); {
 		off := (pageIdx + uint64(i)) * pageSize
@@ -242,29 +311,66 @@ func (e *SPDKEngine) SubmitWriteRun(p *engine.Proc, f *fileState, pageIdx uint64
 		if n > inCluster {
 			n = inCluster
 		}
-		for j := 0; j < n; j++ {
-			flushFrame(drv.Device().Store, bs.DevOff(b, off+uint64(j)*pageSize), frames[i+j])
+		delay, ferr := st.CheckWrite(p.Now(), bs.DevOff(b, off), n*pageSize)
+		if ferr != nil {
+			// Submission-time rejection: nothing from this run is queued.
+			return 0, ferr
 		}
-		if d := drv.WriteAsync(p, n*pageSize); d > done {
+		for j := 0; j < n; j++ {
+			flushFrame(st, bs.DevOff(b, off+uint64(j)*pageSize), frames[i+j])
+		}
+		if d := drv.WriteAsync(p, n*pageSize) + delay; d > done {
 			done = d
 		}
 		i += n
 	}
-	return done
+	return done, nil
 }
 
-// DirectRead implements IOEngine.
-func (e *SPDKEngine) DirectRead(p *engine.Proc, f *fileState, off uint64, buf []byte) {
-	e.FM.Blobstore().ReadBlob(p, e.blob(f), off, buf)
+// DirectRead implements IOEngine. The fault check covers the first
+// device-contiguous chunk (blob clusters may scatter a long read).
+func (e *SPDKEngine) DirectRead(p *engine.Proc, f *fileState, off uint64, buf []byte) error {
+	b := e.blob(f)
+	bs := e.FM.Blobstore()
+	st := bs.Drv().Device().Store
+	n := len(buf)
+	if c := int(spdk.ClusterSize - off%spdk.ClusterSize); n > c {
+		n = c
+	}
+	delay, ferr := st.CheckRead(p.Now(), bs.DevOff(b, off), n)
+	if delay > 0 {
+		p.WaitUntil(p.Now()+delay, engine.KindIOWait)
+	}
+	if ferr != nil {
+		bs.Drv().ReadTimed(p, len(buf))
+		return ferr
+	}
+	bs.ReadBlob(p, b, off, buf)
+	return nil
 }
 
 // DirectWrite implements IOEngine.
-func (e *SPDKEngine) DirectWrite(p *engine.Proc, f *fileState, off uint64, buf []byte) {
+func (e *SPDKEngine) DirectWrite(p *engine.Proc, f *fileState, off uint64, buf []byte) error {
 	b := e.blob(f)
-	e.FM.Blobstore().WriteBlob(p, b, off, buf)
-	if off+uint64(len(buf)) > b.Size() {
-		e.FM.Blobstore().SetSize(b, off+uint64(len(buf)))
+	bs := e.FM.Blobstore()
+	st := bs.Drv().Device().Store
+	n := len(buf)
+	if c := int(spdk.ClusterSize - off%spdk.ClusterSize); n > c {
+		n = c
 	}
+	delay, ferr := st.CheckWrite(p.Now(), bs.DevOff(b, off), n)
+	if delay > 0 {
+		p.WaitUntil(p.Now()+delay, engine.KindIOWait)
+	}
+	if ferr != nil {
+		bs.Drv().WriteTimed(p, len(buf))
+		return ferr
+	}
+	bs.WriteBlob(p, b, off, buf)
+	if off+uint64(len(buf)) > b.Size() {
+		bs.SetSize(b, off+uint64(len(buf)))
+	}
+	return nil
 }
 
 // HostEngine issues Aquila's device I/O through the host kernel with direct
@@ -307,35 +413,80 @@ func (e *HostEngine) Delete(p *engine.Proc, name string) {
 func (e *HostEngine) file(f *fileState) *host.FSFile { return f.backing.(*host.FSFile) }
 
 // ReadRun implements IOEngine.
-func (e *HostEngine) ReadRun(p *engine.Proc, f *fileState, pageIdx uint64, frames []*mem.Frame) {
+func (e *HostEngine) ReadRun(p *engine.Proc, f *fileState, pageIdx uint64, frames []*mem.Frame) error {
 	hf := e.file(f)
-	for i, fr := range frames {
-		fillFrame(e.OS.Disk().Content, hf.DevOffset((pageIdx+uint64(i))*pageSize), fr)
+	st := e.OS.Disk().Content
+	bytes := len(frames) * pageSize
+	delay, ferr := st.CheckRead(p.Now(), hf.DevOffset(pageIdx*pageSize), bytes)
+	if ferr == nil {
+		for i, fr := range frames {
+			fillFrame(st, hf.DevOffset((pageIdx+uint64(i))*pageSize), fr)
+		}
 	}
-	e.OS.DirectIOTimed(p, len(frames)*pageSize, false)
+	e.OS.DirectIOTimed(p, bytes, false)
+	if delay > 0 {
+		p.WaitUntil(p.Now()+delay, engine.KindIOWait)
+	}
+	return ferr
 }
 
 // WriteRun implements IOEngine.
-func (e *HostEngine) WriteRun(p *engine.Proc, f *fileState, pageIdx uint64, frames []*mem.Frame) {
+func (e *HostEngine) WriteRun(p *engine.Proc, f *fileState, pageIdx uint64, frames []*mem.Frame) error {
 	hf := e.file(f)
-	for i, fr := range frames {
-		flushFrame(e.OS.Disk().Content, hf.DevOffset((pageIdx+uint64(i))*pageSize), fr)
+	st := e.OS.Disk().Content
+	bytes := len(frames) * pageSize
+	delay, ferr := st.CheckWrite(p.Now(), hf.DevOffset(pageIdx*pageSize), bytes)
+	if ferr == nil {
+		for i, fr := range frames {
+			flushFrame(st, hf.DevOffset((pageIdx+uint64(i))*pageSize), fr)
+		}
 	}
-	e.OS.DirectIOTimed(p, len(frames)*pageSize, true)
+	e.OS.DirectIOTimed(p, bytes, true)
+	if delay > 0 {
+		p.WaitUntil(p.Now()+delay, engine.KindIOWait)
+	}
+	return ferr
 }
 
 // DirectRead implements IOEngine.
-func (e *HostEngine) DirectRead(p *engine.Proc, f *fileState, off uint64, buf []byte) {
-	e.OS.DirectReadHost(p, e.file(f), off, buf)
+func (e *HostEngine) DirectRead(p *engine.Proc, f *fileState, off uint64, buf []byte) error {
+	hf := e.file(f)
+	st := e.OS.Disk().Content
+	delay, ferr := st.CheckRead(p.Now(), hf.DevOffset(off), len(buf))
+	if ferr != nil {
+		e.OS.DirectIOTimed(p, len(buf), false)
+		if delay > 0 {
+			p.WaitUntil(p.Now()+delay, engine.KindIOWait)
+		}
+		return ferr
+	}
+	e.OS.DirectReadHost(p, hf, off, buf)
+	if delay > 0 {
+		p.WaitUntil(p.Now()+delay, engine.KindIOWait)
+	}
+	return nil
 }
 
 // DirectWrite implements IOEngine.
-func (e *HostEngine) DirectWrite(p *engine.Proc, f *fileState, off uint64, buf []byte) {
+func (e *HostEngine) DirectWrite(p *engine.Proc, f *fileState, off uint64, buf []byte) error {
 	hf := e.file(f)
+	st := e.OS.Disk().Content
+	delay, ferr := st.CheckWrite(p.Now(), hf.DevOffset(off), len(buf))
+	if ferr != nil {
+		e.OS.DirectIOTimed(p, len(buf), true)
+		if delay > 0 {
+			p.WaitUntil(p.Now()+delay, engine.KindIOWait)
+		}
+		return ferr
+	}
 	e.OS.DirectWriteHost(p, hf, off, buf)
 	if off+uint64(len(buf)) > hf.Size() {
 		hf.SetSize(off + uint64(len(buf)))
 	}
+	if delay > 0 {
+		p.WaitUntil(p.Now()+delay, engine.KindIOWait)
+	}
+	return nil
 }
 
 // backingSize returns the size recorded by the engine backing.

@@ -16,6 +16,10 @@ type AqMapping struct {
 	r    *Region
 	size uint64
 	dead bool
+	// errCursor is this mapping's position in the file's writeback error
+	// sequence: errors recorded before the mapping was created are not
+	// re-reported to it, and each later error is reported exactly once.
+	errCursor uint64
 }
 
 var _ iface.Mapping = (*AqMapping)(nil)
@@ -42,9 +46,10 @@ func (m *AqMapping) Load(p *engine.Proc, off uint64, buf []byte) {
 		}
 		frame, err := m.rt.resolve(p, va, false)
 		if err != nil {
-			// The mmap interface has no error channel; a stalled eviction
-			// surfaces like the kernel's SIGBUS on a failed fault-in.
-			panic(fmt.Sprintf("core: load from %q at %#x: %v (SIGBUS)", m.r.File.name, va, err))
+			// The mmap load/store interface has no error channel; a failed
+			// fault-in (poisoned page, stalled eviction) surfaces like the
+			// kernel's SIGBUS, typed so handlers can recover and inspect it.
+			panic(&SigBus{VA: va, File: m.r.File.name, Err: err})
 		}
 		copyOut(buf[n:n+chunk], frame, po)
 		p.AdvanceUser(loadStoreCost(chunk))
@@ -55,7 +60,7 @@ func (m *AqMapping) Load(p *engine.Proc, off uint64, buf []byte) {
 // Store implements iface.Mapping.
 func (m *AqMapping) Store(p *engine.Proc, off uint64, buf []byte) {
 	if m.r.ReadOnly {
-		panic(fmt.Sprintf("core: store to read-only mapping of %q (SIGSEGV)", m.r.File.name))
+		panic(&SigSegv{File: m.r.File.name, Reason: "store to read-only mapping"})
 	}
 	m.checkRange(off, len(buf))
 	for n := 0; n < len(buf); {
@@ -67,7 +72,7 @@ func (m *AqMapping) Store(p *engine.Proc, off uint64, buf []byte) {
 		}
 		frame, err := m.rt.resolve(p, va, true)
 		if err != nil {
-			panic(fmt.Sprintf("core: store to %q at %#x: %v (SIGBUS)", m.r.File.name, va, err))
+			panic(&SigBus{VA: va, File: m.r.File.name, Err: err})
 		}
 		copy(frame.Data()[po:po+chunk], buf[n:n+chunk])
 		p.AdvanceUser(loadStoreCost(chunk))
@@ -75,16 +80,21 @@ func (m *AqMapping) Store(p *engine.Proc, off uint64, buf []byte) {
 	}
 }
 
-// Msync implements iface.Mapping.
-func (m *AqMapping) Msync(p *engine.Proc) {
+// Msync implements iface.Mapping: write back, then report the first
+// writeback error this mapping has not yet seen (errseq semantics — the
+// error may come from this very writeback or from an earlier background
+// eviction pass).
+func (m *AqMapping) Msync(p *engine.Proc) error {
 	m.rt.msyncFile(p, m.r.File)
+	return m.r.File.wbErr.check(&m.errCursor)
 }
 
 // MsyncRange implements iface.Mapping: intercepted in ring 0 and served from
 // the per-core dirty trees, whose device-offset ordering makes the range
 // collection a bounded in-order walk.
-func (m *AqMapping) MsyncRange(p *engine.Proc, off, length uint64) {
+func (m *AqMapping) MsyncRange(p *engine.Proc, off, length uint64) error {
 	m.rt.msyncFileRange(p, m.r.File, off, length)
+	return m.r.File.wbErr.check(&m.errCursor)
 }
 
 // Mprotect changes the mapping's protection (§4.4: intercepted in ring 0, a
@@ -207,6 +217,9 @@ func copyOut(dst []byte, f *mem.Frame, off int) {
 type AqFile struct {
 	rt *Runtime
 	f  *fileState
+	// errCursor: this descriptor's position in the file's writeback error
+	// sequence (see AqMapping.errCursor).
+	errCursor uint64
 }
 
 var _ iface.File = (*AqFile)(nil)
@@ -218,22 +231,28 @@ func (af *AqFile) Name() string { return af.f.name }
 func (af *AqFile) Size() uint64 { return backingSize(af.f.backing) }
 
 // Pread implements iface.File.
-func (af *AqFile) Pread(p *engine.Proc, buf []byte, off uint64) {
-	af.rt.Engine.DirectRead(p, af.f, off, buf)
+func (af *AqFile) Pread(p *engine.Proc, buf []byte, off uint64) error {
+	return af.rt.Engine.DirectRead(p, af.f, off, buf)
 }
 
 // Pwrite implements iface.File.
-func (af *AqFile) Pwrite(p *engine.Proc, buf []byte, off uint64) {
-	af.rt.Engine.DirectWrite(p, af.f, off, buf)
+func (af *AqFile) Pwrite(p *engine.Proc, buf []byte, off uint64) error {
+	if err := af.rt.Engine.DirectWrite(p, af.f, off, buf); err != nil {
+		return err
+	}
 	if off+uint64(len(buf)) > af.f.size {
 		af.f.size = off + uint64(len(buf))
 	}
+	return nil
 }
 
 // Fsync implements iface.File: engine writes are synchronous and unbuffered,
-// so this only orders metadata (blob size xattrs etc.).
-func (af *AqFile) Fsync(p *engine.Proc) {
+// so beyond metadata ordering it only drains this descriptor's view of the
+// file's writeback error sequence (dirty mmap pages of the same file may
+// have failed background writeback).
+func (af *AqFile) Fsync(p *engine.Proc) error {
 	p.AdvanceSystem(af.rt.P.MsyncEntry)
+	return af.f.wbErr.check(&af.errCursor)
 }
 
 // Namespace adapts a Runtime to iface.Namespace so applications written
@@ -246,12 +265,14 @@ var _ iface.Namespace = (*Namespace)(nil)
 
 // Create implements iface.Namespace.
 func (ns *Namespace) Create(p *engine.Proc, name string, size uint64) iface.File {
-	return &AqFile{rt: ns.RT, f: ns.RT.CreateFile(p, name, size)}
+	f := ns.RT.CreateFile(p, name, size)
+	return &AqFile{rt: ns.RT, f: f, errCursor: f.wbErr.seq}
 }
 
 // Open implements iface.Namespace.
 func (ns *Namespace) Open(p *engine.Proc, name string) iface.File {
-	return &AqFile{rt: ns.RT, f: ns.RT.OpenFile(p, name)}
+	f := ns.RT.OpenFile(p, name)
+	return &AqFile{rt: ns.RT, f: f, errCursor: f.wbErr.seq}
 }
 
 // Exists implements iface.Namespace.

@@ -80,6 +80,15 @@ type Params struct {
 	// runtime gives up with ErrEvictionStalled (the graceful replacement
 	// of the old starvation panic). Zero derives 50M cycles (~20 ms).
 	EvictStallBudget uint64
+
+	// IORetryLimit is how many times a transient device error is retried
+	// before the I/O is declared failed (poison on reads, quarantine or
+	// requeue on writeback). Zero derives 3.
+	IORetryLimit int
+	// IORetryBackoff is the cycle cost charged before retry attempt k as
+	// k*IORetryBackoff (linear backoff, fully simulated so the degraded
+	// path stays deterministic). Zero derives 20000 (~8 us).
+	IORetryBackoff uint64
 }
 
 // DefaultParams returns the calibrated Aquila parameter set.
@@ -103,5 +112,8 @@ func DefaultParams() Params {
 		CoreQueueLimit:  8192,
 		ReadAheadPages:  16,
 		WritebackMaxRun: 128,
+
+		IORetryLimit:   3,
+		IORetryBackoff: 20000,
 	}
 }

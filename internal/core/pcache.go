@@ -33,6 +33,14 @@ type Page struct {
 	resident bool
 	// pins guards pages being used across a blocking point.
 	pins int
+	// poison is set when the page's fill I/O failed permanently: the frame
+	// holds no valid content and any access delivers SIGBUS carrying this
+	// fault. Poisoned pages stay in the hash so re-faults fail fast.
+	poison *IOFault
+	// quarantined marks a dirty page whose writeback failed permanently: it
+	// keeps its frame, is never re-selected by eviction, and is never
+	// silently dropped — the in-DRAM copy is the only good one.
+	quarantined bool
 }
 
 // Key returns the page's hash key.
@@ -57,6 +65,10 @@ type fileState struct {
 	backing any
 	// seqNext supports the madvise-driven readahead heuristic.
 	seqNext uint64
+	// wbErr is the errseq-style writeback error sequence: every failed
+	// writeback of one of this file's pages records here, and each sync
+	// caller (mapping or open file) drains it once via its own cursor.
+	wbErr errseq
 }
 
 // Name returns the file's name.
@@ -136,6 +148,11 @@ func (l *lruApprox) selectVictims(p *engine.Proc, n int) []*Page {
 		pg := q.entries[q.head].pg
 		q.head++
 		l.compact(q)
+		if pg.quarantined {
+			// Quarantined pages are pinned in DRAM forever (their only good
+			// copy); drop the entry, do not requeue.
+			continue
+		}
 		if pg.pins > 0 || (pg.io != nil && !pg.io.Fired()) {
 			// Busy: requeue at the tail so it stays evictable later.
 			q.entries = append(q.entries, lruEntry{pg, pg.lruSeq})

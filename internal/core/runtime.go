@@ -10,6 +10,7 @@ import (
 	"aquila/internal/metrics"
 	"aquila/internal/obs"
 	"aquila/internal/sim/cpu"
+	"aquila/internal/sim/device"
 	"aquila/internal/sim/engine"
 	"aquila/internal/sim/mem"
 	"aquila/internal/sim/pagetable"
@@ -31,6 +32,22 @@ type Stats struct {
 	// EvictStalls counts rounds in which an allocation found every reclaim
 	// candidate busy and had to yield or throttle-wait.
 	EvictStalls uint64
+	// IORetries counts transient device errors absorbed by the bounded
+	// retry/backoff policy (Params.IORetryLimit / IORetryBackoff).
+	IORetries uint64
+	// PoisonedPages counts pages whose fill I/O failed permanently; any
+	// access to them delivers SIGBUS.
+	PoisonedPages uint64
+	// QuarantinedPages counts dirty pages whose writeback failed permanently
+	// and that are now pinned in DRAM (never dropped, never re-selected).
+	QuarantinedPages uint64
+	// RequeuedPages counts pages whose writeback failed transiently even
+	// after retries and that were put back on the dirty list for a later
+	// writeback pass.
+	RequeuedPages uint64
+	// SyncWritebackFallbacks counts background-evict batches that fell back
+	// from overlapped to synchronous writeback after repeated failures.
+	SyncWritebackFallbacks uint64
 }
 
 // Eviction stall handling: an empty selection round means every cached page
@@ -373,7 +390,9 @@ func (rt *Runtime) Mmap(p *engine.Proc, f *fileState, size uint64) *AqMapping {
 	r := &Region{Start: start, End: start + pages*pageSize, File: f}
 	rt.vs.Insert(r)
 	rt.charge(p, "vspace", 4*rt.P.RadixLookup)
-	return &AqMapping{rt: rt, r: r, size: size}
+	// Sample the error sequence at map time: earlier errors belong to
+	// earlier callers.
+	return &AqMapping{rt: rt, r: r, size: size, errCursor: f.wbErr.seq}
 }
 
 // munmapRegion tears a region down: vmcall, radix removal, batched unmap +
@@ -465,7 +484,7 @@ func (rt *Runtime) wpFault(p *engine.Proc, va uint64) (*mem.Frame, error) {
 	rt.charge(p, "vspace", rt.P.RadixLookup)
 	r := rt.vs.Find(va)
 	if r == nil {
-		panic(fmt.Sprintf("core: wp fault outside mapping: %#x", va))
+		panic(&SigSegv{VA: va, Reason: "wp fault outside mapping"})
 	}
 	idx := (va - r.Start) / pageSize
 	rt.charge(p, "cache-lookup", rt.P.HashLookup)
@@ -523,7 +542,7 @@ func (rt *Runtime) fault(p *engine.Proc, va uint64, write bool) (*mem.Frame, err
 	rt.charge(p, "vspace", rt.P.RadixLookup+rt.P.EntryLock)
 	r := rt.vs.Find(va)
 	if r == nil {
-		panic(fmt.Sprintf("core: page fault outside mapping: %#x", va))
+		panic(&SigSegv{VA: va, Reason: "page fault outside mapping"})
 	}
 	f := r.File
 	idx := (va - r.Start) / pageSize
@@ -546,6 +565,11 @@ func (rt *Runtime) fault(p *engine.Proc, va uint64, write bool) (*mem.Frame, err
 			return nil, err
 		}
 		break
+	}
+	if pg.poison != nil {
+		// The page's backing I/O failed permanently: deliver the recorded
+		// fault instead of mapping garbage. Mappings turn it into SIGBUS.
+		return nil, pg.poison
 	}
 	// Pin across PTE installation: the remaining handler work yields, and
 	// eviction recycling this frame mid-fault would map a stale frame.
@@ -635,11 +659,11 @@ func (rt *Runtime) majorFault(p *engine.Proc, r *Region, f *fileState, idx uint6
 		for k, pg := range run {
 			frames[k] = pg.frame
 		}
-		t0 := p.Now()
-		p.BeginSpan("aq.io")
-		rt.Engine.ReadRun(p, f, run[0].idx, frames)
-		p.EndSpan()
-		rt.Break.Add("device-io", p.Now()-t0)
+		if rerr := rt.readRun(p, f, run[0].idx, frames); rerr != nil {
+			// The merged read failed after retries: re-issue page by page so
+			// one bad LBA poisons only its own page, not the whole window.
+			rt.isolateReadRun(p, run)
+		}
 		i = j
 	}
 	doneAt := p.Now()
@@ -762,17 +786,24 @@ func (rt *Runtime) evict(p *engine.Proc) error {
 			dirtyV = append(dirtyV, v)
 		}
 	}
-	rt.writeSorted(p, dirtyV)
+	rt.writeSorted(p, dirtyV, true)
 	doneAt := p.Now()
+	recycled := 0
 	for _, v := range victims {
-		delete(rt.pages, v.Key())
 		v.io.Fire(doneAt)
 		v.io = nil
+		if v.quarantined || v.dirty {
+			// Writeback failed: the page was revived (quarantined or
+			// requeued) and keeps its frame; waiters re-probe and find it.
+			continue
+		}
+		delete(rt.pages, v.Key())
 		rt.fl.push(p, v.frame)
 		v.frame = nil
+		recycled++
 	}
-	rt.Stats.Evictions += uint64(len(victims))
-	rt.Stats.DirectReclaimPages += uint64(len(victims))
+	rt.Stats.Evictions += uint64(recycled)
+	rt.Stats.DirectReclaimPages += uint64(recycled)
 	if rt.P.AsyncEvict {
 		// Summary wall-clock category for the sync-fallback share of
 		// reclaim; the fine-grained categories above still hold the parts.
@@ -805,10 +836,13 @@ func (rt *Runtime) shootdown(p *engine.Proc) {
 }
 
 // writeSorted writes dirty pages in device-offset order, merging adjacent
-// pages into large I/Os (§3.2 write-back).
-func (rt *Runtime) writeSorted(p *engine.Proc, pages []*Page) {
+// pages into large I/Os (§3.2 write-back). evicting tells the failure path
+// whether the pages were claimed by eviction (and must be revived on
+// failure) or are still live msync targets. The first final write failure is
+// returned; all failures are also recorded in the files' error sequences.
+func (rt *Runtime) writeSorted(p *engine.Proc, pages []*Page, evicting bool) error {
 	if len(pages) == 0 {
-		return
+		return nil
 	}
 	sort.Slice(pages, func(i, j int) bool { return dirtyKey(pages[i]) < dirtyKey(pages[j]) })
 	// Write-protect live mappings (page_mkclean) so post-writeback stores
@@ -825,6 +859,7 @@ func (rt *Runtime) writeSorted(p *engine.Proc, pages []*Page) {
 	if protected > 0 {
 		rt.shootdown(p)
 	}
+	var firstErr error
 	i := 0
 	for i < len(pages) {
 		j := i + 1
@@ -837,14 +872,201 @@ func (rt *Runtime) writeSorted(p *engine.Proc, pages []*Page) {
 		for k, pg := range run {
 			frames[k] = pg.frame
 		}
-		t0 := p.Now()
-		p.BeginSpan("aq.writeback")
-		rt.Engine.WriteRun(p, run[0].file, run[0].idx, frames)
-		p.EndSpan()
-		rt.Break.Add("writeback", p.Now()-t0)
-		rt.Stats.WrittenBack += uint64(len(run))
+		if err := rt.writeRunOrRecover(p, "aq.writeback", run, frames, evicting); err != nil && firstErr == nil {
+			firstErr = err
+		}
 		i = j
 	}
+	return firstErr
+}
+
+// retryLimit / retryBackoff derive the transient-retry policy (defaults for
+// zero-valued Params, so hand-built parameter sets keep working).
+func (rt *Runtime) retryLimit() int {
+	if rt.P.IORetryLimit > 0 {
+		return rt.P.IORetryLimit
+	}
+	return 3
+}
+
+func (rt *Runtime) retryBackoff() uint64 {
+	if rt.P.IORetryBackoff > 0 {
+		return rt.P.IORetryBackoff
+	}
+	return 20000
+}
+
+// transientErr reports whether a device error is worth retrying in place.
+func transientErr(err error) bool {
+	var de *device.IOError
+	return errors.As(err, &de) && de.Transient()
+}
+
+// ioRetryWait charges the linear backoff before retry attempt+1 as fully
+// simulated I/O wait, so the degraded path stays cycle-accounted and
+// deterministic.
+func (rt *Runtime) ioRetryWait(p *engine.Proc, attempt int) {
+	rt.Stats.IORetries++
+	t0 := p.Now()
+	p.BeginSpan("aq.io_retry")
+	p.WaitUntil(p.Now()+rt.retryBackoff()*uint64(attempt+1), engine.KindIOWait)
+	p.EndSpan()
+	rt.Break.Add("io-retry", p.Now()-t0)
+}
+
+// readRun issues one merged fill read through the engine with the bounded
+// transient-retry policy. A final failure is returned as a typed *IOFault
+// carrying device/LBA context.
+func (rt *Runtime) readRun(p *engine.Proc, f *fileState, pageIdx uint64, frames []*mem.Frame) *IOFault {
+	for attempt := 0; ; attempt++ {
+		t0 := p.Now()
+		p.BeginSpan("aq.io")
+		err := rt.Engine.ReadRun(p, f, pageIdx, frames)
+		p.EndSpan()
+		rt.Break.Add("device-io", p.Now()-t0)
+		if err == nil {
+			return nil
+		}
+		if !transientErr(err) || attempt >= rt.retryLimit() {
+			return newIOFault("read", f.name, pageIdx, err)
+		}
+		rt.ioRetryWait(p, attempt)
+	}
+}
+
+// writeRun is readRun's writeback twin; spanName distinguishes foreground
+// ("aq.writeback") from background ("aq.bg_writeback") tracks.
+func (rt *Runtime) writeRun(p *engine.Proc, spanName string, f *fileState, pageIdx uint64, frames []*mem.Frame) *IOFault {
+	for attempt := 0; ; attempt++ {
+		t0 := p.Now()
+		p.BeginSpan(spanName)
+		err := rt.Engine.WriteRun(p, f, pageIdx, frames)
+		p.EndSpan()
+		rt.Break.Add("writeback", p.Now()-t0)
+		if err == nil {
+			return nil
+		}
+		if !transientErr(err) || attempt >= rt.retryLimit() {
+			return newIOFault("write", f.name, pageIdx, err)
+		}
+		rt.ioRetryWait(p, attempt)
+	}
+}
+
+// isolateReadRun re-reads each page of a failed merged read individually,
+// poisoning exactly the pages whose I/O keeps failing. Poisoned frames are
+// zeroed: their content was never valid.
+func (rt *Runtime) isolateReadRun(p *engine.Proc, run []*Page) {
+	for _, pg := range run {
+		if pe := rt.readRun(p, pg.file, pg.idx, []*mem.Frame{pg.frame}); pe != nil {
+			rt.poison(pg, pe)
+		}
+	}
+}
+
+// poison marks a page permanently unreadable; every access delivers the
+// recorded fault as SIGBUS. The page stays in the hash (re-faults fail fast
+// without re-issuing doomed I/O) but remains evictable as clean.
+func (rt *Runtime) poison(pg *Page, ferr *IOFault) {
+	if pg.poison == nil {
+		rt.Stats.PoisonedPages++
+	}
+	pg.poison = ferr
+	if pg.frame != nil && pg.frame.HasData() {
+		pg.frame.Reset()
+	}
+}
+
+// writeRunOrRecover writes one merged run; on final failure it re-issues the
+// run page by page so one bad LBA doesn't fail its siblings, then requeues
+// (transient) or quarantines (permanent) exactly the failing pages, recording
+// each final failure in the owning file's error sequence.
+func (rt *Runtime) writeRunOrRecover(p *engine.Proc, spanName string, run []*Page, frames []*mem.Frame, evicting bool) error {
+	ferr := rt.writeRun(p, spanName, run[0].file, run[0].idx, frames)
+	if ferr == nil {
+		rt.Stats.WrittenBack += uint64(len(run))
+		return nil
+	}
+	if len(run) == 1 {
+		rt.failWritePage(p, run[0], ferr, evicting)
+		return ferr
+	}
+	var firstErr error
+	for k, pg := range run {
+		pe := rt.writeRun(p, spanName, pg.file, pg.idx, frames[k:k+1])
+		if pe == nil {
+			rt.Stats.WrittenBack++
+			continue
+		}
+		if firstErr == nil {
+			firstErr = pe
+		}
+		rt.failWritePage(p, pg, pe, evicting)
+	}
+	// firstErr nil here means the merged failure was transient and every page
+	// succeeded in isolation: nothing was lost or left unwritten.
+	return firstErr
+}
+
+// failWritePage handles one page whose writeback failed after retries: the
+// error enters the file's errseq (each sync caller will see it once), and
+// the page is either requeued for another pass (transient) or quarantined in
+// DRAM (permanent) — never silently dropped.
+func (rt *Runtime) failWritePage(p *engine.Proc, pg *Page, ferr *IOFault, evicting bool) {
+	pg.file.wbErr.record(ferr)
+	if ferr.Transient() {
+		rt.requeueDirty(p, pg, evicting)
+		return
+	}
+	rt.quarantine(pg, evicting)
+}
+
+// requeueDirty puts a transiently failed page back on the dirty list; if
+// eviction had claimed it, the page is revived as resident so a later pass
+// (or msync) retries the writeback.
+func (rt *Runtime) requeueDirty(p *engine.Proc, pg *Page, evicting bool) {
+	rt.Stats.RequeuedPages++
+	rt.markDirty(p, pg)
+	if evicting {
+		pg.resident = true
+		rt.lru.record(p, pg)
+	}
+}
+
+// quarantine pins a permanently unwritable dirty page in DRAM: it keeps its
+// frame, eviction never selects it again, and DeleteFile is the only way it
+// leaves the cache. The in-memory copy is the only good one left.
+func (rt *Runtime) quarantine(pg *Page, evicting bool) {
+	if !pg.quarantined {
+		pg.quarantined = true
+		rt.Stats.QuarantinedPages++
+	}
+	if evicting {
+		pg.resident = true
+	}
+}
+
+// QuarantinedLive returns how many cached pages are currently quarantined
+// (tests; Stats.QuarantinedPages counts quarantine events).
+func (rt *Runtime) QuarantinedLive() int {
+	n := 0
+	for _, pg := range rt.pages {
+		if pg.quarantined {
+			n++
+		}
+	}
+	return n
+}
+
+// PoisonedLive returns how many cached pages are currently poisoned (tests).
+func (rt *Runtime) PoisonedLive() int {
+	n := 0
+	for _, pg := range rt.pages {
+		if pg.poison != nil {
+			n++
+		}
+	}
+	return n
 }
 
 // msyncFile writes back all dirty pages of one file. Intercepted in ring 0:
@@ -881,7 +1103,7 @@ func (rt *Runtime) msyncFileRange(p *engine.Proc, f *fileState, off, length uint
 	for _, pg := range dirtyPages {
 		pg.dirty = false
 	}
-	rt.writeSorted(p, dirtyPages)
+	rt.writeSorted(p, dirtyPages, false)
 }
 
 // DirtyPages returns the number of dirty pages across all cores (tests).

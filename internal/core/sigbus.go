@@ -1,0 +1,99 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"aquila/internal/sim/device"
+)
+
+// Typed signal/fault values. Real mmap surfaces failures as signals: an
+// access outside the mapping or to a write-protected region is SIGSEGV, a
+// failed fault-in (media error under the page) is SIGBUS. The simulated
+// mappings keep the panic-delivery mechanism (a signal aborts the proc) but
+// panic with these typed values so tests and callers can recover and inspect
+// device/LBA/va context instead of string-matching. Error() strings keep the
+// literal "SIGBUS"/"SIGSEGV" markers for log greps.
+
+// IOFault is a device I/O failure after retry policy is exhausted. It is the
+// typed "ErrIOFault" the fault handler attaches to poisoned pages and Msync
+// surfaces through the per-file error sequence.
+type IOFault struct {
+	// Op is "read" or "write".
+	Op string
+	// File is the failed file's name; Page its page index within the file.
+	File string
+	Page uint64
+	// Dev/DevOff locate the failure on the device when the underlying error
+	// carries them (device.IOError); Dev is "" otherwise.
+	Dev    string
+	DevOff uint64
+	// Err is the underlying device error.
+	Err error
+}
+
+// newIOFault wraps a final (non-retryable or retry-exhausted) engine error,
+// pulling device/LBA context out of a device.IOError when present.
+func newIOFault(op, file string, page uint64, err error) *IOFault {
+	f := &IOFault{Op: op, File: file, Page: page, Err: err}
+	var de *device.IOError
+	if errors.As(err, &de) {
+		f.Dev = de.Dev
+		f.DevOff = de.Off
+	}
+	return f
+}
+
+// Error implements error.
+func (f *IOFault) Error() string {
+	if f.Dev != "" {
+		return fmt.Sprintf("io fault: %s %q page %d (dev %s off %#x): %v",
+			f.Op, f.File, f.Page, f.Dev, f.DevOff, f.Err)
+	}
+	return fmt.Sprintf("io fault: %s %q page %d: %v", f.Op, f.File, f.Page, f.Err)
+}
+
+// Unwrap exposes the device error to errors.As/Is.
+func (f *IOFault) Unwrap() error { return f.Err }
+
+// Transient reports whether the underlying error was transient (the fault is
+// final regardless — retries were already spent — but callers distinguish
+// requeue-worthy writeback failures from permanent ones).
+func (f *IOFault) Transient() bool {
+	var de *device.IOError
+	return errors.As(f.Err, &de) && de.Transient()
+}
+
+// SigBus is delivered (via panic) for an access whose backing I/O failed:
+// the simulated equivalent of SIGBUS with BUS_ADRERR/BUS_MCEERR on mmap.
+type SigBus struct {
+	// VA is the faulting virtual address; File the mapped file.
+	VA   uint64
+	File string
+	// Err is the underlying failure, typically an *IOFault with device/LBA.
+	Err error
+}
+
+// Error implements error; the string keeps the "SIGBUS" marker.
+func (s *SigBus) Error() string {
+	return fmt.Sprintf("SIGBUS at %#x (%q): %v", s.VA, s.File, s.Err)
+}
+
+// Unwrap exposes the underlying *IOFault.
+func (s *SigBus) Unwrap() error { return s.Err }
+
+// SigSegv is delivered (via panic) for an access outside any mapping or
+// violating its protection.
+type SigSegv struct {
+	VA     uint64
+	File   string
+	Reason string
+}
+
+// Error implements error; the string keeps the "SIGSEGV" marker.
+func (s *SigSegv) Error() string {
+	if s.File != "" {
+		return fmt.Sprintf("SIGSEGV at %#x (%q): %s", s.VA, s.File, s.Reason)
+	}
+	return fmt.Sprintf("SIGSEGV at %#x: %s", s.VA, s.Reason)
+}

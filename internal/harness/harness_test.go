@@ -12,7 +12,8 @@ const testScale = 0.15
 func TestRegistryComplete(t *testing.T) {
 	// Lexicographic id order (fig10* sorts before fig5*).
 	want := []string{
-		"ablate-async-evict", "ablate-batch", "ablate-freelist", "ablate-readahead",
+		"ablate-async-evict", "ablate-batch", "ablate-faults", "ablate-freelist",
+		"ablate-readahead",
 		"fig10a", "fig10b", "fig5a", "fig5b", "fig6a", "fig6b", "fig6c",
 		"fig7", "fig8a", "fig8b", "fig8c", "fig9",
 		"iouring", "ipi", "memcpy", "nvm-heap", "pagerank", "resize", "table1",
@@ -286,6 +287,32 @@ func TestAblateAsyncEvictShape(t *testing.T) {
 	async := findRow(t, r, "NVMe", "async low=4x batch")
 	if sd, ad := cell(t, r, sync, 6), cell(t, r, async, 6); ad >= sd/2 {
 		t.Errorf("NVMe direct-reclaim pages barely dropped with the evictor on (%.0f -> %.0f)", sd, ad)
+	}
+}
+
+func TestAblateFaultsShape(t *testing.T) {
+	r := runAblateFaults(testScale)[0]
+	// Zero-probability rows must inject nothing and retry nothing (the
+	// fault-check path is inert without a plan).
+	i := findRow(t, r, "pmem", "0")
+	if cell(t, r, i, 4) != 0 || cell(t, r, i, 5) != 0 {
+		t.Error("zero-fault run recorded injections or retries")
+	}
+	// At 5% write-fault probability the device injects errors, the runtime
+	// retries them, and the workload still completes (throughput non-zero,
+	// nothing quarantined — these faults are transient).
+	i = findRow(t, r, "pmem", "0.05")
+	if cell(t, r, i, 4) == 0 {
+		t.Error("5% fault run injected nothing")
+	}
+	if cell(t, r, i, 5) == 0 {
+		t.Error("5% fault run recorded no io retries")
+	}
+	if cell(t, r, i, 7) != 0 {
+		t.Error("transient faults must never quarantine pages")
+	}
+	if cell(t, r, i, 2) == 0 {
+		t.Error("faulty run recorded zero throughput")
 	}
 }
 

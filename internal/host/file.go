@@ -29,21 +29,23 @@ func (hf *File) Name() string { return hf.f.name }
 // Size implements iface.File.
 func (hf *File) Size() uint64 { return hf.f.size }
 
-// Pread implements iface.File.
-func (hf *File) Pread(p *engine.Proc, buf []byte, off uint64) {
+// Pread implements iface.File. The host path models fault injection only on
+// the io_uring engine (see iouring.go); plain syscalls always succeed.
+func (hf *File) Pread(p *engine.Proc, buf []byte, off uint64) error {
 	hf.checkRange(off, len(buf))
 	p.AdvanceSystem(hf.os.C.Syscall + hf.os.P.SyscallKernelPath)
 	if hf.Direct {
 		p.AdvanceSystem(hf.os.P.DirectIOPathCost)
 		hf.os.blockRead(p, hf.f.devOff(off), buf)
-		return
+		return nil
 	}
 	hf.bufferedRead(p, buf, off)
 	hf.f.lastRead = off + uint64(len(buf))
+	return nil
 }
 
 // Pwrite implements iface.File.
-func (hf *File) Pwrite(p *engine.Proc, buf []byte, off uint64) {
+func (hf *File) Pwrite(p *engine.Proc, buf []byte, off uint64) error {
 	hf.checkRange(off, len(buf))
 	p.AdvanceSystem(hf.os.C.Syscall + hf.os.P.SyscallKernelPath)
 	if off+uint64(len(buf)) > hf.f.size {
@@ -52,17 +54,19 @@ func (hf *File) Pwrite(p *engine.Proc, buf []byte, off uint64) {
 	if hf.Direct {
 		p.AdvanceSystem(hf.os.P.DirectIOPathCost)
 		hf.os.blockWrite(p, hf.f.devOff(off), buf)
-		return
+		return nil
 	}
 	hf.bufferedWrite(p, buf, off)
+	return nil
 }
 
 // Fsync implements iface.File.
-func (hf *File) Fsync(p *engine.Proc) {
+func (hf *File) Fsync(p *engine.Proc) error {
 	p.AdvanceSystem(hf.os.C.Syscall + hf.os.P.SyscallKernelPath)
 	if !hf.Direct {
 		hf.os.Cache.fsyncFile(p, hf.f)
 	}
+	return nil
 }
 
 func (hf *File) checkRange(off uint64, n int) {

@@ -45,6 +45,10 @@ type Sqe struct {
 type Cqe struct {
 	UserData uint64
 	DoneAt   uint64 // simulated completion time
+	// Err is the device error for this operation (io_uring reports errors as
+	// a negative cqe->res; here it is the typed device error). The operation
+	// still occupied the device — timing is charged — but moved no data.
+	Err error
 }
 
 // NewIOURing sets up a ring of the given depth over one file.
@@ -77,7 +81,8 @@ func (r *IOURing) Enter(p *engine.Proc) {
 		// Per-entry kernel work: sqe fetch, validation, bio setup —
 		// cheaper than a full syscall per op, which is the point.
 		p.AdvanceSystem(r.os.P.BlockLayerSubmit / 2)
-		if e.Write {
+		delay, ferr := disk.Content.Check(p.Now(), r.f.devOff(e.Off), len(e.Buf), e.Write)
+		if e.Write && ferr == nil {
 			disk.Content.WriteAt(r.f.devOff(e.Off), e.Buf)
 		}
 		done := disk.Timing.Submit(p.Now(), len(e.Buf), e.Write)
@@ -87,8 +92,11 @@ func (r *IOURing) Enter(p *engine.Proc) {
 			// the timing model folds into the completion time.
 			done += r.os.C.MemcpyNoSIMD(len(e.Buf))
 		}
-		r.cq = append(r.cq, Cqe{UserData: e.UserData, DoneAt: done})
-		if !e.Write {
+		// A latency spike pushes the completion out; a failed operation
+		// still holds the device for its full service time.
+		done += delay
+		r.cq = append(r.cq, Cqe{UserData: e.UserData, DoneAt: done, Err: ferr})
+		if !e.Write && ferr == nil {
 			// The read lands in the caller's buffer by completion
 			// time; content is copied now (simulation-safe: the
 			// caller must not touch Buf before reaping the cqe).

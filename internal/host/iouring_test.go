@@ -2,6 +2,7 @@ package host
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"aquila/internal/sim/device"
@@ -100,6 +101,67 @@ func TestIOURingThroughputBeatsSyncButTailSuffers(t *testing.T) {
 	if lastGap < device.DefaultNVMeConfig().ServiceInterval*(n/2) {
 		t.Errorf("tail gap %d too small — batching should spread completions", lastGap)
 	}
+}
+
+func TestIOURingInjectedErrors(t *testing.T) {
+	// Device faults surface on the completion side (Cqe.Err, the simulated
+	// negative cqe->res): the op is still charged device timing but moves no
+	// data.
+	e := engine.New(engine.Config{NumCPUs: 8, Seed: 1})
+	nv := device.NewNVMe(256*mib, device.DefaultNVMeConfig())
+	os := NewOS(e, NewNVMeDisk("nvme0", nv), 16*mib)
+	run1(e, func(p *engine.Proc) {
+		f := os.FS.Create(p, "f", 4*mib)
+		nv.InjectFaults("nvme0", &device.FaultPlan{Rules: []device.FaultRule{
+			{Kind: device.FaultTransientWrite, After: 1, Limit: 1},
+			{Kind: device.FaultPermanentRead, Off: f.devOff(0), Len: 4096, After: 1},
+			{Kind: device.FaultLatencySpike, Off: f.devOff(16384), Len: 4096,
+				After: 1, Delay: 99999},
+		}})
+		ring := NewIOURing(os, f, 64)
+		do := func(sqe Sqe) Cqe {
+			ring.Prep(sqe)
+			ring.Enter(p)
+			return ring.WaitCqes(p, 1)[0]
+		}
+		data := bytes.Repeat([]byte{0xAB}, 4096)
+		// First write fails transiently; nothing reaches the media.
+		cqe := do(Sqe{Write: true, Off: 8192, Buf: data, UserData: 1})
+		var de *device.IOError
+		if !errors.As(cqe.Err, &de) || !de.Transient() {
+			t.Fatalf("first write cqe.Err = %v, want transient *IOError", cqe.Err)
+		}
+		rbuf := make([]byte, 4096)
+		if cqe := do(Sqe{Off: 8192, Buf: rbuf, UserData: 2}); cqe.Err != nil {
+			t.Fatalf("read after failed write: %v", cqe.Err)
+		}
+		if !bytes.Equal(rbuf, make([]byte, 4096)) {
+			t.Error("failed write leaked data to the device")
+		}
+		// The resubmitted write succeeds (the transient rule is spent).
+		if cqe := do(Sqe{Write: true, Off: 8192, Buf: data, UserData: 3}); cqe.Err != nil {
+			t.Fatalf("retried write cqe.Err = %v", cqe.Err)
+		}
+		if cqe := do(Sqe{Off: 8192, Buf: rbuf, UserData: 4}); cqe.Err != nil || !bytes.Equal(rbuf, data) {
+			t.Fatalf("read back after retry: err=%v data=%x", cqe.Err, rbuf[:8])
+		}
+		// Reads of the permanently bad LBA keep failing.
+		for i := 0; i < 3; i++ {
+			cqe := do(Sqe{Off: 0, Buf: rbuf, UserData: uint64(10 + i)})
+			if !errors.As(cqe.Err, &de) || de.Transient() {
+				t.Fatalf("bad-LBA read %d: cqe.Err = %v, want permanent *IOError", i, cqe.Err)
+			}
+		}
+		// A latency spike delays the completion without failing it.
+		t0 := p.Now()
+		cqe = do(Sqe{Off: 16384, Buf: rbuf, UserData: 20})
+		if cqe.Err != nil {
+			t.Fatalf("spiked read failed: %v", cqe.Err)
+		}
+		if cqe.DoneAt < t0+99999 {
+			t.Errorf("spiked read done at %d, want >= %d", cqe.DoneAt, t0+99999)
+		}
+	})
 }
 
 func TestIOURingDepthLimit(t *testing.T) {

@@ -159,17 +159,20 @@ func (m *Mapping) Store(p *engine.Proc, off uint64, buf []byte) {
 	}
 }
 
-// Msync implements iface.Mapping: writes the file's dirty pages back.
-func (m *Mapping) Msync(p *engine.Proc) {
+// Msync implements iface.Mapping: writes the file's dirty pages back. The
+// host path does not model writeback errors, so this always reports success.
+func (m *Mapping) Msync(p *engine.Proc) error {
 	m.os.charge(p, "syscall", m.os.C.Syscall+m.os.P.SyscallKernelPath)
 	m.os.Cache.fsyncFile(p, m.f)
+	return nil
 }
 
 // MsyncRange implements iface.Mapping: only dirty pages overlapping
 // [off, off+length) are written back.
-func (m *Mapping) MsyncRange(p *engine.Proc, off, length uint64) {
+func (m *Mapping) MsyncRange(p *engine.Proc, off, length uint64) error {
 	m.os.charge(p, "syscall", m.os.C.Syscall+m.os.P.SyscallKernelPath)
 	m.os.Cache.fsyncFileRange(p, m.f, off, length)
+	return nil
 }
 
 // Munmap implements iface.Mapping: destroys the mapping. Cached pages stay

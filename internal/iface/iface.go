@@ -16,12 +16,16 @@ type File interface {
 	// Size returns the current file size in bytes.
 	Size() uint64
 	// Pread reads len(buf) bytes at offset off into buf, charging the
-	// calling process the full software + device cost of the I/O path.
-	Pread(p *engine.Proc, buf []byte, off uint64)
-	// Pwrite writes len(buf) bytes from buf at offset off.
-	Pwrite(p *engine.Proc, buf []byte, off uint64)
-	// Fsync persists outstanding writes.
-	Fsync(p *engine.Proc)
+	// calling process the full software + device cost of the I/O path. It
+	// returns the device error if the read failed (buf is then unspecified).
+	Pread(p *engine.Proc, buf []byte, off uint64) error
+	// Pwrite writes len(buf) bytes from buf at offset off; a non-nil error
+	// means nothing was persisted.
+	Pwrite(p *engine.Proc, buf []byte, off uint64) error
+	// Fsync persists outstanding writes. It also reports, once per open
+	// file, any writeback error recorded since the last check (Linux
+	// errseq_t semantics).
+	Fsync(p *engine.Proc) error
 }
 
 // Mapping is memory-mapped access to a file or device region. Loads and
@@ -37,11 +41,16 @@ type Mapping interface {
 	// Store copies buf into the mapping at offset off via simulated store
 	// instructions.
 	Store(p *engine.Proc, off uint64, buf []byte)
-	// Msync writes all dirty pages of the mapping back to the device.
-	Msync(p *engine.Proc)
+	// Msync writes all dirty pages of the mapping back to the device. It
+	// returns the first writeback error not yet reported to this mapping —
+	// exactly once per caller, errseq-style; nil means every durable copy
+	// this caller cares about is on the device.
+	Msync(p *engine.Proc) error
 	// MsyncRange writes back only the dirty pages overlapping
 	// [off, off+length) — the ranged msync Kreon's custom path relies on.
-	MsyncRange(p *engine.Proc, off, length uint64)
+	// Error semantics match Msync (the error check is per file, not per
+	// range, as on Linux).
+	MsyncRange(p *engine.Proc, off, length uint64) error
 	// Munmap destroys the mapping, dropping clean pages and writing dirty
 	// ones back.
 	Munmap(p *engine.Proc)

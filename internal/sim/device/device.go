@@ -31,6 +31,7 @@ type Store struct {
 	capacity uint64
 	blocks   map[uint64][]byte
 	stats    Stats
+	faults   *faultState
 }
 
 // NewStore creates a content store with the given capacity in bytes.

@@ -1,0 +1,368 @@
+package device
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+)
+
+// Deterministic device fault injection. A FaultPlan is a seeded schedule of
+// fault rules attached to a device's content store; every I/O the engines
+// above issue consults the plan via Store.Check before touching content or
+// timing. Firing is a pure function of the plan (seed + rules) and the
+// device's deterministic operation sequence, so a fixed-seed plan reproduces
+// bit-identical failures across runs — the property the core runtime's
+// error-path tests depend on.
+//
+// Injected faults are observable twice: in the obs layer ("dev.fault" spans
+// on the device's trace track and per-kind dev_faults_injected counters) and
+// through Store.InjectedFaults for registry-free tests.
+
+// FaultKind classifies an injected device fault.
+type FaultKind uint8
+
+// Fault kinds.
+const (
+	// FaultTransientRead fails one read; a retry may succeed.
+	FaultTransientRead FaultKind = iota
+	// FaultTransientWrite fails one write; a retry may succeed.
+	FaultTransientWrite
+	// FaultPermanentRead marks the matched byte range bad for reads: the
+	// firing read and every later read overlapping the range fail.
+	FaultPermanentRead
+	// FaultPermanentWrite marks the matched byte range bad for writes.
+	FaultPermanentWrite
+	// FaultLatencySpike delays the matched operation by Delay cycles
+	// without failing it (a timeout-shaped stall).
+	FaultLatencySpike
+	// FaultPoison models a poisoned pmem line: like FaultPermanentRead, the
+	// range becomes permanently unreadable (machine-check on load).
+	FaultPoison
+)
+
+// String returns the kind's wire name (also used as the obs label).
+func (k FaultKind) String() string {
+	switch k {
+	case FaultTransientRead:
+		return "transient-read"
+	case FaultTransientWrite:
+		return "transient-write"
+	case FaultPermanentRead:
+		return "permanent-read"
+	case FaultPermanentWrite:
+		return "permanent-write"
+	case FaultLatencySpike:
+		return "latency-spike"
+	case FaultPoison:
+		return "poison"
+	}
+	return fmt.Sprintf("kind-%d", k)
+}
+
+// faultKindFromString parses a wire name.
+func faultKindFromString(s string) (FaultKind, error) {
+	for k := FaultTransientRead; k <= FaultPoison; k++ {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("device: unknown fault kind %q", s)
+}
+
+// reads reports whether the kind applies to read operations.
+func (k FaultKind) reads() bool {
+	switch k {
+	case FaultTransientRead, FaultPermanentRead, FaultPoison, FaultLatencySpike:
+		return true
+	}
+	return false
+}
+
+// writes reports whether the kind applies to write operations.
+func (k FaultKind) writes() bool {
+	switch k {
+	case FaultTransientWrite, FaultPermanentWrite, FaultLatencySpike:
+		return true
+	}
+	return false
+}
+
+// IOError is the typed error a faulted device operation returns. It carries
+// the device name and the LBA-range context the layers above propagate into
+// their own typed errors (core.IOFault, SIGBUS payloads).
+type IOError struct {
+	Kind FaultKind
+	// Dev names the device ("nvme0", "pmem0").
+	Dev string
+	// Off/Len locate the failed operation on the device, in bytes.
+	Off uint64
+	Len int
+}
+
+// Error implements error.
+func (e *IOError) Error() string {
+	return fmt.Sprintf("device %s: %s fault at [%d,%d)", e.Dev, e.Kind, e.Off, e.Off+uint64(e.Len))
+}
+
+// Transient reports whether a retry of the same operation may succeed.
+func (e *IOError) Transient() bool {
+	return e.Kind == FaultTransientRead || e.Kind == FaultTransientWrite
+}
+
+// FaultRule is one scheduled fault. A rule matches an operation when the
+// operation's direction suits the kind and its byte range overlaps
+// [Off, Off+Len). Whether a matching operation fires is decided either by
+// the deterministic count schedule (After/Every/Limit) or, when Prob > 0, by
+// a seeded Bernoulli draw per matching operation.
+type FaultRule struct {
+	Kind FaultKind
+	// Off/Len restrict the rule to a device byte range; Len 0 means "to the
+	// end of the device" (with Off 0: the whole device).
+	Off uint64
+	Len uint64
+	// After is the 1-based index of the first matching operation that can
+	// fire (0 means the first). Every is the period between subsequent
+	// fires (0: fire only once, at After). Limit caps total fires
+	// (0: unlimited).
+	After uint64
+	Every uint64
+	Limit uint64
+	// Prob, when > 0, replaces the count schedule: each matching operation
+	// fires with this probability, drawn from the plan's seeded generator.
+	Prob float64
+	// Delay is the extra latency of a FaultLatencySpike, in cycles
+	// (0 derives DefaultSpikeDelay).
+	Delay uint64
+}
+
+// DefaultSpikeDelay is the latency-spike delay when a rule leaves Delay 0
+// (~20 µs at 2.4 GHz — a visible stall, not a timeout).
+const DefaultSpikeDelay = 50000
+
+// FaultPlan is a seeded set of fault rules.
+type FaultPlan struct {
+	Seed  int64
+	Rules []FaultRule
+}
+
+// faultPlanJSON is the fixture wire format (testdata/faultplans/*.json).
+type faultPlanJSON struct {
+	Seed  int64 `json:"seed"`
+	Rules []struct {
+		Kind  string  `json:"kind"`
+		Off   uint64  `json:"off"`
+		Len   uint64  `json:"len"`
+		After uint64  `json:"after"`
+		Every uint64  `json:"every"`
+		Limit uint64  `json:"limit"`
+		Prob  float64 `json:"prob"`
+		Delay uint64  `json:"delay"`
+	} `json:"rules"`
+}
+
+// FaultPlanFromJSON parses a plan from its fixture wire format.
+func FaultPlanFromJSON(data []byte) (*FaultPlan, error) {
+	var w faultPlanJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("device: bad fault plan: %w", err)
+	}
+	plan := &FaultPlan{Seed: w.Seed}
+	for i, r := range w.Rules {
+		kind, err := faultKindFromString(r.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("device: rule %d: %w", i, err)
+		}
+		plan.Rules = append(plan.Rules, FaultRule{
+			Kind: kind, Off: r.Off, Len: r.Len,
+			After: r.After, Every: r.Every, Limit: r.Limit,
+			Prob: r.Prob, Delay: r.Delay,
+		})
+	}
+	return plan, nil
+}
+
+// LoadFaultPlan reads a plan fixture from disk.
+func LoadFaultPlan(path string) (*FaultPlan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return FaultPlanFromJSON(data)
+}
+
+// badRange is one permanently failed byte range.
+type badRange struct {
+	off  uint64
+	end  uint64
+	kind FaultKind
+}
+
+// ruleState is a rule plus its firing bookkeeping.
+type ruleState struct {
+	FaultRule
+	matches uint64
+	fires   uint64
+}
+
+// faultState is a plan attached to one store.
+type faultState struct {
+	dev      string
+	rules    []*ruleState
+	rng      *rand.Rand
+	obs      *devObs
+	badRead  []badRange
+	badWrite []badRange
+	injected uint64
+}
+
+// attachFaults binds a plan to the store. The obs hook is resolved lazily by
+// the device's Instrument call (see linkObs), so injection order vs
+// instrumentation order does not matter.
+func (s *Store) attachFaults(dev string, plan *FaultPlan, o *devObs) {
+	if plan == nil {
+		s.faults = nil
+		return
+	}
+	fs := &faultState{dev: dev, rng: rand.New(rand.NewSource(plan.Seed)), obs: o}
+	for i := range plan.Rules {
+		fs.rules = append(fs.rules, &ruleState{FaultRule: plan.Rules[i]})
+	}
+	s.faults = fs
+}
+
+// linkObs (re)binds the fault recorder to the device's obs hook, so Inject
+// before Instrument still traces.
+func (s *Store) linkObs(o *devObs) {
+	if s.faults != nil {
+		s.faults.obs = o
+	}
+}
+
+// InjectedFaults returns how many faults the store has injected so far
+// (errors plus latency spikes), for registry-free assertions.
+func (s *Store) InjectedFaults() uint64 {
+	if s.faults == nil {
+		return 0
+	}
+	return s.faults.injected
+}
+
+// Check consults the fault plan for one device operation covering
+// [off, off+n). It returns an extra latency (latency spikes; the caller
+// stalls before submitting) and an error (the operation must fail without
+// moving content; the caller still charges device timing, modeling failure
+// detected at completion). With no plan attached it is a single nil check,
+// so un-faulted worlds pay nothing.
+func (s *Store) Check(now uint64, off uint64, n int, write bool) (delay uint64, err error) {
+	if s.faults == nil {
+		return 0, nil
+	}
+	return s.faults.check(now, off, n, write)
+}
+
+// CheckRead is Check for reads.
+func (s *Store) CheckRead(now uint64, off uint64, n int) (uint64, error) {
+	return s.Check(now, off, n, false)
+}
+
+// CheckWrite is Check for writes.
+func (s *Store) CheckWrite(now uint64, off uint64, n int) (uint64, error) {
+	return s.Check(now, off, n, true)
+}
+
+func overlaps(off, end, rOff, rEnd uint64) bool {
+	return off < rEnd && rOff < end
+}
+
+func (fs *faultState) check(now uint64, off uint64, n int, write bool) (uint64, error) {
+	end := off + uint64(n)
+	var delay uint64
+	var err error
+	// Permanent ranges fail every later overlapping operation.
+	bad := fs.badRead
+	if write {
+		bad = fs.badWrite
+	}
+	for _, r := range bad {
+		if overlaps(off, end, r.off, r.end) {
+			err = &IOError{Kind: r.kind, Dev: fs.dev, Off: off, Len: n}
+			fs.record(now, r.kind, 0)
+			break
+		}
+	}
+	for _, rs := range fs.rules {
+		if write && !rs.Kind.writes() || !write && !rs.Kind.reads() {
+			continue
+		}
+		rEnd := rs.Off + rs.Len
+		if rs.Len == 0 {
+			rEnd = ^uint64(0)
+		}
+		if !overlaps(off, end, rs.Off, rEnd) {
+			continue
+		}
+		rs.matches++
+		if !rs.fire(fs.rng) {
+			continue
+		}
+		rs.fires++
+		switch rs.Kind {
+		case FaultLatencySpike:
+			d := rs.Delay
+			if d == 0 {
+				d = DefaultSpikeDelay
+			}
+			delay += d
+			fs.record(now, rs.Kind, d)
+			continue
+		case FaultPermanentRead, FaultPoison:
+			fs.badRead = append(fs.badRead, badRange{off: rs.Off, end: rEnd, kind: rs.Kind})
+		case FaultPermanentWrite:
+			fs.badWrite = append(fs.badWrite, badRange{off: rs.Off, end: rEnd, kind: rs.Kind})
+		}
+		if err == nil {
+			err = &IOError{Kind: rs.Kind, Dev: fs.dev, Off: off, Len: n}
+		}
+		fs.record(now, rs.Kind, 0)
+	}
+	return delay, err
+}
+
+// fire decides whether the current (already counted) match fires.
+func (rs *ruleState) fire(rng *rand.Rand) bool {
+	if rs.Limit > 0 && rs.fires >= rs.Limit {
+		return false
+	}
+	if rs.Prob > 0 {
+		return rng.Float64() < rs.Prob
+	}
+	after := rs.After
+	if after == 0 {
+		after = 1
+	}
+	if rs.matches < after {
+		return false
+	}
+	if rs.Every == 0 {
+		return rs.matches == after
+	}
+	return (rs.matches-after)%rs.Every == 0
+}
+
+// record counts the injection and emits the dev.fault span/counter.
+func (fs *faultState) record(now uint64, kind FaultKind, delay uint64) {
+	fs.injected++
+	fs.obs.fault(now, kind.String(), delay)
+}
+
+// InjectFaults attaches a fault plan to the NVMe device (nil detaches).
+// name labels the device in errors and obs series.
+func (d *NVMe) InjectFaults(name string, plan *FaultPlan) {
+	d.Store.attachFaults(name, plan, d.obs)
+}
+
+// InjectFaults attaches a fault plan to the pmem device (nil detaches).
+func (d *PMem) InjectFaults(name string, plan *FaultPlan) {
+	d.Store.attachFaults(name, plan, d.obs)
+}

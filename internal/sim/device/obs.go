@@ -12,6 +12,8 @@ import "aquila/internal/obs"
 type devObs struct {
 	tr       *obs.Tracer
 	pid, tid int
+	reg      *obs.Registry
+	name     string
 	queue    *obs.Histogram
 	service  *obs.Histogram
 	reads    *obs.Counter
@@ -19,7 +21,7 @@ type devObs struct {
 }
 
 func newDevObs(tr *obs.Tracer, pid, tid int, reg *obs.Registry, name string) *devObs {
-	o := &devObs{tr: tr, pid: pid, tid: tid}
+	o := &devObs{tr: tr, pid: pid, tid: tid, reg: reg, name: name}
 	o.reads = reg.Counter("dev_reads", obs.L("dev", name))
 	o.writes = reg.Counter("dev_writes", obs.L("dev", name))
 	if reg != nil {
@@ -65,14 +67,37 @@ func (o *devObs) record(now, start, completion uint64, write bool) {
 	}
 }
 
+// fault records one injected fault: a per-kind dev_faults_injected counter
+// and a "dev.fault" span on the device's track (instant-like; latency spikes
+// stretch to their extra delay so the stall is visible in the trace).
+func (o *devObs) fault(now uint64, kind string, delay uint64) {
+	if o == nil {
+		return
+	}
+	o.reg.Counter("dev_faults_injected", obs.L("dev", o.name), obs.L("kind", kind)).Inc()
+	if o.tr == nil {
+		return
+	}
+	end := now + 1
+	if delay > 0 {
+		end = now + delay
+	}
+	o.tr.Add(obs.Span{
+		Name: "fault:" + kind, Cat: "dev.fault",
+		PID: o.pid, TID: o.tid, Begin: now, End: end,
+	})
+}
+
 // Instrument attaches a trace track and registry metrics to the NVMe device.
 // pid/tid locate the device's track in the shared tracer; name labels the
 // registry series. Either tr or reg may be nil.
 func (d *NVMe) Instrument(tr *obs.Tracer, pid, tid int, reg *obs.Registry, name string) {
 	d.obs = newDevObs(tr, pid, tid, reg, name)
+	d.Store.linkObs(d.obs)
 }
 
 // Instrument attaches a trace track and registry metrics to the pmem device.
 func (d *PMem) Instrument(tr *obs.Tracer, pid, tid int, reg *obs.Registry, name string) {
 	d.obs = newDevObs(tr, pid, tid, reg, name)
+	d.Store.linkObs(d.obs)
 }
