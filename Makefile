@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: all build vet test race fmt faults ci bench-reports bench-async
+.PHONY: all build vet test race fmt lint faults ci bench-reports bench-async
 
 all: ci
 
 build:
 	$(GO) build ./...
+	$(GO) build -tags aqdebug ./...
 
 vet:
 	$(GO) vet ./...
@@ -25,6 +26,12 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+# Aquila's own static-analysis suite (DESIGN.md "Static invariants"):
+# determinism, cycle accounting, span pairing, typed-I/O-error propagation.
+# Independent of `go vet`, which keeps covering the generic mistakes.
+lint:
+	$(GO) run ./cmd/aqlint ./...
+
 # The fault-injection suite end to end under the race detector: device fault
 # plans, retry/requeue/quarantine, errseq msync, SIGBUS delivery, io_uring
 # error completions, and fault-plan determinism.
@@ -32,7 +39,7 @@ faults:
 	$(GO) test -race -run 'Fault|SigBus|Msync|Quarantin|Poison|IOURingInjected' \
 		./internal/sim/device/ ./internal/core/ ./internal/host/
 
-ci: build vet fmt test race faults
+ci: build vet fmt lint test race faults
 
 # Regenerate the checked-in machine-readable experiment reports.
 bench-reports:

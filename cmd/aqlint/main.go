@@ -1,0 +1,92 @@
+// Command aqlint runs Aquila's custom static-analysis suite over the repo:
+// the determinism, cycle-accounting, span-pairing and error-propagation
+// invariants the goldens depend on (see DESIGN.md "Static invariants").
+//
+// Usage:
+//
+//	aqlint ./...            # analyze packages (exit 1 on findings)
+//	aqlint -list            # describe the analyzers
+//	aqlint -only detrand ./internal/core/...
+//
+// Findings are suppressed per line with `//aqlint:ignore <name> -- reason`
+// (and `//aqlint:sorted -- reason` for maporder). Suppressed counts are
+// reported so escapes stay visible in CI logs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"aquila/internal/analysis"
+)
+
+func main() {
+	var (
+		list = flag.Bool("list", false, "describe the analyzers and exit")
+		only = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	)
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		keep := map[string]bool{}
+		for _, n := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(n)] = true
+		}
+		var sel []*analysis.Analyzer
+		for _, a := range analyzers {
+			if keep[a.Name] {
+				sel = append(sel, a)
+			}
+		}
+		if len(sel) == 0 {
+			fmt.Fprintf(os.Stderr, "aqlint: no analyzer matches -only %q\n", *only)
+			os.Exit(2)
+		}
+		analyzers = sel
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aqlint: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := analysis.Load(cwd, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aqlint: %v\n", err)
+		os.Exit(2)
+	}
+	if len(pkgs) == 0 {
+		// A silent empty match would make a broken loader look like a clean
+		// lint run in CI.
+		fmt.Fprintf(os.Stderr, "aqlint: no packages match %v\n", patterns)
+		os.Exit(2)
+	}
+	res, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aqlint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range res.Findings {
+		fmt.Println(f)
+	}
+	if res.Suppressed > 0 {
+		fmt.Fprintf(os.Stderr, "aqlint: %d finding(s) suppressed by //aqlint directives\n", res.Suppressed)
+	}
+	if len(res.Findings) > 0 {
+		fmt.Fprintf(os.Stderr, "aqlint: %d finding(s) in %d package(s)\n", len(res.Findings), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -86,6 +86,9 @@ func main() {
 	elapsed := sys.Run(*threads, func(t int, p *aquila.Proc) {
 		lat := metrics.NewHistogram()
 		lats[t] = lat
+		// Per-thread generator derived from the CLI seed: never the global
+		// math/rand source, so two runs with the same -seed are bit-identical
+		// (the detrand rule, applied here by convention — cmd/ is host-side).
 		rng := rand.New(rand.NewSource(*seed + int64(t)*101))
 		buf := make([]byte, 8)
 		pages := maps[t].Size() / 4096

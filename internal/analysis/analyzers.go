@@ -1,0 +1,6 @@
+package analysis
+
+// All returns the aqlint analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{Cyclecost, Detrand, Errdrop, Maporder, Spanpair}
+}

@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"strings"
+)
+
+// Suppression directives. Two forms, both requiring a justification after
+// " -- " by convention (DESIGN.md):
+//
+//	//aqlint:ignore <name>[,<name>...] -- reason
+//	//aqlint:sorted -- reason
+//
+// "ignore" silences the named analyzers; "sorted" is maporder's dedicated
+// escape hatch, asserting the loop's effects are order-independent or the
+// iteration source was sorted out of band. A directive applies to findings on
+// its own line and on the line directly below it (so it can ride at the end
+// of the offending line or stand alone above it).
+type directive struct {
+	names map[string]bool // analyzer names silenced ("sorted" silences maporder)
+}
+
+const directivePrefix = "aqlint:"
+
+// parseDirective decodes one comment text (with the "//" already present).
+func parseDirective(text string) (directive, bool) {
+	body, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(text, "//")), directivePrefix)
+	if !ok {
+		return directive{}, false
+	}
+	// Drop the justification.
+	if i := strings.Index(body, "--"); i >= 0 {
+		body = body[:i]
+	}
+	verb, rest, _ := strings.Cut(strings.TrimSpace(body), " ")
+	d := directive{names: map[string]bool{}}
+	switch verb {
+	case "sorted":
+		d.names["maporder"] = true
+	case "ignore":
+		for _, n := range strings.Split(rest, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				d.names[n] = true
+			}
+		}
+	default:
+		return directive{}, false
+	}
+	return d, true
+}
+
+// suppressions maps file:line to the union of directives covering the line.
+type lineKey struct {
+	file string
+	line int
+}
+
+type suppressions map[lineKey]map[string]bool
+
+func (s suppressions) add(file string, line int, d directive) {
+	key := lineKey{file, line}
+	set := s[key]
+	if set == nil {
+		set = map[string]bool{}
+		s[key] = set
+	}
+	for n := range d.names {
+		set[n] = true
+	}
+}
+
+// covered reports whether analyzer name is silenced at file:line.
+func (s suppressions) covered(file string, line int, name string) bool {
+	return s[lineKey{file, line}][name]
+}
+
+// collectSuppressions scans one package's comments and registers each
+// directive for its own line and the line below.
+func collectSuppressions(pkg *Package) suppressions {
+	s := suppressions{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, ok := parseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				s.add(pos.Filename, pos.Line, d)
+				s.add(pos.Filename, pos.Line+1, d)
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+)
+
+// Errdrop protects the end-to-end I/O error propagation PR 3 established:
+// typed device errors surfaced by the I/O engine layer (ioengine.go) and the
+// fault-injection layer (faults.go) must not be discarded in internal/core —
+// neither assigned to the blank identifier nor ignored as a bare expression
+// statement. Every such error either propagates, poisons/quarantines a page,
+// or lands in a file's errseq; silently dropping one reopens the
+// lost-writeback-error class of bugs.
+var Errdrop = &Analyzer{
+	Name: "errdrop",
+	Doc: "typed I/O errors from ioengine.go/faults.go may not be discarded " +
+		"with _ (or as a bare statement) in internal/core",
+	Run: runErrdrop,
+}
+
+// errdropSourceFiles are the declaring files whose error results are
+// load-bearing.
+var errdropSourceFiles = map[string]bool{
+	"ioengine.go": true,
+	"faults.go":   true,
+}
+
+func runErrdrop(pass *Pass) error {
+	if !ErrDropPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	isErr := func(t types.Type) bool { return types.Implements(t, errIface) }
+
+	// tracked reports whether the call resolves to a function or method
+	// declared in one of the protected files, and returns its error-result
+	// indices.
+	tracked := func(call *ast.CallExpr) (errIdx []int, name string) {
+		fn := calleeFunc(pass.TypesInfo, call)
+		if fn == nil {
+			return nil, ""
+		}
+		file := filepath.Base(pass.Fset.Position(fn.Pos()).Filename)
+		if !errdropSourceFiles[file] {
+			return nil, ""
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			return nil, ""
+		}
+		for i := 0; i < sig.Results().Len(); i++ {
+			if isErr(sig.Results().At(i).Type()) {
+				errIdx = append(errIdx, i)
+			}
+		}
+		return errIdx, fn.Name()
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				if len(st.Rhs) != 1 {
+					return true
+				}
+				call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				errIdx, name := tracked(call)
+				for _, i := range errIdx {
+					if i < len(st.Lhs) && isBlank(st.Lhs[i]) {
+						pass.Reportf(st.Lhs[i].Pos(),
+							"typed I/O error from %s discarded with _: propagate it, poison/quarantine the page, or record it in the errseq",
+							name)
+					}
+				}
+			case *ast.ExprStmt:
+				call, ok := ast.Unparen(st.X).(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if errIdx, name := tracked(call); len(errIdx) > 0 {
+					pass.Reportf(st.Pos(),
+						"typed I/O error from %s ignored: handle or propagate the result",
+						name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

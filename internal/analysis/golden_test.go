@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// wantRe extracts `// want "regexp"` expectations from golden sources.
+var wantRe = regexp.MustCompile(`// want "([^"]*)"`)
+
+// goldenCase binds one analyzer to its testdata package. The pkgPath is
+// chosen to land inside the analyzer's scope (testdata directories are
+// invisible to go list, so the impersonation is harmless).
+type goldenCase struct {
+	analyzer   *Analyzer
+	dir        string
+	pkgPath    string
+	suppressed int // expected count of //aqlint-silenced findings
+}
+
+func TestAnalyzerGoldens(t *testing.T) {
+	cases := []goldenCase{
+		{Detrand, "detrand", "aquila/internal/sim/clockuser", 1},
+		{Maporder, "maporder", "aquila/internal/core/maps", 1},
+		{Cyclecost, "cyclecost", "aquila/internal/core/cycles", 0},
+		{Spanpair, "spanpair", "aquila/internal/core/spans", 1},
+		{Errdrop, "errdrop", "aquila/internal/core/eio", 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.dir, func(t *testing.T) {
+			pkg, err := LoadDir(".", filepath.Join("testdata", tc.dir), tc.pkgPath)
+			if err != nil {
+				t.Fatalf("load golden: %v", err)
+			}
+			res, err := Run([]*Package{pkg}, []*Analyzer{tc.analyzer})
+			if err != nil {
+				t.Fatalf("run %s: %v", tc.analyzer.Name, err)
+			}
+			checkWants(t, pkg, res.Findings)
+			if res.Suppressed != tc.suppressed {
+				t.Errorf("suppressed = %d, want %d", res.Suppressed, tc.suppressed)
+			}
+		})
+	}
+}
+
+// TestScopeGating re-runs each scoped analyzer over its own golden under an
+// out-of-scope import path: every finding must vanish.
+func TestScopeGating(t *testing.T) {
+	cases := []goldenCase{
+		{Detrand, "detrand", "aquila/internal/host/clockuser", 0},
+		{Maporder, "maporder", "aquila/cmd/maps", 0},
+		{Cyclecost, "cyclecost", "aquila/internal/sim/engine/cycles", 0},
+		{Errdrop, "errdrop", "aquila/internal/kvs/eio", 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.dir, func(t *testing.T) {
+			pkg, err := LoadDir(".", filepath.Join("testdata", tc.dir), tc.pkgPath)
+			if err != nil {
+				t.Fatalf("load golden: %v", err)
+			}
+			res, err := Run([]*Package{pkg}, []*Analyzer{tc.analyzer})
+			if err != nil {
+				t.Fatalf("run %s: %v", tc.analyzer.Name, err)
+			}
+			if len(res.Findings) != 0 || res.Suppressed != 0 {
+				t.Errorf("out-of-scope package produced %d finding(s), %d suppressed",
+					len(res.Findings), res.Suppressed)
+			}
+		})
+	}
+}
+
+// want is one expectation: a message pattern anchored to a file line.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// collectWants scans the golden package's comments for `// want` markers.
+func collectWants(t *testing.T, pkg *Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				wants = append(wants, &want{
+					file: pos.Filename,
+					line: pos.Line,
+					re:   regexp.MustCompile(m[1]),
+				})
+			}
+		}
+	}
+	return wants
+}
+
+// checkWants matches findings against expectations one-to-one.
+func checkWants(t *testing.T, pkg *Package, findings []Finding) {
+	t.Helper()
+	wants := collectWants(t, pkg)
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}

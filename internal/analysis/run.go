@@ -1,0 +1,58 @@
+package analysis
+
+import "sort"
+
+// RunResult is every surviving (unsuppressed) finding of one driver run.
+type RunResult struct {
+	Findings []Finding
+	// Suppressed counts findings silenced by //aqlint directives.
+	Suppressed int
+}
+
+// Run executes the analyzers over the packages, applies the //aqlint
+// suppression directives, and returns the surviving findings sorted by
+// position for deterministic output.
+func Run(pkgs []*Package, analyzers []*Analyzer) (*RunResult, error) {
+	res := &RunResult{}
+	for _, pkg := range pkgs {
+		sup := collectSuppressions(pkg)
+		for _, a := range analyzers {
+			var diags []Diagnostic
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Report:    func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, err
+			}
+			for _, d := range diags {
+				pos := pkg.Fset.Position(d.Pos)
+				if sup.covered(pos.Filename, pos.Line, a.Name) {
+					res.Suppressed++
+					continue
+				}
+				res.Findings = append(res.Findings, Finding{
+					Analyzer: a.Name, Pos: pos, Message: d.Message,
+				})
+			}
+		}
+	}
+	sort.Slice(res.Findings, func(i, j int) bool {
+		a, b := res.Findings[i].Pos, res.Findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return res.Findings[i].Analyzer < res.Findings[j].Analyzer
+	})
+	return res, nil
+}

@@ -1,0 +1,49 @@
+package analysis
+
+import "strings"
+
+// The deterministic package trees: everything under them runs inside the
+// simulated worlds, so wall-clock time, global randomness, and map-order
+// effects there corrupt the goldens (fig5b/fig7/fig8a) and the fault-plan
+// determinism guarantees.
+var deterministicPrefixes = []string{
+	"aquila/internal/sim",
+	"aquila/internal/core",
+	"aquila/internal/kvs",
+	"aquila/internal/graph",
+}
+
+// hasPkgPrefix reports whether path is prefix itself or a package below it.
+func hasPkgPrefix(path, prefix string) bool {
+	return path == prefix || strings.HasPrefix(path, prefix+"/")
+}
+
+// DeterministicPkg reports whether the import path belongs to a package that
+// must be simulation-deterministic.
+func DeterministicPkg(path string) bool {
+	for _, p := range deterministicPrefixes {
+		if hasPkgPrefix(path, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// CycleAccountedPkg reports whether the import path is part of the
+// transition-cost surface: the simulated CPU/runtime layers where every raw
+// clock advance must be traceable to the calibrated cost table (cpu.Costs /
+// core.Params / named constants). The engine package itself is excluded — it
+// defines the advance primitives.
+func CycleAccountedPkg(path string) bool {
+	if hasPkgPrefix(path, "aquila/internal/sim/engine") {
+		return false
+	}
+	return hasPkgPrefix(path, "aquila/internal/sim") ||
+		hasPkgPrefix(path, "aquila/internal/core")
+}
+
+// ErrDropPkg reports whether the import path is held to the typed-I/O-error
+// propagation rule (PR 3's end-to-end error guarantees live in core).
+func ErrDropPkg(path string) bool {
+	return hasPkgPrefix(path, "aquila/internal/core")
+}

@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// Spanpair enforces the obs-span discipline: a span begun with
+// Proc.BeginSpan must be ended on every path out of the function, typically
+// with `defer p.EndSpan()` registered immediately after the begin. A span
+// left open corrupts the per-process span stack — every later span on that
+// track nests under the leaked frame and the Chrome trace stops matching the
+// golden.
+//
+// The check is lexical, per function body (function literals are independent
+// units): at each return, the number of BeginSpan calls seen so far on a
+// receiver must not exceed the EndSpan calls seen plus the deferred EndSpans
+// registered. Spans intentionally handed across function boundaries need an
+// //aqlint:ignore spanpair annotation.
+var Spanpair = &Analyzer{
+	Name: "spanpair",
+	Doc: "a span begun in a function must be ended on every return path " +
+		"(defer recv.EndSpan() right after BeginSpan)",
+	Run: runSpanpair,
+}
+
+func runSpanpair(pass *Pass) error {
+	for _, f := range pass.Files {
+		funcUnits(f, func(body *ast.BlockStmt) {
+			checkSpanUnit(pass, body)
+		})
+	}
+	return nil
+}
+
+// spanCount tracks begin/end/defer totals for one receiver expression.
+type spanCount struct {
+	begins, ends, defers int
+	lastBegin            token.Pos
+}
+
+func checkSpanUnit(pass *Pass, body *ast.BlockStmt) {
+	counts := map[string]*spanCount{}
+	get := func(recv string) *spanCount {
+		c := counts[recv]
+		if c == nil {
+			c = &spanCount{}
+			counts[recv] = c
+		}
+		return c
+	}
+	// spanCall decodes a (possibly deferred) call into (receiver, method) if
+	// it is a BeginSpan/EndSpan method call.
+	spanCall := func(call *ast.CallExpr) (string, string, bool) {
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return "", "", false
+		}
+		name := sel.Sel.Name
+		if name != "BeginSpan" && name != "EndSpan" {
+			return "", "", false
+		}
+		return recvString(sel.X), name, true
+	}
+	reported := false
+	report := func(pos token.Pos, recv string) {
+		if reported {
+			return // one finding per unit keeps the noise down
+		}
+		reported = true
+		r := recv
+		if r == "" {
+			r = "recv"
+		}
+		pass.Reportf(pos,
+			"span begun with %s.BeginSpan may stay open on a return path; close it with defer %s.EndSpan()",
+			r, r)
+	}
+	checkExit := func() {
+		recvs := make([]string, 0, len(counts))
+		for recv := range counts {
+			recvs = append(recvs, recv)
+		}
+		sort.Strings(recvs)
+		for _, recv := range recvs {
+			// Anchor the finding at the begin that leaks: that is the line
+			// to fix (and the line an //aqlint:ignore rides on).
+			if c := counts[recv]; c.begins-c.ends > c.defers {
+				report(c.lastBegin, recv)
+			}
+		}
+	}
+	walkSameFunc(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.DeferStmt:
+			if recv, name, ok := spanCall(st.Call); ok && name == "EndSpan" {
+				get(recv).defers++
+			}
+			return false // the deferred call is not an inline end
+		case *ast.CallExpr:
+			if recv, name, ok := spanCall(st); ok {
+				c := get(recv)
+				if name == "BeginSpan" {
+					c.begins++
+					c.lastBegin = st.Pos()
+				} else {
+					c.ends++
+				}
+			}
+		case *ast.ReturnStmt:
+			checkExit()
+		}
+		return true
+	})
+	// Falling off the end of the body is the implicit final return.
+	checkExit()
+}

@@ -1,0 +1,5 @@
+package eio
+
+// InjectFault arms a deterministic device fault; the returned error reports
+// an invalid plan and must not be dropped.
+func InjectFault(plan string) error { return ErrMedia }

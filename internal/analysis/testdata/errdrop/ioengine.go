@@ -1,0 +1,13 @@
+package eio
+
+import "errors"
+
+// ErrMedia stands in for the typed device errors the real I/O engines
+// surface; what errdrop tracks is the declaring file's name, not the type.
+var ErrMedia = errors.New("media error")
+
+type Engine struct{}
+
+func (e *Engine) ReadRun(off, n uint64) (uint64, error)  { return n, ErrMedia }
+func (e *Engine) WriteRun(off, n uint64) (uint64, error) { return n, ErrMedia }
+func (e *Engine) DirectWrite(off uint64) error           { return ErrMedia }

@@ -1,0 +1,58 @@
+// Package maps is the maporder golden: ranging over a map is fine only when
+// the body's effects commute; anything order-sensitive must iterate sorted
+// keys or carry an //aqlint:sorted justification.
+package maps
+
+func advance(k string) {}
+
+func calls(m map[string]int) {
+	for k := range m { // want "call may advance clocks"
+		advance(k)
+	}
+}
+
+func sends(m map[string]int, ch chan string) {
+	for k := range m { // want "channel send inside the loop"
+		ch <- k
+	}
+}
+
+func lastWriterWins(m map[string]int) int {
+	last := 0
+	for _, v := range m { // want "assignment to outer state is last-writer-wins"
+		last = v
+	}
+	return last
+}
+
+func orderedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "append builds an ordered slice"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func commutes(m map[string]int, out map[string]int, slots []int) (n, sum int) {
+	for k, v := range m { // counters, += and per-key writes all commute
+		n++
+		sum += v
+		out[k] = v
+		slots[v] = v
+		local := v * 2
+		_ = local
+	}
+	for k := range m { // delete on the ranged map is order-free
+		delete(m, k)
+	}
+	return n, sum
+}
+
+func justified(m map[string]int) int {
+	last := 0
+	//aqlint:sorted -- ablation-only debug dump; the value never feeds simulated state
+	for _, v := range m {
+		last = v
+	}
+	return last
+}

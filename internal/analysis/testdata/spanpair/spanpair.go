@@ -1,0 +1,54 @@
+// Package spans is the spanpair golden: a span begun in a function must be
+// closed on every return path, which in practice means a defer registered
+// right after BeginSpan. Findings anchor at the leaking BeginSpan.
+package spans
+
+type Proc struct{}
+
+func (p *Proc) BeginSpan(name string) {}
+func (p *Proc) EndSpan()              {}
+
+func deferred(p *Proc) {
+	p.BeginSpan("work")
+	defer p.EndSpan()
+	if bad() {
+		return // covered by the defer
+	}
+}
+
+func balancedInline(p *Proc) {
+	p.BeginSpan("work")
+	step()
+	p.EndSpan()
+}
+
+func earlyReturnLeak(p *Proc) {
+	p.BeginSpan("work") // want "may stay open on a return path"
+	if bad() {
+		return
+	}
+	p.EndSpan()
+}
+
+func fallOffLeak(p *Proc) {
+	p.BeginSpan("work") // want "may stay open on a return path"
+	step()
+}
+
+func nestedLiteralIsOwnUnit(p *Proc) {
+	p.BeginSpan("outer")
+	defer p.EndSpan()
+	f := func() {
+		p.BeginSpan("inner") // want "may stay open on a return path"
+		step()
+	}
+	f()
+}
+
+func handoff(p *Proc) {
+	//aqlint:ignore spanpair -- span deliberately crosses the function boundary; closed by the completion callback
+	p.BeginSpan("async")
+}
+
+func bad() bool { return false }
+func step()     {}

@@ -1,0 +1,7 @@
+//go:build !aqdebug
+
+package core
+
+// debugChecks gates assertions that are too strict (or too hot) for release
+// simulations; build with -tags aqdebug to enable them.
+const debugChecks = false

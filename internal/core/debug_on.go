@@ -1,0 +1,6 @@
+//go:build aqdebug
+
+package core
+
+// debugChecks is enabled by the aqdebug build tag.
+const debugChecks = true

@@ -38,7 +38,7 @@ func (rt *Runtime) MmapDirectNVM(p *engine.Proc, f *fileState, size uint64) *Dir
 	if !ok {
 		panic("core: direct NVM mapping requires the DAX engine")
 	}
-	rt.Host.HV.VMCall(p, 1500)
+	rt.Host.HV.VMCall(p, rt.P.VspaceVMCall)
 	const huge = pagetable.Size2M
 	pages := (size + huge - 1) / huge
 	base := rt.nextVA
@@ -104,7 +104,7 @@ func (m *DirectMapping) Store(p *engine.Proc, off uint64, buf []byte) {
 // a DAX mapping reports media errors detected by earlier flushes exactly
 // once per caller, like any other mapping.
 func (m *DirectMapping) Msync(p *engine.Proc) error {
-	p.AdvanceUser(30)
+	p.AdvanceUser(m.rt.P.DirectMsync)
 	return m.f.wbErr.check(&m.errCursor)
 }
 

@@ -46,6 +46,11 @@ type bgEvictor struct {
 // current cache size (re-derived on every resize).
 func (rt *Runtime) setWatermarks() {
 	limit := int(rt.limitPages)
+	if debugChecks {
+		if err := checkWatermarkBounds(rt.P, limit); err != nil {
+			panic("core: bad eviction watermarks: " + err.Error())
+		}
+	}
 	low := rt.P.LowWatermark
 	if low == 0 {
 		low = 2 * rt.P.EvictBatch

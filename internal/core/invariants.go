@@ -44,6 +44,7 @@ func (rt *Runtime) CheckInvariants() error {
 		}
 	}
 	dirtyPages := 0
+	//aqlint:sorted -- read-only audit: which violation is reported first may vary, but no simulated state is touched
 	for key, pg := range rt.pages {
 		if pg.Key() != key {
 			return fmt.Errorf("page (%s,%d) under wrong key", pg.file.name, pg.idx)
@@ -88,6 +89,33 @@ func (rt *Runtime) CheckInvariants() error {
 	}
 	if dirtyPages != dirtyInTrees {
 		return fmt.Errorf("dirty pages %d != dirty-tree entries %d", dirtyPages, dirtyInTrees)
+	}
+	return nil
+}
+
+// checkWatermarkBounds validates explicitly configured eviction watermarks
+// against the cache capacity: a set LowWatermark must satisfy
+// 1 <= Low < High and a set HighWatermark must fit the cache
+// (High <= capacity pages). Zero values are exempt — setWatermarks derives
+// and clamps those to the cache size. Called from setWatermarks under the
+// aqdebug build tag (DESIGN.md "Static invariants"), so a misconfigured
+// parameter sweep fails loudly instead of being silently clamped.
+func checkWatermarkBounds(p Params, capacityPages int) error {
+	low, high := p.LowWatermark, p.HighWatermark
+	if low != 0 && low < 1 {
+		return fmt.Errorf("LowWatermark %d < 1", low)
+	}
+	if low != 0 && low > capacityPages {
+		return fmt.Errorf("LowWatermark %d exceeds cache capacity (%d pages)", low, capacityPages)
+	}
+	if high != 0 && high < 1 {
+		return fmt.Errorf("HighWatermark %d < 1", high)
+	}
+	if high != 0 && high > capacityPages {
+		return fmt.Errorf("HighWatermark %d exceeds cache capacity (%d pages)", high, capacityPages)
+	}
+	if low != 0 && high != 0 && low >= high {
+		return fmt.Errorf("LowWatermark %d >= HighWatermark %d", low, high)
 	}
 	return nil
 }

@@ -1,0 +1,37 @@
+package core
+
+import "testing"
+
+// TestWatermarkBoundsCheck covers the aqdebug-gated validation of explicitly
+// configured eviction watermarks (Low < High <= capacity).
+func TestWatermarkBoundsCheck(t *testing.T) {
+	const capacity = 1024
+	cases := []struct {
+		name      string
+		low, high int
+		wantErr   bool
+	}{
+		{"both-derived", 0, 0, false},
+		{"valid", 64, 256, false},
+		{"low-only", 64, 0, false},
+		{"high-only", 0, 256, false},
+		{"low-at-capacity", capacity, 0, false},
+		{"inverted", 256, 64, true},
+		{"equal", 128, 128, true},
+		{"low-negative", -1, 0, true},
+		{"high-negative", 0, -5, true},
+		{"low-over-capacity", capacity + 1, 0, true},
+		{"high-over-capacity", 0, capacity + 1, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := DefaultParams()
+			p.LowWatermark, p.HighWatermark = tc.low, tc.high
+			err := checkWatermarkBounds(p, capacity)
+			if (err != nil) != tc.wantErr {
+				t.Errorf("checkWatermarkBounds(low=%d, high=%d) = %v, wantErr=%v",
+					tc.low, tc.high, err, tc.wantErr)
+			}
+		})
+	}
+}

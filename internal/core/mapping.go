@@ -125,7 +125,7 @@ func (m *AqMapping) Mprotect(p *engine.Proc, readOnly bool) {
 // way.
 func (m *AqMapping) Mremap(p *engine.Proc, newSize uint64) {
 	rt := m.rt
-	rt.Host.HV.VMCall(p, 1500) // range updates interact with root ring 0
+	rt.Host.HV.VMCall(p, rt.P.VspaceVMCall) // range updates interact with root ring 0
 	newPages := (newSize + pageSize - 1) / pageSize
 	oldPages := m.r.Pages()
 	switch {

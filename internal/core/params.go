@@ -42,6 +42,17 @@ type Params struct {
 	// MsyncEntry is the intercepted msync entry cost: a plain function
 	// call, not a protection-domain switch (§4.4).
 	MsyncEntry uint64
+	// DuneEnter is the one-time vmcall that builds VMCS/EPT state when a
+	// process enters Aquila (Dune-style enter).
+	DuneEnter uint64
+	// VspaceVMCall is the root-ring-0 handler cost of the uncommon-path
+	// vmcalls that update virtual address ranges (operation ④:
+	// mmap/munmap/mremap and direct-NVM mapping setup).
+	VspaceVMCall uint64
+	// DirectMsync is the user-mode fence cost of msync on a direct NVM
+	// mapping: stores already reached the media, so only the fence and
+	// the errseq check remain.
+	DirectMsync uint64
 
 	// EvictBatch is the synchronous eviction batch size (§3.2: 512).
 	EvictBatch int
@@ -106,6 +117,9 @@ func DefaultParams() Params {
 		DirtyTreeOp:     260,
 		FaultAccounting: 500,
 		MsyncEntry:      120,
+		DuneEnter:       5000,
+		VspaceVMCall:    1500,
+		DirectMsync:     30,
 
 		EvictBatch:      512,
 		FreelistBatch:   4096,

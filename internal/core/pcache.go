@@ -13,6 +13,12 @@ type pageKey struct {
 	idx uint64
 }
 
+// pageKeyLess orders pageKeys by (fid, idx), for deterministic iteration
+// over the page hash (detutil.SortedKeysFunc).
+func pageKeyLess(a, b pageKey) bool {
+	return a.fid < b.fid || (a.fid == b.fid && a.idx < b.idx)
+}
+
 // Page is one page of Aquila's DRAM I/O cache.
 type Page struct {
 	file  *fileState

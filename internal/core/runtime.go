@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"aquila/internal/detutil"
 	"aquila/internal/host"
 	"aquila/internal/iface"
 	"aquila/internal/metrics"
@@ -215,7 +216,7 @@ func NewRuntime(p *engine.Proc, hostOS *host.OS, eng IOEngine, cfg Config) *Runt
 	rt.mmMask = make([]bool, hostOS.E.NumCPUs())
 
 	// Entering Aquila: one vmcall to set up VMCS/EPT state (Dune enter).
-	hostOS.HV.VMCall(p, 5000)
+	hostOS.HV.VMCall(p, params.DuneEnter)
 	rt.grow(p, cfg.CacheBytes)
 	if params.AsyncEvict {
 		rt.startEvictors(p)
@@ -348,10 +349,14 @@ func (rt *Runtime) DeleteFile(p *engine.Proc, name string) {
 		rt.Engine.Delete(p, name)
 		return
 	}
-	// Drop cached pages. Pages under I/O wait their owners; mapped pages
-	// must have been unmapped by Munmap already.
+	// Drop cached pages in key order: the waits below advance the clock and
+	// the later freelist pushes recycle frames in drop order, so iterating
+	// the hash directly would leak map randomization into the simulation.
+	// Pages under I/O wait their owners; mapped pages must have been
+	// unmapped by Munmap already.
 	var drop []*Page
-	for key, pg := range rt.pages {
+	for _, key := range detutil.SortedKeysFunc(rt.pages, pageKeyLess) {
+		pg := rt.pages[key]
 		if key.fid != f.id {
 			continue
 		}
@@ -383,7 +388,7 @@ func (rt *Runtime) DeleteFile(p *engine.Proc, name string) {
 // Mmap maps the first size bytes of f. Virtual address range updates are the
 // uncommon-path operation ④: they interact with root ring 0 via vmcall.
 func (rt *Runtime) Mmap(p *engine.Proc, f *fileState, size uint64) *AqMapping {
-	rt.Host.HV.VMCall(p, 1500)
+	rt.Host.HV.VMCall(p, rt.P.VspaceVMCall)
 	pages := (size + pageSize - 1) / pageSize
 	start := rt.nextVA
 	rt.nextVA += (pages + 16) * pageSize
@@ -398,7 +403,7 @@ func (rt *Runtime) Mmap(p *engine.Proc, f *fileState, size uint64) *AqMapping {
 // munmapRegion tears a region down: vmcall, radix removal, batched unmap +
 // shootdown, and write-back of the file's dirty pages.
 func (rt *Runtime) munmapRegion(p *engine.Proc, r *Region) {
-	rt.Host.HV.VMCall(p, 1500)
+	rt.Host.HV.VMCall(p, rt.P.VspaceVMCall)
 	unmapped := 0
 	for va := r.Start; va < r.End; va += pageSize {
 		if rt.PT.Unmap(va) {

@@ -18,6 +18,11 @@ var (
 	obsReg     *obs.Registry
 	obsSeq     int
 	obsSystems []*aquila.System
+
+	// cycleSystems tracks every System booted since the last TakeSimCycles
+	// call, instrumented or not, so the bench driver can report simulated
+	// cycles per experiment instead of host wall-clock.
+	cycleSystems []*aquila.System
 )
 
 // Instrument routes all subsequently booted Systems into tr and reg (either
@@ -32,20 +37,35 @@ func Instrument(tr *obs.Tracer, reg *obs.Registry) {
 func Registry() *obs.Registry { return obsReg }
 
 // boot creates a System, injecting the harness tracer/registry. With no
-// instrumentation configured it is exactly aquila.New.
+// instrumentation configured it is exactly aquila.New plus cycle tracking.
 func boot(opts aquila.Options) *aquila.System {
-	if obsTracer == nil && obsReg == nil {
-		return aquila.New(opts)
-	}
-	opts.Tracer = obsTracer
-	opts.Registry = obsReg
-	if opts.TraceLabel == "" {
-		obsSeq++
-		opts.TraceLabel = fmt.Sprintf("%s.%d", modeLabel(opts.Mode), obsSeq)
+	instrumented := obsTracer != nil || obsReg != nil
+	if instrumented {
+		opts.Tracer = obsTracer
+		opts.Registry = obsReg
+		if opts.TraceLabel == "" {
+			obsSeq++
+			opts.TraceLabel = fmt.Sprintf("%s.%d", modeLabel(opts.Mode), obsSeq)
+		}
 	}
 	sys := aquila.New(opts)
-	obsSystems = append(obsSystems, sys)
+	if instrumented {
+		obsSystems = append(obsSystems, sys)
+	}
+	cycleSystems = append(cycleSystems, sys)
 	return sys
+}
+
+// TakeSimCycles returns the simulated cycles accrued by every System booted
+// since the previous call (their final clocks summed), then drops the
+// tracked references. The bench driver calls it once per experiment.
+func TakeSimCycles() uint64 {
+	var total uint64
+	for _, s := range cycleSystems {
+		total += s.Sim.Now()
+	}
+	cycleSystems = nil
+	return total
 }
 
 // PublishAll pushes the final per-System counters (fault stats, page-cache

@@ -18,6 +18,7 @@ import (
 	"encoding/binary"
 	"sort"
 
+	"aquila/internal/detutil"
 	"aquila/internal/iface"
 	"aquila/internal/sim/engine"
 	"aquila/internal/ycsb"
@@ -251,12 +252,11 @@ func (db *DB) Scan(p *engine.Proc, startKey []byte, n int) int {
 	}
 	// Merge the sorted L0 keys with the tree's leaf chain.
 	l0keys := make([]string, 0, len(db.l0))
-	for k := range db.l0 {
+	for _, k := range detutil.SortedKeys(db.l0) {
 		if k >= string(startKey) {
 			l0keys = append(l0keys, k)
 		}
 	}
-	sort.Strings(l0keys)
 	treeEntries := db.treeRange(p, startKey, n)
 	seen := 0
 	i, j := 0, 0
@@ -431,11 +431,7 @@ func (db *DB) spill(p *engine.Proc) {
 	for k, off := range db.l0 {
 		merged[k] = off
 	}
-	keys := make([]string, 0, len(merged))
-	for k := range merged {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
+	keys := detutil.SortedKeys(merged)
 	db.bulkBuild(p, keys, merged)
 	db.l0 = make(map[string]uint64)
 	db.treeN = len(keys)
