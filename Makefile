@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fmt lint faults ci bench-reports bench-async
+.PHONY: all build vet test race fmt lint faults perfgate ci bench-reports bench-async
 
 all: ci
 
@@ -14,9 +14,10 @@ vet:
 test:
 	$(GO) test ./...
 
-# The observability layer shares data across goroutines, and the background
-# evictor daemons run as extra procs inside the simulated worlds; keep both
-# race-clean.
+# The observability layer (tracer, registry, profiler, perf gate) shares
+# data across goroutines, and the background evictor daemons run as extra
+# procs inside the simulated worlds; keep both race-clean. The profile and
+# perfgate subpackages are covered by the ./internal/obs/... pattern.
 race:
 	$(GO) test -race ./internal/obs/... ./internal/metrics/... ./internal/core/...
 
@@ -39,7 +40,17 @@ faults:
 	$(GO) test -race -run 'Fault|SigBus|Msync|Quarantin|Poison|IOURingInjected' \
 		./internal/sim/device/ ./internal/core/ ./internal/host/
 
-ci: build vet fmt lint test race faults
+# Performance-regression gate: re-run the report-backed experiments into a
+# scratch directory and diff every BENCH_*.json against the checked-in
+# goldens, exactly to the cycle. Fails on any drift; regenerate the goldens
+# with `make bench-reports` when a change is intentional. Each gated run is
+# appended to the BENCH_history.jsonl trajectory.
+perfgate:
+	rm -rf .perfgate && mkdir -p .perfgate
+	$(GO) run ./cmd/aquila-bench -exp fig8a,fig7,fig5b -report-dir .perfgate > /dev/null
+	$(GO) run ./cmd/aqperf -goldens . -dir .perfgate -history BENCH_history.jsonl -label local
+
+ci: build vet fmt lint test race faults perfgate
 
 # Regenerate the checked-in machine-readable experiment reports.
 bench-reports:

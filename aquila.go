@@ -166,6 +166,11 @@ type Options struct {
 	// Registry, when non-nil, collects this System's metrics (fault-cycle
 	// breakdowns, latency histograms, counters). May be shared.
 	Registry *obs.Registry
+	// Profiler, when non-nil, receives the lossless closed-span stream for
+	// hierarchical cycle profiling (internal/obs/profile.Profiler is the
+	// canonical implementation). May be shared by several Systems;
+	// TraceLabel keeps their tracks apart.
+	Profiler obs.SpanSink
 	// TraceLabel prefixes this System's tracks and labels its metrics.
 	// Empty derives a label from Mode ("aquila", "linux", ...).
 	TraceLabel string
@@ -217,7 +222,8 @@ func New(opts Options) *System {
 	label := s.TraceLabel()
 	s.Sim = simengine.New(simengine.Config{
 		NumCPUs: opts.CPUs, NumNUMANodes: opts.NUMANodes, Seed: opts.Seed,
-		Trace: opts.Trace, Spans: opts.Tracer, TraceLabel: label,
+		Trace: opts.Trace, Spans: opts.Tracer, Profile: opts.Profiler,
+		TraceLabel: label,
 	})
 	var disk *host.Disk
 	var devName string

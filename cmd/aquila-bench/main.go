@@ -17,8 +17,11 @@
 // chrome://tracing or ui.perfetto.dev). With -metrics-json, all counters,
 // histograms and cycle breakdowns are snapshotted to one JSON file. With
 // -report-dir, each experiment that supports it writes a machine-readable
-// BENCH_<exp>.json report. All three are zero-cost when absent: the
-// simulation runs bit-identically with and without them.
+// BENCH_<exp>.json report. With -profile-dir, every experiment writes a
+// hierarchical cycle profile (PROF_<exp>.json + PROF_<exp>.folded, the
+// latter flame-graph ready); -profile concatenates all experiments' folded
+// stacks into one file. All are zero-cost when absent: the simulation runs
+// bit-identically with and without them.
 package main
 
 import (
@@ -32,6 +35,7 @@ import (
 
 	"aquila/internal/harness"
 	"aquila/internal/obs"
+	"aquila/internal/obs/profile"
 )
 
 func main() {
@@ -43,6 +47,9 @@ func main() {
 		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON of all runs to this file")
 		metricsJ  = flag.String("metrics-json", "", "write a metrics registry snapshot (JSON) to this file")
 		reportDir = flag.String("report-dir", "", "write BENCH_<exp>.json reports into this directory")
+		profOut   = flag.String("profile", "", "write one folded flame-graph stack file covering all experiments")
+		profDir   = flag.String("profile-dir", "", "write per-experiment PROF_<exp>.json and PROF_<exp>.folded profiles into this directory")
+		profTop   = flag.Int("profile-top", 0, "print the top-N call paths by exclusive cycles after each experiment")
 		wallClock = flag.Bool("host-wallclock", false,
 			"also print host wall-clock time per experiment (host-side only; simulated results never depend on it)")
 	)
@@ -59,6 +66,11 @@ func main() {
 	if tracer != nil || reg != nil {
 		harness.Instrument(tracer, reg)
 	}
+	var prof *profile.Profiler
+	if *profOut != "" || *profDir != "" || *profTop > 0 {
+		prof = profile.New()
+		harness.InstrumentProfiler(prof)
+	}
 
 	if *list {
 		for _, e := range harness.All() {
@@ -73,15 +85,26 @@ func main() {
 			ids = append(ids, e.ID)
 		}
 	} else {
-		ids = strings.Split(*exp, ",")
+		// Validate every id before running anything: a typo in a long
+		// multi-experiment run must fail fast, not after an hour.
+		for _, id := range strings.Split(*exp, ",") {
+			id = strings.TrimSpace(id)
+			if _, ok := harness.Find(id); !ok {
+				var names []string
+				for _, e := range harness.All() {
+					names = append(names, e.ID)
+				}
+				fmt.Fprintf(os.Stderr, "aquila-bench: unknown experiment %q; valid experiments: %s\n",
+					id, strings.Join(names, ", "))
+				os.Exit(2)
+			}
+			ids = append(ids, id)
+		}
 	}
 
+	var allFolded strings.Builder
 	for _, id := range ids {
-		e, ok := harness.Find(strings.TrimSpace(id))
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
-			os.Exit(1)
-		}
+		e, _ := harness.Find(id)
 		fmt.Printf("# %s — %s\n# paper: %s\n", e.ID, e.Title, e.Paper)
 		var start time.Time
 		if *wallClock {
@@ -105,11 +128,15 @@ func main() {
 		}
 		// The cost figure that matters is deterministic simulated time, not
 		// how fast the host ran the discrete-event loop.
-		fmt.Printf("# (%.1f simulated Mcycles", float64(harness.TakeSimCycles())/1e6)
+		cycles := harness.TakeSimCycles()
+		fmt.Printf("# (%.1f simulated Mcycles", float64(cycles)/1e6)
 		if *wallClock {
 			fmt.Printf(", %s host wall-clock", time.Since(start).Round(time.Millisecond))
 		}
 		fmt.Printf(")\n\n")
+		if prof != nil {
+			finishProfile(prof, e.ID, cycles, *profDir, *profTop, &allFolded, *profOut != "")
+		}
 	}
 
 	if reg != nil {
@@ -129,6 +156,48 @@ func main() {
 		}
 		fmt.Printf("# metrics written to %s\n", *metricsJ)
 	}
+	if *profOut != "" {
+		if err := os.WriteFile(*profOut, []byte(allFolded.String()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write profile: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("# folded stacks written to %s (feed to flamegraph.pl or speedscope)\n", *profOut)
+	}
+}
+
+// finishProfile drains the profiler after one experiment: validates the call
+// tree against the experiment's simulated cycles, writes the per-experiment
+// artifacts, and resets for the next experiment.
+func finishProfile(prof *profile.Profiler, id string, cycles uint64,
+	dir string, top int, folded *strings.Builder, wantFolded bool) {
+	prof.SetTotalCycles(cycles)
+	if err := prof.Reconcile(); err != nil {
+		fmt.Fprintf(os.Stderr, "profile reconcile (%s): %v\n", id, err)
+		os.Exit(1)
+	}
+	if top > 0 && !prof.Empty() {
+		fmt.Printf("# top %d call paths by exclusive cycles:\n", top)
+		if err := prof.WriteTop(os.Stdout, top); err != nil {
+			fmt.Fprintf(os.Stderr, "write top table: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	if wantFolded {
+		if err := prof.WriteFolded(folded); err != nil {
+			fmt.Fprintf(os.Stderr, "fold profile: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if dir != "" && !prof.Empty() {
+		base := filepath.Join(dir, "PROF_"+id)
+		if err := prof.WriteFiles(base); err != nil {
+			fmt.Fprintf(os.Stderr, "write profile: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("# profile written to %s.json and %s.folded\n", base, base)
+	}
+	prof.Reset()
 }
 
 // writeTo creates path and streams write into it.

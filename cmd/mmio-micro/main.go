@@ -12,10 +12,12 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"path/filepath"
 
 	"aquila"
 	"aquila/internal/metrics"
 	"aquila/internal/obs"
+	"aquila/internal/obs/profile"
 )
 
 func main() {
@@ -30,6 +32,9 @@ func main() {
 		seed     = flag.Int64("seed", 1, "deterministic seed")
 		trace    = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file")
 		metricsJ = flag.String("metrics-json", "", "write a metrics registry snapshot (JSON) to this file")
+		profOut  = flag.String("profile", "", "write the run's folded flame-graph stacks to this file")
+		profDir  = flag.String("profile-dir", "", "write profile.json and profile.folded into this directory")
+		profTop  = flag.Int("profile-top", 0, "print the top-N call paths by exclusive cycles")
 	)
 	flag.Parse()
 
@@ -40,6 +45,10 @@ func main() {
 	}
 	if *metricsJ != "" {
 		reg = obs.NewRegistry()
+	}
+	var prof *profile.Profiler
+	if *profOut != "" || *profDir != "" || *profTop > 0 {
+		prof = profile.New()
 	}
 
 	mode := aquila.ModeAquila
@@ -58,11 +67,17 @@ func main() {
 	cache := *cacheMB << 20
 	dataset := *dataMB << 20
 
-	sys := aquila.New(aquila.Options{
+	opts := aquila.Options{
 		Mode: mode, Device: dev, CacheBytes: cache,
 		DeviceBytes: dataset + 128<<20, Seed: *seed,
 		Tracer: tracer, Registry: reg,
-	})
+	}
+	if prof != nil {
+		// Assign only when profiling: a typed-nil *Profiler in the interface
+		// field would defeat the engine's nil check.
+		opts.Profiler = prof
+	}
+	sys := aquila.New(opts)
 	maps := make([]aquila.Mapping, *threads)
 	sys.Do(func(p *aquila.Proc) {
 		if *shared {
@@ -117,7 +132,39 @@ func main() {
 	if reg != nil {
 		reg.Histogram("fault_latency_cycles", obs.L("mode", *modeS)).Merge(all)
 		reg.Counter("micro_faults").Set(total)
+		if tracer != nil {
+			reg.Counter("aq.obs.spans_dropped").Set(tracer.Dropped())
+		}
 		sys.PublishStats()
+	}
+	if prof != nil {
+		prof.SetTotalCycles(sys.Sim.Now())
+		if err := prof.Reconcile(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *profTop > 0 {
+			fmt.Printf("top %d call paths by exclusive cycles:\n", *profTop)
+			if err := prof.WriteTop(os.Stdout, *profTop); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if *profOut != "" {
+			if err := writeTo(*profOut, prof.WriteFolded); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("folded stacks written to %s (feed to flamegraph.pl or speedscope)\n", *profOut)
+		}
+		if *profDir != "" {
+			base := filepath.Join(*profDir, "profile")
+			if err := prof.WriteFiles(base); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("profile written to %s.json and %s.folded\n", base, base)
+		}
 	}
 	if *trace != "" {
 		if err := writeTo(*trace, tracer.WriteChromeTrace); err != nil {

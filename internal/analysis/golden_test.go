@@ -52,6 +52,7 @@ func TestScopeGating(t *testing.T) {
 		{Detrand, "detrand", "aquila/internal/host/clockuser", 0},
 		{Maporder, "maporder", "aquila/cmd/maps", 0},
 		{Cyclecost, "cyclecost", "aquila/internal/sim/engine/cycles", 0},
+		{Spanpair, "spanpair", "aquila/cmd/spans", 0},
 		{Errdrop, "errdrop", "aquila/internal/kvs/eio", 0},
 	}
 	for _, tc := range cases {

@@ -47,3 +47,26 @@ func CycleAccountedPkg(path string) bool {
 func ErrDropPkg(path string) bool {
 	return hasPkgPrefix(path, "aquila/internal/core")
 }
+
+// spanInstrumentedPrefixes are the packages carrying BeginSpan/EndSpan
+// instrumentation: the runtime layers (fault handlers, eviction, msync/fsync)
+// and the key-value stores whose hot paths feed the profiler. A leaked span
+// there corrupts the per-process span stack, so the spanpair discipline is
+// enforced on this tree.
+var spanInstrumentedPrefixes = []string{
+	"aquila/internal/sim/engine",
+	"aquila/internal/core",
+	"aquila/internal/host",
+	"aquila/internal/kvs",
+}
+
+// SpanInstrumentedPkg reports whether the import path carries span
+// instrumentation and is therefore held to the spanpair discipline.
+func SpanInstrumentedPkg(path string) bool {
+	for _, p := range spanInstrumentedPrefixes {
+		if hasPkgPrefix(path, p) {
+			return true
+		}
+	}
+	return false
+}

@@ -18,6 +18,9 @@ import (
 // receiver must not exceed the EndSpan calls seen plus the deferred EndSpans
 // registered. Spans intentionally handed across function boundaries need an
 // //aqlint:ignore spanpair annotation.
+//
+// Scope: the span-instrumented tree (SpanInstrumentedPkg) — the runtime
+// layers and key-value stores that actually open spans.
 var Spanpair = &Analyzer{
 	Name: "spanpair",
 	Doc: "a span begun in a function must be ended on every return path " +
@@ -26,6 +29,9 @@ var Spanpair = &Analyzer{
 }
 
 func runSpanpair(pass *Pass) error {
+	if !SpanInstrumentedPkg(pass.Pkg.Path()) {
+		return nil
+	}
 	for _, f := range pass.Files {
 		funcUnits(f, func(body *ast.BlockStmt) {
 			checkSpanUnit(pass, body)

@@ -251,6 +251,8 @@ func (af *AqFile) Pwrite(p *engine.Proc, buf []byte, off uint64) error {
 // file's writeback error sequence (dirty mmap pages of the same file may
 // have failed background writeback).
 func (af *AqFile) Fsync(p *engine.Proc) error {
+	p.BeginSpan("aq.fsync")
+	defer p.EndSpan()
 	p.AdvanceSystem(af.rt.P.MsyncEntry)
 	return af.f.wbErr.check(&af.errCursor)
 }

@@ -485,6 +485,7 @@ func (rt *Runtime) wpFault(p *engine.Proc, va uint64) (*mem.Frame, error) {
 	va &^= uint64(pageSize - 1)
 	rt.mmMask[p.CPU()] = true
 	rt.Stats.WPFaults++
+	p.SpanEvent("fault.wp", 1)
 	rt.charge(p, "exception", rt.C.ExceptionRing0+rt.P.ExceptionEntry)
 	rt.charge(p, "vspace", rt.P.RadixLookup)
 	r := rt.vs.Find(va)
@@ -562,6 +563,7 @@ func (rt *Runtime) fault(p *engine.Proc, va uint64, write bool) (*mem.Frame, err
 			}
 			pg = existing
 			rt.Stats.MinorFaults++
+			p.SpanEvent("fault.minor", 1)
 			rt.lru.record(p, pg)
 			break
 		}
@@ -604,6 +606,7 @@ func (rt *Runtime) majorFault(p *engine.Proc, r *Region, f *fileState, idx uint6
 	p.BeginSpan("aq.major_fault")
 	defer p.EndSpan()
 	rt.Stats.MajorFaults++
+	p.SpanEvent("fault.major", 1)
 	filePages := (f.size + pageSize - 1) / pageSize
 	if filePages == 0 {
 		filePages = r.Pages()
@@ -712,7 +715,13 @@ func (rt *Runtime) allocFrame(p *engine.Proc) (*mem.Frame, error) {
 				continue
 			}
 		}
-		if err := rt.evict(p); err != nil {
+		// Inline reclaim on the allocation path — the direct-reclaim share
+		// of the transition-cost surface, profiled separately from the
+		// background daemons' aq.bg_evict.
+		p.BeginSpan("aq.direct_reclaim")
+		err := rt.evict(p)
+		p.EndSpan()
+		if err != nil {
 			// Frames parked on other cores' private queues are invisible
 			// to pop; steal one before reporting starvation.
 			if fr := rt.fl.steal(p); fr != nil {
@@ -809,6 +818,7 @@ func (rt *Runtime) evict(p *engine.Proc) error {
 	}
 	rt.Stats.Evictions += uint64(recycled)
 	rt.Stats.DirectReclaimPages += uint64(recycled)
+	p.SpanEvent("evict.pages", uint64(recycled))
 	if rt.P.AsyncEvict {
 		// Summary wall-clock category for the sync-fallback share of
 		// reclaim; the fine-grained categories above still hold the parts.
@@ -825,6 +835,7 @@ func (rt *Runtime) shootdown(p *engine.Proc) {
 	p.BeginSpan("aq.shootdown")
 	defer p.EndSpan()
 	rt.Stats.ShootdownBatches++
+	p.SpanEvent("shootdown", 1)
 	targets := make([]int, 0, rt.e.NumCPUs())
 	for c := 0; c < rt.e.NumCPUs(); c++ {
 		if rt.mmMask[c] {
@@ -990,6 +1001,7 @@ func (rt *Runtime) writeRunOrRecover(p *engine.Proc, spanName string, run []*Pag
 	ferr := rt.writeRun(p, spanName, run[0].file, run[0].idx, frames)
 	if ferr == nil {
 		rt.Stats.WrittenBack += uint64(len(run))
+		p.SpanEvent("writeback.pages", uint64(len(run)))
 		return nil
 	}
 	if len(run) == 1 {
@@ -1001,6 +1013,7 @@ func (rt *Runtime) writeRunOrRecover(p *engine.Proc, spanName string, run []*Pag
 		pe := rt.writeRun(p, spanName, pg.file, pg.idx, frames[k:k+1])
 		if pe == nil {
 			rt.Stats.WrittenBack++
+			p.SpanEvent("writeback.pages", 1)
 			continue
 		}
 		if firstErr == nil {
@@ -1082,6 +1095,9 @@ func (rt *Runtime) msyncFile(p *engine.Proc, f *fileState) {
 
 // msyncFileRange writes back dirty pages of f overlapping [off, off+length).
 func (rt *Runtime) msyncFileRange(p *engine.Proc, f *fileState, off, length uint64) {
+	p.BeginSpan("aq.msync")
+	defer p.EndSpan()
+	p.SpanEvent("msync", 1)
 	rt.charge(p, "msync", rt.P.MsyncEntry)
 	lo := off / pageSize
 	hi := uint64(^uint64(0))

@@ -16,6 +16,7 @@ import (
 var (
 	obsTracer  *obs.Tracer
 	obsReg     *obs.Registry
+	obsProf    obs.SpanSink
 	obsSeq     int
 	obsSystems []*aquila.System
 
@@ -32,6 +33,15 @@ func Instrument(tr *obs.Tracer, reg *obs.Registry) {
 	obsSystems = nil
 }
 
+// InstrumentProfiler routes the lossless span stream of all subsequently
+// booted Systems into sink (typically a *profile.Profiler). Independent of
+// Instrument: profiling works without a tracer and vice versa. Trace labels
+// stay deterministic because obsSeq is shared with Instrument; call
+// Instrument first when combining the two.
+func InstrumentProfiler(sink obs.SpanSink) {
+	obsProf = sink
+}
+
 // Registry returns the registry experiments currently report into (nil when
 // uninstrumented).
 func Registry() *obs.Registry { return obsReg }
@@ -39,10 +49,11 @@ func Registry() *obs.Registry { return obsReg }
 // boot creates a System, injecting the harness tracer/registry. With no
 // instrumentation configured it is exactly aquila.New plus cycle tracking.
 func boot(opts aquila.Options) *aquila.System {
-	instrumented := obsTracer != nil || obsReg != nil
+	instrumented := obsTracer != nil || obsReg != nil || obsProf != nil
 	if instrumented {
 		opts.Tracer = obsTracer
 		opts.Registry = obsReg
+		opts.Profiler = obsProf
 		if opts.TraceLabel == "" {
 			obsSeq++
 			opts.TraceLabel = fmt.Sprintf("%s.%d", modeLabel(opts.Mode), obsSeq)
@@ -74,6 +85,11 @@ func TakeSimCycles() uint64 {
 func PublishAll() {
 	for _, s := range obsSystems {
 		s.PublishStats()
+	}
+	// Surface ring-buffer losses: a nonzero value warns that the Chrome
+	// trace is a window, not the whole run (the profiler sink is lossless).
+	if obsTracer != nil && obsReg != nil {
+		obsReg.Counter("aq.obs.spans_dropped").Set(obsTracer.Dropped())
 	}
 }
 

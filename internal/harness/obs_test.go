@@ -52,6 +52,32 @@ func TestFig8aReportCoverage(t *testing.T) {
 	}
 }
 
+// TestSpansDroppedCounter pins the loss-accounting satellite: PublishAll
+// surfaces the tracer's ring evictions as the aq.obs.spans_dropped counter,
+// so metrics snapshots state whether the trace is a window or the whole run.
+func TestSpansDroppedCounter(t *testing.T) {
+	tr := obs.NewTracer()
+	tr.SetRingCapacity(8) // tiny rings: the fig8a fault storm must overflow
+	reg := obs.NewRegistry()
+	Instrument(tr, reg)
+	defer Instrument(nil, nil)
+
+	e, ok := Find("fig8a")
+	if !ok {
+		t.Fatal("fig8a not registered")
+	}
+	e.Run(testScale)
+	PublishAll()
+
+	if tr.Dropped() == 0 {
+		t.Fatal("8-slot rings did not overflow under fig8a; test premise broken")
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["aq.obs.spans_dropped"]; got != tr.Dropped() {
+		t.Errorf("aq.obs.spans_dropped = %d, want %d", got, tr.Dropped())
+	}
+}
+
 func TestSubSumMap(t *testing.T) {
 	after := map[string]uint64{"a": 10, "b": 5, "c": 3}
 	before := map[string]uint64{"a": 4, "b": 5, "d": 9}

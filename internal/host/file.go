@@ -62,6 +62,8 @@ func (hf *File) Pwrite(p *engine.Proc, buf []byte, off uint64) error {
 
 // Fsync implements iface.File.
 func (hf *File) Fsync(p *engine.Proc) error {
+	p.BeginSpan("lx.fsync")
+	defer p.EndSpan()
 	p.AdvanceSystem(hf.os.C.Syscall + hf.os.P.SyscallKernelPath)
 	if !hf.Direct {
 		hf.os.Cache.fsyncFile(p, hf.f)

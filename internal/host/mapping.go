@@ -162,6 +162,8 @@ func (m *Mapping) Store(p *engine.Proc, off uint64, buf []byte) {
 // Msync implements iface.Mapping: writes the file's dirty pages back. The
 // host path does not model writeback errors, so this always reports success.
 func (m *Mapping) Msync(p *engine.Proc) error {
+	p.BeginSpan("lx.msync")
+	defer p.EndSpan()
 	m.os.charge(p, "syscall", m.os.C.Syscall+m.os.P.SyscallKernelPath)
 	m.os.Cache.fsyncFile(p, m.f)
 	return nil
@@ -170,6 +172,8 @@ func (m *Mapping) Msync(p *engine.Proc) error {
 // MsyncRange implements iface.Mapping: only dirty pages overlapping
 // [off, off+length) are written back.
 func (m *Mapping) MsyncRange(p *engine.Proc, off, length uint64) error {
+	p.BeginSpan("lx.msync")
+	defer p.EndSpan()
 	m.os.charge(p, "syscall", m.os.C.Syscall+m.os.P.SyscallKernelPath)
 	m.os.Cache.fsyncFileRange(p, m.f, off, length)
 	return nil

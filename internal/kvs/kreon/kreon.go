@@ -203,6 +203,8 @@ func (db *DB) TreeEntries() int { return db.treeN }
 
 // Put appends the record to the value log and indexes it in level 0.
 func (db *DB) Put(p *engine.Proc, key, value []byte) {
+	p.BeginSpan("kv.put")
+	defer p.EndSpan()
 	db.Puts++
 	if len(key) != keySize {
 		key = normalizeKey(key)
@@ -227,6 +229,8 @@ func (db *DB) Put(p *engine.Proc, key, value []byte) {
 
 // Get returns the newest value for key.
 func (db *DB) Get(p *engine.Proc, key []byte) ([]byte, bool) {
+	p.BeginSpan("kv.get")
+	defer p.EndSpan()
 	db.Gets++
 	if len(key) != keySize {
 		key = normalizeKey(key)
@@ -247,6 +251,8 @@ func (db *DB) Get(p *engine.Proc, key []byte) ([]byte, bool) {
 
 // Scan visits up to n records in key order starting at startKey.
 func (db *DB) Scan(p *engine.Proc, startKey []byte, n int) int {
+	p.BeginSpan("kv.scan")
+	defer p.EndSpan()
 	if len(startKey) != keySize {
 		startKey = normalizeKey(startKey)
 	}
@@ -291,6 +297,8 @@ func (db *DB) Scan(p *engine.Proc, startKey []byte, n int) int {
 // append-only windows written since the previous Msync are flushed, instead
 // of scanning every dirty page of the store.
 func (db *DB) Msync(p *engine.Proc) {
+	p.BeginSpan("kv.msync")
+	defer p.EndSpan()
 	db.writeSuperblock(p)
 	db.m.MsyncRange(p, 0, pageSize) // superblock
 	if db.logHead > db.lastSyncLog {
@@ -420,6 +428,8 @@ func (db *DB) treeRange(p *engine.Proc, startKey []byte, n int) []treeEntry {
 // spill merges level 0 into the on-device B-tree, bulk-building a fresh
 // immutable tree (Kreon's level spill).
 func (db *DB) spill(p *engine.Proc) {
+	p.BeginSpan("kv.spill")
+	defer p.EndSpan()
 	db.Spills++
 	// Gather all live entries: L0 wins over the old tree.
 	merged := make(map[string]uint64, len(db.l0)+db.treeN)

@@ -238,6 +238,8 @@ func (db *DB) Put(p *engine.Proc, key, value []byte) {
 }
 
 func (db *DB) put(p *engine.Proc, key, value []byte) {
+	p.BeginSpan("kv.put")
+	defer p.EndSpan()
 	db.writeLock.Lock(p)
 	db.Puts++
 	if db.wal != nil {
@@ -265,6 +267,8 @@ func (db *DB) put(p *engine.Proc, key, value []byte) {
 
 // Get returns the newest value for key.
 func (db *DB) Get(p *engine.Proc, key []byte) ([]byte, bool) {
+	p.BeginSpan("kv.get")
+	defer p.EndSpan()
 	db.Gets++
 	v, ok, hops := db.mem.get(key)
 	db.charge(p, "get", db.costs.MemtableBase+db.costs.MemtableHop*uint64(hops))
@@ -370,6 +374,8 @@ func (db *DB) readBlock(p *engine.Proc, t *SST, blkIdx uint64) []byte {
 // Scan visits up to n records starting at startKey, returning the number
 // seen (merged across memtable and all levels, newest version wins).
 func (db *DB) Scan(p *engine.Proc, startKey []byte, n int) int {
+	p.BeginSpan("kv.scan")
+	defer p.EndSpan()
 	it := db.newMergeIter(p, startKey)
 	seen := 0
 	for seen < n {
@@ -397,6 +403,8 @@ func (db *DB) flushLocked(p *engine.Proc) {
 	if db.mem.entries == 0 {
 		return
 	}
+	p.BeginSpan("kv.flush")
+	defer p.EndSpan()
 	db.Flushes++
 	b := newSSTBuilder(db.opts.BlockBytes)
 	for n := db.mem.first(); n != nil; n = n.next[0] {
@@ -425,6 +433,8 @@ func (db *DB) sstName() string { return fmt.Sprintf("sst-%06d", db.nextID+1) }
 // compactL0 merges all of L0 with L1 into a fresh L1 and deletes the
 // replaced tables, returning their space to the namespace.
 func (db *DB) compactL0(p *engine.Proc) {
+	p.BeginSpan("kv.compact")
+	defer p.EndSpan()
 	db.Compactions++
 	// Sources: L0 newest-first then L1 (older priority).
 	var sources []*SST

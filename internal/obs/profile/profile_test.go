@@ -1,0 +1,176 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+)
+
+// feed replays a fixed span/event stream into pr. Called twice (in different
+// arrival orders) by the determinism test.
+func feed(pr *Profiler, reversed bool) {
+	type span struct {
+		track      string
+		cpu        int
+		path       []string
+		begin, end uint64
+	}
+	spans := []span{
+		{"sim/w0", 0, []string{"aq.fault"}, 0, 100},
+		{"sim/w0", 0, []string{"aq.fault", "aq.major_fault"}, 10, 90},
+		{"sim/w0", 0, []string{"aq.fault", "aq.major_fault", "aq.io"}, 20, 70},
+		{"sim/w0", 0, []string{"aq.fault"}, 100, 140},
+		{"sim/w1", 1, []string{"kv.put"}, 0, 500},
+		{"sim/w1", 1, []string{"kv.put", "kv.spill"}, 50, 450},
+	}
+	if reversed {
+		for i := len(spans) - 1; i >= 0; i-- {
+			s := spans[i]
+			pr.ConsumeSpan(s.track, s.cpu, s.path, s.begin, s.end)
+		}
+		pr.ConsumeEvent("sim/w0", 0, []string{"aq.fault", "aq.major_fault"}, "fault.major", 1)
+	} else {
+		for _, s := range spans {
+			pr.ConsumeSpan(s.track, s.cpu, s.path, s.begin, s.end)
+		}
+		pr.ConsumeEvent("sim/w0", 0, []string{"aq.fault", "aq.major_fault"}, "fault.major", 1)
+	}
+	pr.SetTotalCycles(1000)
+}
+
+func TestTreeAggregation(t *testing.T) {
+	pr := New()
+	feed(pr, false)
+	doc := pr.Export()
+	if len(doc.Tracks) != 2 {
+		t.Fatalf("tracks = %d, want 2", len(doc.Tracks))
+	}
+	// Tracks sort by name: sim/w0 first.
+	w0 := doc.Tracks[0]
+	if w0.Track != "sim/w0" || w0.CPU != 0 {
+		t.Fatalf("track[0] = %s cpu %d", w0.Track, w0.CPU)
+	}
+	// Root inclusive = sum of top-level spans: 100 + 40.
+	if w0.CoveredCycles != 140 {
+		t.Fatalf("covered = %d, want 140", w0.CoveredCycles)
+	}
+	fault := w0.Root.Children[0]
+	if fault.Name != "aq.fault" || fault.Calls != 2 || fault.InclusiveCycles != 140 {
+		t.Fatalf("aq.fault = %+v", fault)
+	}
+	// Exclusive = 140 − 80 (major_fault child).
+	if fault.ExclusiveCycles != 60 {
+		t.Fatalf("aq.fault excl = %d, want 60", fault.ExclusiveCycles)
+	}
+	major := fault.Children[0]
+	if major.InclusiveCycles != 80 || major.ExclusiveCycles != 30 {
+		t.Fatalf("major = %+v", major)
+	}
+	if major.Events["fault.major"] != 1 {
+		t.Fatalf("major events = %v", major.Events)
+	}
+	io := major.Children[0]
+	if io.Name != "aq.io" || io.InclusiveCycles != 50 || io.ExclusiveCycles != 50 {
+		t.Fatalf("io = %+v", io)
+	}
+	// Coverage is the max track share: sim/w1 covers 500/1000.
+	if doc.Coverage != 0.5 {
+		t.Fatalf("coverage = %v, want 0.5", doc.Coverage)
+	}
+}
+
+func TestDeterministicExports(t *testing.T) {
+	a, b := New(), New()
+	feed(a, false)
+	feed(b, true) // reversed arrival order must not change any export
+
+	for _, ex := range []struct {
+		name  string
+		write func(pr *Profiler, sb *strings.Builder)
+	}{
+		{"json", func(pr *Profiler, sb *strings.Builder) { pr.WriteJSON(sb) }},
+		{"folded", func(pr *Profiler, sb *strings.Builder) { pr.WriteFolded(sb) }},
+		{"top", func(pr *Profiler, sb *strings.Builder) { pr.WriteTop(sb, 10) }},
+	} {
+		var sa, sb strings.Builder
+		ex.write(a, &sa)
+		ex.write(b, &sb)
+		if sa.String() != sb.String() {
+			t.Errorf("%s export depends on arrival order:\n%s\nvs\n%s", ex.name, sa.String(), sb.String())
+		}
+		if sa.Len() == 0 {
+			t.Errorf("%s export is empty", ex.name)
+		}
+	}
+}
+
+func TestFoldedFormat(t *testing.T) {
+	pr := New()
+	feed(pr, false)
+	var sb strings.Builder
+	if err := pr.WriteFolded(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"sim/w0;aq.fault 60",
+		"sim/w0;aq.fault;aq.major_fault 30",
+		"sim/w0;aq.fault;aq.major_fault;aq.io 50",
+		"sim/w1;kv.put 100",
+		"sim/w1;kv.put;kv.spill 400",
+	}
+	got := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(got) != len(want) {
+		t.Fatalf("folded lines = %d, want %d:\n%s", len(got), len(want), sb.String())
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("folded[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReconcile(t *testing.T) {
+	pr := New()
+	feed(pr, false)
+	if err := pr.Reconcile(); err != nil {
+		t.Fatalf("reconcile: %v", err)
+	}
+	// Track exceeding the run total must fail.
+	pr.SetTotalCycles(100)
+	if err := pr.Reconcile(); err == nil {
+		t.Fatal("reconcile passed with root inclusive > total")
+	}
+	// Unset total with data must fail loudly, not silently pass.
+	pr.SetTotalCycles(0)
+	if err := pr.Reconcile(); err == nil {
+		t.Fatal("reconcile passed with total unset")
+	}
+	// Empty profiler reconciles trivially.
+	if err := New().Reconcile(); err != nil {
+		t.Fatalf("empty reconcile: %v", err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	pr := New()
+	feed(pr, false)
+	pr.Reset()
+	if !pr.Empty() || pr.TotalCycles() != 0 {
+		t.Fatal("reset did not clear state")
+	}
+	var sb strings.Builder
+	if err := pr.WriteFolded(&sb); err != nil || sb.Len() != 0 {
+		t.Fatalf("post-reset folded = %q, err %v", sb.String(), err)
+	}
+}
+
+func TestEventOnOpenPath(t *testing.T) {
+	pr := New()
+	// An event with no open span lands on the track root.
+	pr.ConsumeEvent("sim/w0", 0, nil, "orphan", 2)
+	pr.ConsumeSpan("sim/w0", 0, []string{"a"}, 0, 10)
+	pr.SetTotalCycles(10)
+	doc := pr.Export()
+	if doc.Tracks[0].Root.Events["orphan"] != 2 {
+		t.Fatalf("root events = %v", doc.Tracks[0].Root.Events)
+	}
+}

@@ -1,0 +1,24 @@
+package obs
+
+// SpanSink is the lossless span feed: it receives every span the moment it
+// is closed (engine.Proc.EndSpan), together with the full open-span path at
+// that instant. Where the Tracer retains only a bounded ring of recent spans
+// per track (old spans are dropped on long runs), a SpanSink sees the whole
+// stream and can aggregate it — the hierarchical cycle profiler
+// (internal/obs/profile) is the canonical implementation.
+//
+// Implementations must never advance simulated time and must be
+// deterministic for a deterministic span stream.
+type SpanSink interface {
+	// ConsumeSpan reports one closed span. track identifies the simulated
+	// process's trace track ("<label>/<proc>"), cpu the CPU it is pinned
+	// to, and path the open-span names outermost-first, ending with the
+	// span being closed. begin/end are simulated cycles. The path slice is
+	// owned by the callee.
+	ConsumeSpan(track string, cpu int, path []string, begin, end uint64)
+	// ConsumeEvent attributes n occurrences of a named event (a fault of a
+	// given class, a shootdown batch, written-back pages, ...) to the
+	// innermost open span of track; an empty path attributes to the
+	// track's root.
+	ConsumeEvent(track string, cpu int, path []string, event string, n uint64)
+}

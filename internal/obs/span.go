@@ -215,6 +215,18 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			}
 			return tracks[i].tid < tracks[j].tid
 		})
+		// Surface ring overwrites: a long run silently truncates each track
+		// to its most recent window, so any track that dropped spans gets a
+		// metadata event stating how many. Absent when nothing was dropped,
+		// keeping short-run traces (and their goldens) unchanged.
+		for _, k := range tracks {
+			if d := t.rings[k].dropped; d > 0 {
+				out.TraceEvents = append(out.TraceEvents, chromeEvent{
+					Name: "spans_dropped", Ph: "M", PID: k.pid, TID: k.tid,
+					Args: map[string]any{"dropped": d},
+				})
+			}
+		}
 		for _, k := range tracks {
 			for _, s := range t.rings[k].spans() {
 				dur := float64(s.End-s.Begin) / CyclesPerMicro

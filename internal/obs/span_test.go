@@ -83,6 +83,50 @@ func TestWriteChromeTraceSchema(t *testing.T) {
 	}
 }
 
+// TestDroppedSpansSurfacedInTrace pins the ring-loss metadata: a track that
+// overflowed its ring carries a "spans_dropped" metadata event stating how
+// many spans were lost, and untouched tracks stay clean (so goldens of
+// drop-free runs are unaffected).
+func TestDroppedSpansSurfacedInTrace(t *testing.T) {
+	tr := NewTracer()
+	tr.SetRingCapacity(4)
+	pid := tr.RegisterProcess("sim")
+	for i := 0; i < 10; i++ {
+		tr.Add(Span{Name: "s", PID: pid, TID: 0, Begin: uint64(i), End: uint64(i + 1)})
+	}
+	tr.Add(Span{Name: "t", PID: pid, TID: 1, Begin: 0, End: 1}) // no drops here
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Fatalf("trace with drop metadata does not validate: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"spans_dropped"`) || !strings.Contains(out, `"dropped": 6`) {
+		t.Fatalf("trace missing spans_dropped metadata:\n%s", out)
+	}
+	if got := strings.Count(out, `"spans_dropped"`); got != 1 {
+		t.Fatalf("spans_dropped events = %d, want 1 (only the overflowed track)", got)
+	}
+}
+
+// TestNoDropMetadataWhenClean: a tracer that never overflowed must emit no
+// spans_dropped events, keeping existing golden traces byte-stable.
+func TestNoDropMetadataWhenClean(t *testing.T) {
+	tr := NewTracer()
+	pid := tr.RegisterProcess("sim")
+	tr.Add(Span{Name: "s", PID: pid, TID: 0, Begin: 0, End: 1})
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "spans_dropped") {
+		t.Fatalf("clean trace carries drop metadata:\n%s", buf.String())
+	}
+}
+
 func TestValidateChromeTraceRejectsGarbage(t *testing.T) {
 	if _, err := ValidateChromeTrace([]byte("[1,2,3]")); err == nil {
 		t.Fatal("array-of-numbers should not validate")

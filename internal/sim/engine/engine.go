@@ -71,6 +71,12 @@ type Config struct {
 	// scheduler segments (see obs.go). Instrumentation is free when nil and
 	// never alters simulated timing either way.
 	Spans *obs.Tracer
+	// Profile, when non-nil, receives every span closed via EndSpan with
+	// its full open-span path — the lossless feed the hierarchical cycle
+	// profiler aggregates (the tracer's rings drop oldest spans on long
+	// runs; this hook never does). Independent of Spans: either, both, or
+	// neither may be set; neither alters simulated timing.
+	Profile obs.SpanSink
 	// TraceLabel prefixes the engine's track-group names in a shared span
 	// tracer (e.g. "aquila", "linux"). Empty defaults to "sim".
 	TraceLabel string
@@ -119,6 +125,8 @@ type Engine struct {
 	spans   *obs.Tracer
 	pidCPU  int
 	pidProc int
+	// prof is the lossless span sink from Config.Profile.
+	prof obs.SpanSink
 }
 
 type batonKind uint8
@@ -154,6 +162,7 @@ func New(cfg Config) *Engine {
 		e.tr = &tracer{}
 	}
 	e.spans = cfg.Spans
+	e.prof = cfg.Profile
 	perNode := cfg.NumCPUs / cfg.NumNUMANodes
 	if perNode == 0 {
 		perNode = 1

@@ -46,34 +46,80 @@ func (e *Engine) registerObs() {
 // Spans returns the obs tracer the engine records into (nil when disabled).
 func (e *Engine) Spans() *obs.Tracer { return e.spans }
 
+// Profile returns the lossless span sink the engine feeds (nil when
+// profiling is disabled).
+func (e *Engine) Profile() obs.SpanSink { return e.prof }
+
 // SchedPID and ProcPID return the trace process-group ids the engine
 // registered for scheduler segments and per-process spans.
 func (e *Engine) SchedPID() int { return e.pidCPU }
 func (e *Engine) ProcPID() int  { return e.pidProc }
 
 // BeginSpan opens a named span on this process's trace track at the current
-// simulated cycle. Spans nest; close with EndSpan. With tracing disabled the
-// call is a no-op costing one nil check, and it never consumes simulated time.
+// simulated cycle. Spans nest; close with EndSpan. With both tracing and
+// profiling disabled the call is a no-op costing two nil checks, and it
+// never consumes simulated time.
 func (p *Proc) BeginSpan(name string) {
-	if p.e.spans == nil {
+	if p.e.spans == nil && p.e.prof == nil {
 		return
 	}
 	p.spanStack = append(p.spanStack, spanFrame{name: name, begin: p.now})
 }
 
-// EndSpan closes the innermost open span and emits it to the tracer. Calling
-// it with no open span is a no-op, so instrumented code can defer it safely.
+// EndSpan closes the innermost open span, emitting it to the tracer (ring
+// buffered) and to the profiler sink (lossless, with the full open-span
+// path). Calling it with no open span is a no-op, so instrumented code can
+// defer it safely.
 func (p *Proc) EndSpan() {
-	if p.e.spans == nil || len(p.spanStack) == 0 {
+	n := len(p.spanStack)
+	if (p.e.spans == nil && p.e.prof == nil) || n == 0 {
 		return
 	}
-	fr := p.spanStack[len(p.spanStack)-1]
-	p.spanStack = p.spanStack[:len(p.spanStack)-1]
-	p.e.spans.Add(obs.Span{
-		Name: fr.name, Cat: "span",
-		PID: p.e.pidProc, TID: p.id, Proc: p.name,
-		Begin: fr.begin, End: p.now,
-	})
+	fr := p.spanStack[n-1]
+	if p.e.prof != nil {
+		p.e.prof.ConsumeSpan(p.trackName(), p.cpu, p.spanPath(n), fr.begin, p.now)
+	}
+	p.spanStack = p.spanStack[:n-1]
+	if p.e.spans != nil {
+		p.e.spans.Add(obs.Span{
+			Name: fr.name, Cat: "span",
+			PID: p.e.pidProc, TID: p.id, Proc: p.name,
+			Begin: fr.begin, End: p.now,
+		})
+	}
+}
+
+// SpanEvent attributes n occurrences of a named event (a fault of a given
+// class, a shootdown batch, written-back pages) to the innermost open span,
+// feeding the profiler's per-call-path event breakdown. With profiling
+// disabled the call is one nil check; it never consumes simulated time.
+func (p *Proc) SpanEvent(event string, n uint64) {
+	if p.e.prof == nil || n == 0 {
+		return
+	}
+	p.e.prof.ConsumeEvent(p.trackName(), p.cpu, p.spanPath(len(p.spanStack)), event, n)
+}
+
+// spanPath copies the first n open-span names, outermost first.
+func (p *Proc) spanPath(n int) []string {
+	path := make([]string, n)
+	for i := 0; i < n; i++ {
+		path[i] = p.spanStack[i].name
+	}
+	return path
+}
+
+// trackName lazily builds the process's profiler track id
+// ("<label>/<proc>"), matching the tracer's track-group naming.
+func (p *Proc) trackName() string {
+	if p.track == "" {
+		label := p.e.cfg.TraceLabel
+		if label == "" {
+			label = "sim"
+		}
+		p.track = label + "/" + p.name
+	}
+	return p.track
 }
 
 // obsSchedSegment mirrors a scheduler segment onto the per-CPU track group.

@@ -30,8 +30,10 @@ type Proc struct {
 	// irqAbsorbed counts interrupt-handler cycles this process absorbed.
 	irqAbsorbed uint64
 
-	// spanStack holds the open BeginSpan frames (nil unless tracing).
+	// spanStack holds the open BeginSpan frames (nil unless tracing or
+	// profiling); track caches the profiler track id.
 	spanStack []spanFrame
+	track     string
 }
 
 // ID returns the process id (spawn order).
