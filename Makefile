@@ -18,8 +18,9 @@ test:
 # data across goroutines, and the background evictor daemons run as extra
 # procs inside the simulated worlds; keep both race-clean. The profile and
 # perfgate subpackages are covered by the ./internal/obs/... pattern.
+# internal/sim/mem holds the buddy frame allocator the 2 MB path leans on.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/metrics/... ./internal/core/...
+	$(GO) test -race ./internal/obs/... ./internal/metrics/... ./internal/core/... ./internal/sim/mem/...
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -47,14 +48,14 @@ faults:
 # appended to the BENCH_history.jsonl trajectory.
 perfgate:
 	rm -rf .perfgate && mkdir -p .perfgate
-	$(GO) run ./cmd/aquila-bench -exp fig8a,fig7,fig5b -report-dir .perfgate > /dev/null
+	$(GO) run ./cmd/aquila-bench -exp fig8a,fig7,fig5b,fig10a,ablate-hugepages -report-dir .perfgate > /dev/null
 	$(GO) run ./cmd/aqperf -goldens . -dir .perfgate -history BENCH_history.jsonl -label local
 
 ci: build vet fmt lint test race faults perfgate
 
 # Regenerate the checked-in machine-readable experiment reports.
 bench-reports:
-	$(GO) run ./cmd/aquila-bench -exp fig8a,fig7,fig5b -report-dir .
+	$(GO) run ./cmd/aquila-bench -exp fig8a,fig7,fig5b,fig10a,ablate-hugepages -report-dir .
 
 # Background-eviction comparison: fig5b's sync-vs-async rows plus the
 # watermark-sweep ablation.

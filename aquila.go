@@ -58,6 +58,11 @@ const (
 	AdviceSequential = iface.AdviceSequential
 	AdviceWillNeed   = iface.AdviceWillNeed
 	AdviceDontNeed   = iface.AdviceDontNeed
+	// AdviceHuge (MADV_HUGEPAGE) asks for 2 MB mappings: under Aquila every
+	// extent of the region promotes on first fault (contiguity permitting)
+	// and dirtying stores re-dirty units whole instead of splitting them.
+	// Requires Params.HugeFaultDensity > 0; ignored by the Linux worlds.
+	AdviceHuge = iface.AdviceHuge
 )
 
 // Fault-injection types, re-exported so experiments can build plans without
@@ -343,6 +348,10 @@ func (s *System) PublishStats() {
 		reg.Counter("aq_quarantined_pages", l).Set(st.QuarantinedPages)
 		reg.Counter("aq_requeued_pages", l).Set(st.RequeuedPages)
 		reg.Counter("aq_sync_wb_fallbacks", l).Set(st.SyncWritebackFallbacks)
+		reg.Counter("aq_huge_faults", l).Set(st.HugeFaults)
+		reg.Counter("aq_huge_promotions", l).Set(st.HugePromotions)
+		reg.Counter("aq_huge_demotions", l).Set(st.HugeDemotions)
+		reg.Counter("aq_huge_evictions", l).Set(st.HugeEvictions)
 	}
 	c := s.Host.Cache
 	reg.Counter("pagecache_inserted", l).Set(c.Inserted)

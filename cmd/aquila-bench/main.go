@@ -30,6 +30,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
@@ -115,6 +116,21 @@ func main() {
 				fmt.Print(r.CSV())
 			} else {
 				fmt.Println(r)
+			}
+			if r.Report != nil && len(r.Report.Extra) > 0 {
+				// Headline scalars the perf gate tracks (huge-page hit
+				// ratio, fault reductions, component ratios), in the
+				// deterministic sorted-key order the JSON report uses.
+				keys := make([]string, 0, len(r.Report.Extra))
+				for k := range r.Report.Extra {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				fmt.Printf("# extra:")
+				for _, k := range keys {
+					fmt.Printf(" %s=%.4g", k, r.Report.Extra[k])
+				}
+				fmt.Println()
 			}
 			if *reportDir != "" && r.Report != nil {
 				path := filepath.Join(*reportDir, "BENCH_"+r.ID+".json")

@@ -216,10 +216,19 @@ func (ev *bgEvictor) reclaimBatch(p *engine.Proc) int {
 			// requeued) and keeps its frame.
 			continue
 		}
-		delete(rt.pages, v.Key())
-		frames = append(frames, v.frame)
-		v.frame = nil
-		recycled++
+		rt.cacheRemove(v)
+		if v.huge {
+			// A unit's block goes back whole so its contiguity survives for
+			// the next promotion.
+			rt.fl.pushHuge(p, v.frames)
+			v.frames, v.frame = nil, nil
+			rt.Stats.HugeEvictions++
+			recycled += hugePages
+		} else {
+			frames = append(frames, v.frame)
+			v.frame = nil
+			recycled++
+		}
 	}
 	rt.fl.pushBatch(p, frames)
 	rt.Stats.Evictions += uint64(recycled)
@@ -254,16 +263,25 @@ func (ev *bgEvictor) writeOverlapped(p *engine.Proc, pages []*Page) error {
 	var firstErr error
 	i := 0
 	for i < len(pages) {
-		j := i + 1
-		for j < len(pages) && j-i < rt.P.WritebackMaxRun &&
-			pages[j].file == pages[i].file && pages[j].idx == pages[j-1].idx+1 {
-			j++
+		var run []*Page
+		var frames []*mem.Frame
+		if pages[i].huge {
+			// A unit is its own merged 2 MB run, never split or capped.
+			run = pages[i : i+1]
+			frames = pages[i].frames
+		} else {
+			j := i + 1
+			for j < len(pages) && j-i < rt.P.WritebackMaxRun && !pages[j].huge &&
+				pages[j].file == pages[i].file && pages[j].idx == pages[j-1].idx+1 {
+				j++
+			}
+			run = pages[i:j]
+			frames = make([]*mem.Frame, len(run))
+			for k, pg := range run {
+				frames[k] = pg.frame
+			}
 		}
-		run := pages[i:j]
-		frames := make([]*mem.Frame, len(run))
-		for k, pg := range run {
-			frames[k] = pg.frame
-		}
+		j := i + len(run)
 		if aw != nil {
 			t0 := p.Now()
 			p.BeginSpan("aq.bg_writeback")
@@ -274,7 +292,7 @@ func (ev *bgEvictor) writeOverlapped(p *engine.Proc, pages []*Page) error {
 				if done > lastDone {
 					lastDone = done
 				}
-				rt.Stats.WrittenBack += uint64(len(run))
+				rt.Stats.WrittenBack += uint64(len(frames))
 				i = j
 				continue
 			}

@@ -16,7 +16,11 @@ type freelist struct {
 	rt    *Runtime
 	cores [][]*mem.Frame // per-core stacks
 	nodes [][]*mem.Frame // per-NUMA stacks
-	// free counts pages across all queues.
+	// hugeNodes is the huge tier: per-NUMA stacks of 2 MB blocks (512
+	// contiguous frames) feeding huge-page promotion. Nil until the first
+	// fillHuge/pushHuge, i.e. always nil with huge pages disabled.
+	hugeNodes [][][]*mem.Frame
+	// free counts pages across all queues (a 2 MB block counts 512).
 	free int
 
 	// single/singleLock implement the SingleQueueFreelist ablation: one
@@ -85,7 +89,87 @@ func (fl *freelist) pop(p *engine.Proc) *mem.Frame {
 			return f
 		}
 	}
+	// Fall-back demotion: every 4 KB queue is empty, but the huge tier may
+	// still hold contiguous blocks — sacrifice one block's contiguity rather
+	// than forcing an eviction.
+	if nd := fl.splitHuge(p, local); nd >= 0 && fl.refill(p, core, nd) {
+		q := fl.cores[core]
+		f := q[len(q)-1]
+		fl.cores[core] = q[:len(q)-1]
+		fl.free--
+		return f
+	}
 	return nil
+}
+
+// splitHuge demotes one free 2 MB block (local node preferred) into 512 base
+// frames on the block's NUMA queue. It returns that node, or -1 when the huge
+// tier is empty everywhere. The total free count is unchanged: frames only
+// move between tiers.
+func (fl *freelist) splitHuge(p *engine.Proc, local int) int {
+	for d := 0; d < len(fl.hugeNodes); d++ {
+		nd := (local + d) % len(fl.hugeNodes)
+		hq := fl.hugeNodes[nd]
+		if len(hq) == 0 {
+			continue
+		}
+		blk := hq[len(hq)-1]
+		fl.hugeNodes[nd] = hq[:len(hq)-1]
+		fl.nodes[nd] = append(fl.nodes[nd], blk...)
+		fl.rt.charge(p, "alloc",
+			fl.rt.P.BuddyOp+fl.rt.P.FreelistMove*uint64(len(blk)))
+		return nd
+	}
+	return -1
+}
+
+// fillHuge seeds the huge tier with freshly carved 2 MB blocks.
+func (fl *freelist) fillHuge(blocks [][]*mem.Frame) {
+	if len(blocks) == 0 {
+		return
+	}
+	if fl.hugeNodes == nil {
+		fl.hugeNodes = make([][][]*mem.Frame, len(fl.nodes))
+	}
+	for _, b := range blocks {
+		fl.hugeNodes[b[0].Node] = append(fl.hugeNodes[b[0].Node], b)
+		fl.free += len(b)
+	}
+}
+
+// popHuge takes one 2 MB block for the calling core, local node first. Huge
+// allocation never dips into the 4 KB queues: when contiguity has run out the
+// caller falls back to base-page faults instead.
+func (fl *freelist) popHuge(p *engine.Proc) []*mem.Frame {
+	if len(fl.hugeNodes) == 0 {
+		return nil
+	}
+	local := p.Node()
+	fl.rt.charge(p, "alloc", fl.rt.P.BuddyOp)
+	for d := 0; d < len(fl.hugeNodes); d++ {
+		nd := (local + d) % len(fl.hugeNodes)
+		if d > 0 {
+			fl.rt.charge(p, "alloc", fl.rt.C.NUMARemoteAccess)
+		}
+		if hq := fl.hugeNodes[nd]; len(hq) > 0 {
+			blk := hq[len(hq)-1]
+			fl.hugeNodes[nd] = hq[:len(hq)-1]
+			fl.free -= len(blk)
+			return blk
+		}
+	}
+	return nil
+}
+
+// pushHuge returns a whole-unit block to its NUMA node's huge tier,
+// preserving its contiguity for the next promotion.
+func (fl *freelist) pushHuge(p *engine.Proc, blk []*mem.Frame) {
+	if fl.hugeNodes == nil {
+		fl.hugeNodes = make([][][]*mem.Frame, len(fl.nodes))
+	}
+	fl.hugeNodes[blk[0].Node] = append(fl.hugeNodes[blk[0].Node], blk)
+	fl.free += len(blk)
+	fl.rt.charge(p, "alloc", fl.rt.P.BuddyOp)
 }
 
 // refill moves up to FreelistBatch pages from a NUMA queue to a core queue.
@@ -204,6 +288,11 @@ func (fl *freelist) audit() int {
 	for _, q := range fl.nodes {
 		n += len(q)
 	}
+	for _, hq := range fl.hugeNodes {
+		for _, b := range hq {
+			n += len(b)
+		}
+	}
 	return n
 }
 
@@ -227,6 +316,15 @@ func (fl *freelist) drain(n int) []*mem.Frame {
 			q := fl.cores[core]
 			out = append(out, q[len(q)-1])
 			fl.cores[core] = q[:len(q)-1]
+		}
+	}
+	// Huge blocks drain last and whole (block granularity may overshoot n
+	// slightly; the caller sizes the shrink by what actually drained).
+	for node := range fl.hugeNodes {
+		for n > len(out) && len(fl.hugeNodes[node]) > 0 {
+			hq := fl.hugeNodes[node]
+			out = append(out, hq[len(hq)-1]...)
+			fl.hugeNodes[node] = hq[:len(hq)-1]
 		}
 	}
 	fl.free -= len(out)

@@ -1,0 +1,383 @@
+package core
+
+import (
+	"fmt"
+
+	"aquila/internal/sim/engine"
+	"aquila/internal/sim/mem"
+	"aquila/internal/sim/pagetable"
+)
+
+// This file is the 2 MB huge-page mmio path: transparent promotion of dense
+// 2 MB file extents into single cache units backed by physically contiguous
+// frames (one fault, one merged fill, one PTE, one TLB entry), demotion back
+// to 4 KB pages when fine-grained dirty tracking wins, and the shared cache
+// bookkeeping both page sizes go through. Everything here is gated on
+// hugeEnabled(): with Params.HugeFaultDensity zero no branch below executes,
+// keeping the 4 KB-only runtime bit-identical to the pre-huge-page code.
+
+// hugeEnabled reports whether the huge-page path is on for this runtime.
+func (rt *Runtime) hugeEnabled() bool { return rt.P.HugeFaultDensity > 0 }
+
+// lookupPage probes the page hash for (fid, idx), resolving hits through a
+// covering 2 MB unit: units are stored once, under their extent's base index.
+func (rt *Runtime) lookupPage(fid, idx uint64) *Page {
+	if pg := rt.pages[pageKey{fid, idx}]; pg != nil {
+		return pg
+	}
+	if !rt.hugeEnabled() {
+		return nil
+	}
+	if base := idx &^ uint64(hugePages-1); base != idx {
+		if pg := rt.pages[pageKey{fid, base}]; pg != nil && pg.huge {
+			return pg
+		}
+	}
+	return nil
+}
+
+// cacheInsert publishes a page in the hash and maintains the per-extent
+// residency counters the promotion-density trigger reads. The counters are
+// host-side bookkeeping: simulated cycles for the insert itself are charged
+// by the caller (mutation before charging, like every hash update).
+func (rt *Runtime) cacheInsert(pg *Page) {
+	rt.pages[pg.Key()] = pg
+	if !pg.huge && rt.hugeEnabled() {
+		f := pg.file
+		if f.extResident == nil {
+			f.extResident = make(map[uint64]int)
+		}
+		f.extResident[pg.idx>>hugeShift]++
+	}
+}
+
+// cacheRemove is cacheInsert's inverse.
+func (rt *Runtime) cacheRemove(pg *Page) {
+	delete(rt.pages, pg.Key())
+	if !pg.huge && rt.hugeEnabled() {
+		ext := pg.idx >> hugeShift
+		if n := pg.file.extResident[ext] - 1; n > 0 {
+			pg.file.extResident[ext] = n
+		} else {
+			delete(pg.file.extResident, ext)
+		}
+	}
+}
+
+// shouldPromote decides whether a major fault at (f, idx) should attempt to
+// fill the whole 2 MB extent as one unit: the extent must lie fully inside
+// both the region and the file, and either the region is MADV_HUGEPAGE'd or
+// the extent's 4 KB residency density (counting the faulting page) crosses
+// Params.HugeFaultDensity.
+func (rt *Runtime) shouldPromote(r *Region, f *fileState, idx uint64) bool {
+	if !rt.hugeEnabled() {
+		return false
+	}
+	baseIdx := idx &^ uint64(hugePages-1)
+	if (baseIdx+hugePages)*pageSize > r.End-r.Start {
+		return false
+	}
+	filePages := (f.size + pageSize - 1) / pageSize
+	if filePages > 0 && baseIdx+hugePages > filePages {
+		return false
+	}
+	if r.HugeHint {
+		return true
+	}
+	return float64(f.extResident[baseIdx>>hugeShift]+1) >=
+		rt.P.HugeFaultDensity*float64(hugePages)
+}
+
+// hugeFault attempts to promote the extent containing idx into one 2 MB unit:
+// allocate a contiguous block, displace the extent's resident 4 KB pages
+// (writing dirty ones back first), and fill the unit with one merged 2 MB
+// read. It returns (nil, nil) when the promotion aborts — no contiguous block
+// left, a busy constituent, or a failed displacement writeback — and the
+// caller falls back to the 4 KB path. Like eviction, the in-progress unit is
+// published with an unfired event so racing faulters wait instead of
+// re-reading the extent.
+func (rt *Runtime) hugeFault(p *engine.Proc, r *Region, f *fileState, idx uint64) (*Page, error) {
+	p.BeginSpan("aq.huge_fault")
+	defer p.EndSpan()
+	baseIdx := idx &^ uint64(hugePages-1)
+
+	// Contiguity first; popHuge charges (and may yield), so everything below
+	// re-validates the extent.
+	block := rt.fl.popHuge(p)
+	if block == nil {
+		return nil, nil
+	}
+
+	// Re-scan the extent. Any busy constituent aborts: pinned, I/O in
+	// flight, poisoned, quarantined, claimed by eviction, or already part of
+	// a unit (a racing promoter won while popHuge yielded).
+	var olds []*Page
+	for i := baseIdx; i < baseIdx+hugePages; i++ {
+		pg := rt.pages[pageKey{f.id, i}]
+		if pg == nil {
+			continue
+		}
+		if pg.huge || pg.pins > 0 || (pg.io != nil && !pg.io.Fired()) ||
+			pg.poison != nil || pg.quarantined || !pg.resident {
+			rt.fl.pushHuge(p, block)
+			return nil, nil
+		}
+		olds = append(olds, pg)
+	}
+
+	// Atomic claim: between here and the placeholder publish nothing charges,
+	// so no other proc can observe a half-claimed extent. The 4 KB
+	// constituents leave the hash and the page tables; the unit placeholder
+	// takes the base key with an unfired fill event.
+	unit := &Page{
+		file: f, idx: baseIdx, huge: true,
+		frames: block, frame: block[0], resident: true,
+		io: engine.NewEvent(rt.e, fmt.Sprintf("aqhuge:%s:%d", f.name, baseIdx)),
+	}
+	var dirtyOlds []*Page
+	unmapped := 0
+	for _, pg := range olds {
+		pg.resident = false
+		rt.cacheRemove(pg)
+		for _, va := range pg.vas {
+			if rt.PT.Unmap(va) {
+				unmapped++
+			}
+		}
+		pg.vas = nil
+		if pg.dirty {
+			rt.dirty[pg.dirtyCore].Delete(dirtyKey(pg))
+			pg.dirty = false
+			dirtyOlds = append(dirtyOlds, pg)
+		}
+	}
+	rt.cacheInsert(unit)
+
+	// Cycle charges for the claim (yields are safe now: the claim is fully
+	// published and racers wait on the unit's event).
+	rt.charge(p, "map-pte", rt.P.HugePromote)
+	rt.charge(p, "cache-lookup", rt.P.HashRemove*uint64(len(olds)))
+	rt.charge(p, "cache-insert", rt.P.HashInsert)
+	if unmapped > 0 {
+		rt.charge(p, "unmap", rt.C.PTEUpdate*uint64(unmapped))
+		rt.shootdown(p)
+	}
+
+	// Displacement writeback: the unit starts clean, so dirty constituents
+	// must hit the device before their frames are recycled.
+	if len(dirtyOlds) > 0 {
+		rt.charge(p, "dirty-track", rt.P.DirtyTreeOp*uint64(len(dirtyOlds)))
+		rt.writeSorted(p, dirtyOlds, true)
+		aborted := false
+		for _, pg := range dirtyOlds {
+			if pg.dirty || pg.quarantined {
+				// Requeued or quarantined by the failure path: the frame's
+				// content is the only good copy, so the promotion cannot
+				// proceed. Undo the claim wholesale.
+				aborted = true
+			}
+		}
+		if aborted {
+			rt.cacheRemove(unit)
+			unit.resident = false
+			for _, pg := range olds {
+				pg.resident = true
+				rt.cacheInsert(pg)
+			}
+			rt.lru.recordBulk(p, olds)
+			rt.fl.pushHuge(p, block)
+			unit.io.Fire(p.Now())
+			unit.io = nil
+			return nil, nil
+		}
+	}
+
+	// The displaced frames go back to the base queues; contiguity now lives
+	// in the unit's block.
+	oldFrames := make([]*mem.Frame, 0, len(olds))
+	for _, pg := range olds {
+		oldFrames = append(oldFrames, pg.frame)
+		pg.frame = nil
+	}
+	rt.fl.pushBatch(p, oldFrames)
+
+	// One merged 2 MB fill.
+	if rerr := rt.readRun(p, f, baseIdx, block); rerr != nil {
+		// Units are never poisoned whole: split into 4 KB pages and re-issue
+		// page by page so one bad LBA poisons only itself.
+		rt.Stats.MajorFaults++
+		rt.Stats.HugeDemotions++
+		p.SpanEvent("fault.major", 1)
+		rt.cacheRemove(unit)
+		unit.resident = false
+		split := make([]*Page, hugePages)
+		for i := range split {
+			spg := &Page{
+				file: f, idx: baseIdx + uint64(i), frame: block[i], resident: true,
+				io: engine.NewEvent(rt.e, fmt.Sprintf("aqio:%s:%d", f.name, baseIdx+uint64(i))),
+			}
+			split[i] = spg
+			rt.cacheInsert(spg)
+		}
+		rt.charge(p, "map-pte", rt.P.HugeSplit)
+		rt.charge(p, "cache-insert", rt.P.HashInsert*hugePages)
+		rt.lru.recordBulk(p, split)
+		rt.isolateReadRun(p, split)
+		doneAt := p.Now()
+		for _, spg := range split {
+			spg.io.Fire(doneAt)
+			spg.io = nil
+		}
+		unit.io.Fire(doneAt)
+		unit.io = nil
+		return split[idx-baseIdx], nil
+	}
+
+	rt.Stats.MajorFaults++
+	rt.Stats.HugePromotions++
+	p.SpanEvent("fault.major", 1)
+	rt.lru.record(p, unit)
+	unit.io.Fire(p.Now())
+	unit.io = nil
+	return unit, nil
+}
+
+// hugeMap installs the translation for a fault served by a 2 MB unit: one
+// Size2M PTE covering the whole extent and one entry in the 2 MB dTLB array.
+// When the unit does not fit the faulting region's VA window (a second,
+// smaller mapping of the same file), a single 4 KB alias PTE into the unit's
+// frames is installed instead.
+func (rt *Runtime) hugeMap(p *engine.Proc, r *Region, pg *Page, va uint64, write bool) (*mem.Frame, error) {
+	rt.Stats.HugeFaults++
+	p.SpanEvent("fault.huge", 1)
+	pg.pins++
+	defer func() { pg.pins-- }()
+	asid := rt.PT.ASID()
+	tlb := rt.TLBs.CPU(p.CPU())
+	off := (va >> mem.PageShift) & (hugePages - 1)
+	flags := pagetable.FlagUser | pagetable.FlagAccessed
+	if write {
+		flags |= pagetable.FlagWritable | pagetable.FlagDirty
+		rt.markDirty(p, pg)
+	}
+	if (pg.idx+hugePages)*pageSize > r.End-r.Start {
+		if _, mapped := rt.PT.Lookup(va); !mapped {
+			rt.PT.Map(va, pg.frames[off].ID, flags, pagetable.Size4K)
+			pg.vas = append(pg.vas, va)
+		} else {
+			rt.PT.Protect(va, flags)
+		}
+		rt.charge(p, "map-pte", rt.C.PTEUpdate)
+		tlb.Insert(asid, va>>mem.PageShift)
+	} else {
+		hugeVA := va &^ uint64(hugeBytes-1)
+		if e, ok := rt.PT.Lookup(hugeVA); !ok || e.PageSize != pagetable.Size2M {
+			rt.PT.Map(hugeVA, pg.frames[0].ID, flags, pagetable.Size2M)
+			pg.vas = append(pg.vas, hugeVA)
+		} else {
+			rt.PT.Protect(hugeVA, flags)
+		}
+		rt.charge(p, "map-pte", rt.C.PTEUpdate)
+		tlb.Insert2M(asid, va>>21)
+	}
+	rt.charge(p, "accounting", rt.P.FaultAccounting)
+	return rt.framePool.Frame(pg.frames[off].ID), nil
+}
+
+// hugeWP handles the first store to a write-protected 2 MB unit. A unit that
+// is already dirty, pinned, or whose region asked for huge pages re-dirties
+// as a whole (one PTE upgrade, one 2 MB writeback later); a clean unhinted
+// unit splits back into 4 KB pages first so sparse writers keep fine-grained
+// dirty tracking and avoid 2 MB writeback amplification.
+func (rt *Runtime) hugeWP(p *engine.Proc, r *Region, pg *Page, va uint64) (*mem.Frame, error) {
+	rt.Stats.HugeFaults++
+	p.SpanEvent("fault.huge", 1)
+	asid := rt.PT.ASID()
+	tlb := rt.TLBs.CPU(p.CPU())
+	off := (va >> mem.PageShift) & (hugePages - 1)
+	misfit := (pg.idx+hugePages)*pageSize > r.End-r.Start
+	wrFlags := pagetable.FlagUser | pagetable.FlagWritable |
+		pagetable.FlagAccessed | pagetable.FlagDirty
+	if pg.dirty || pg.pins > 0 || r.HugeHint || misfit {
+		pg.pins++
+		defer func() { pg.pins-- }()
+		rt.markDirty(p, pg)
+		if misfit {
+			// 4 KB alias mapping: upgrade just the alias PTE.
+			rt.PT.Protect(va, wrFlags)
+			rt.charge(p, "map-pte", rt.C.PTEUpdate+rt.C.TLBInvalidatePage)
+			tlb.InvalidatePage(asid, va>>mem.PageShift)
+			tlb.Insert(asid, va>>mem.PageShift)
+		} else {
+			rt.PT.Protect(va&^uint64(hugeBytes-1), wrFlags)
+			rt.charge(p, "map-pte", rt.C.PTEUpdate+rt.C.TLBInvalidatePage)
+			tlb.Invalidate2M(asid, va>>21)
+			tlb.Insert2M(asid, va>>21)
+		}
+		return rt.framePool.Frame(pg.frames[off].ID), nil
+	}
+	split := rt.splitUnit(p, pg, int(off))
+	spg := split[off]
+	defer func() { spg.pins-- }()
+	rt.markDirty(p, spg)
+	if _, mapped := rt.PT.Lookup(va); !mapped {
+		rt.PT.Map(va, spg.frame.ID, wrFlags, pagetable.Size4K)
+		spg.vas = append(spg.vas, va)
+	} else {
+		rt.PT.Protect(va, wrFlags)
+	}
+	rt.charge(p, "map-pte", rt.C.PTEUpdate)
+	tlb.Insert(asid, va>>mem.PageShift)
+	return rt.framePool.Frame(spg.frame.ID), nil
+}
+
+// splitUnit demotes a 2 MB unit into its 512 constituent 4 KB pages, which
+// inherit the unit's frames in place (no copy, one shootdown). All cache,
+// page-table and dirty-tree mutations complete before the first cycle is
+// charged, so no concurrent proc ever observes a half-split extent. Mappings
+// are dropped and re-established lazily by later faults. pinOff >= 0 pins
+// that constituent on the caller's behalf across the trailing charges (the
+// caller unpins).
+func (rt *Runtime) splitUnit(p *engine.Proc, pg *Page, pinOff int) []*Page {
+	rt.Stats.HugeDemotions++
+	p.SpanEvent("huge.split", 1)
+	wasDirty := pg.dirty
+	if wasDirty {
+		rt.dirty[pg.dirtyCore].Delete(dirtyKey(pg))
+		pg.dirty = false
+	}
+	unmapped := 0
+	for _, va := range pg.vas {
+		if rt.PT.Unmap(va) {
+			unmapped++
+		}
+	}
+	pg.vas = nil
+	pg.resident = false
+	rt.cacheRemove(pg)
+	split := make([]*Page, hugePages)
+	for i := range split {
+		spg := &Page{file: pg.file, idx: pg.idx + uint64(i), frame: pg.frames[i], resident: true}
+		if wasDirty {
+			spg.dirty = true
+			spg.dirtyCore = p.CPU()
+			rt.dirty[p.CPU()].Insert(dirtyKey(spg), spg)
+		}
+		split[i] = spg
+		rt.cacheInsert(spg)
+	}
+	if pinOff >= 0 {
+		split[pinOff].pins++
+	}
+	rt.charge(p, "map-pte", rt.P.HugeSplit)
+	if unmapped > 0 {
+		rt.charge(p, "unmap", rt.C.PTEUpdate*uint64(unmapped))
+		rt.shootdown(p)
+	}
+	rt.charge(p, "cache-insert", rt.P.HashInsert*hugePages)
+	rt.lru.recordBulk(p, split)
+	if wasDirty {
+		rt.charge(p, "dirty-track", rt.P.DirtyTreeOp*hugePages)
+	}
+	return split
+}

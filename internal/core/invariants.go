@@ -3,14 +3,20 @@ package core
 import (
 	"fmt"
 
+	"aquila/internal/sim/mem"
 	"aquila/internal/sim/pagetable"
 )
 
 // CheckInvariants audits Aquila's cross-structure consistency at a quiescent
 // point. Tests call it after heavy workloads.
 func (rt *Runtime) CheckInvariants() error {
-	// Frame conservation: every granted frame is either cached or free.
-	resident := len(rt.pages)
+	// Frame conservation: every granted frame is either cached or free (a
+	// 2 MB unit accounts for its 512 contiguous frames).
+	resident := 0
+	//aqlint:sorted -- order-independent sum; pages() reads one bool, no simulated state
+	for _, pg := range rt.pages {
+		resident += pg.pages()
+	}
 	free := rt.fl.Free()
 	if free < 0 {
 		return fmt.Errorf("freelist negative: %d", free)
@@ -71,19 +77,91 @@ func (rt *Runtime) CheckInvariants() error {
 		if pg.poison != nil && pg.quarantined {
 			return fmt.Errorf("page (%s,%d) both poisoned and quarantined", pg.file.name, pg.idx)
 		}
+		if pg.huge {
+			// Huge-unit structure: extent-aligned base index, 512 contiguous
+			// frames, base-frame alias, no 4 KB entry shadowed inside the
+			// extent, and never poisoned (failed fills split the unit first).
+			if pg.idx%hugePages != 0 {
+				return fmt.Errorf("unit (%s,%d) not extent-aligned", pg.file.name, pg.idx)
+			}
+			if len(pg.frames) != hugePages {
+				return fmt.Errorf("unit (%s,%d) has %d frames", pg.file.name, pg.idx, len(pg.frames))
+			}
+			for i, fr := range pg.frames {
+				if fr.ID != pg.frames[0].ID+uint64(i) {
+					return fmt.Errorf("unit (%s,%d): frames not contiguous at offset %d",
+						pg.file.name, pg.idx, i)
+				}
+			}
+			if pg.frame != pg.frames[0] {
+				return fmt.Errorf("unit (%s,%d): frame is not frames[0]", pg.file.name, pg.idx)
+			}
+			for i := pg.idx + 1; i < pg.idx+hugePages; i++ {
+				if rt.pages[pageKey{pg.file.id, i}] != nil {
+					return fmt.Errorf("unit (%s,%d): 4 KB page also cached at %d",
+						pg.file.name, pg.idx, i)
+				}
+			}
+			if pg.poison != nil {
+				return fmt.Errorf("unit (%s,%d) poisoned", pg.file.name, pg.idx)
+			}
+		}
 		for _, va := range pg.vas {
 			e, ok := rt.PT.Lookup(va)
 			if !ok {
 				return fmt.Errorf("page (%s,%d): rmap va %#x unmapped", pg.file.name, pg.idx, va)
 			}
-			if e.Frame != pg.frame.ID {
+			want := pg.frame.ID
+			if pg.huge {
+				// A unit maps either whole (one aligned Size2M PTE) or via a
+				// 4 KB alias into the matching constituent frame.
+				if e.PageSize == pagetable.Size2M {
+					if va%uint64(hugeBytes) != 0 {
+						return fmt.Errorf("unit (%s,%d): unaligned 2 MB va %#x",
+							pg.file.name, pg.idx, va)
+					}
+					want = pg.frames[0].ID
+				} else {
+					want = pg.frames[(va>>mem.PageShift)&(hugePages-1)].ID
+				}
+			} else if e.PageSize != pagetable.Size4K {
+				return fmt.Errorf("page (%s,%d): 4 KB page behind 2 MB PTE at %#x",
+					pg.file.name, pg.idx, va)
+			}
+			if e.Frame != want {
 				return fmt.Errorf("page (%s,%d): pte frame %d != %d",
-					pg.file.name, pg.idx, e.Frame, pg.frame.ID)
+					pg.file.name, pg.idx, e.Frame, want)
 			}
 			// Dirty discipline: a writable PTE implies a dirty page.
 			if e.Flags.Has(pagetable.FlagWritable) && !pg.dirty {
 				return fmt.Errorf("page (%s,%d): writable PTE on clean page",
 					pg.file.name, pg.idx)
+			}
+		}
+	}
+	if rt.hugeEnabled() {
+		// Promotion-density counters match a recount of resident 4 KB pages.
+		recount := make(map[pageKey]int) // (fid, extent) -> 4 KB pages
+		for _, pg := range rt.pages {
+			if !pg.huge {
+				recount[pageKey{pg.file.id, pg.idx >> hugeShift}]++
+			}
+		}
+		//aqlint:sorted -- read-only audit: which violation is reported first may vary, but no simulated state is touched
+		for _, f := range rt.files {
+			//aqlint:sorted -- read-only audit: only which violation is reported first varies
+			for ext, n := range f.extResident {
+				if recount[pageKey{f.id, ext}] != n {
+					return fmt.Errorf("file %s extent %d: extResident %d != recount %d",
+						f.name, ext, n, recount[pageKey{f.id, ext}])
+				}
+				delete(recount, pageKey{f.id, ext})
+			}
+		}
+		//aqlint:sorted -- read-only audit: only which violation is reported first varies
+		for k, n := range recount {
+			if n != 0 {
+				return fmt.Errorf("fid %d extent %d: %d resident pages untracked", k.fid, k.idx, n)
 			}
 		}
 	}

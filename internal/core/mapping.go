@@ -31,6 +31,13 @@ func (m *AqMapping) Size() uint64 { return m.size }
 // function call, not a syscall (§4.4).
 func (m *AqMapping) Advise(p *engine.Proc, advice iface.Advice) {
 	p.AdvanceSystem(m.rt.P.MsyncEntry)
+	if advice == iface.AdviceHuge {
+		// MADV_HUGEPAGE composes with, rather than replaces, the
+		// access-pattern advice: the region keeps its readahead class and
+		// additionally promotes extents on first fault.
+		m.r.HugeHint = true
+		return
+	}
 	m.r.Advice = advice
 }
 
@@ -105,12 +112,19 @@ func (m *AqMapping) Mprotect(p *engine.Proc, readOnly bool) {
 	p.AdvanceSystem(m.rt.P.MsyncEntry)
 	if readOnly && !m.r.ReadOnly {
 		changed := 0
-		for va := m.r.Start; va < m.r.End; va += pageSize {
-			if e, ok := m.rt.PT.Lookup(va); ok && e.Flags.Has(pagetable.FlagWritable) {
-				m.rt.PT.Protect(va, pagetable.FlagUser|pagetable.FlagAccessed)
-				m.rt.charge(p, "map-pte", m.rt.C.PTEUpdate)
-				changed++
+		for va := m.r.Start; va < m.r.End; {
+			step := uint64(pageSize)
+			if e, ok := m.rt.PT.Lookup(va); ok {
+				if e.PageSize == pagetable.Size2M {
+					step = pagetable.Size2M // one PTE covers the whole extent
+				}
+				if e.Flags.Has(pagetable.FlagWritable) {
+					m.rt.PT.Protect(va, pagetable.FlagUser|pagetable.FlagAccessed)
+					m.rt.charge(p, "map-pte", m.rt.C.PTEUpdate)
+					changed++
+				}
 			}
+			va += step
 		}
 		if changed > 0 {
 			m.rt.shootdown(p)
@@ -131,19 +145,28 @@ func (m *AqMapping) Mremap(p *engine.Proc, newSize uint64) {
 	switch {
 	case newPages == oldPages:
 	case newPages < oldPages:
-		// Shrink in place: unmap the tail.
-		unmapped := 0
-		for va := m.r.Start + newPages*pageSize; va < m.r.End; va += pageSize {
-			if rt.PT.Unmap(va) {
-				rt.charge(p, "unmap", rt.C.PTEUpdate)
-				unmapped++
-				idx := (va - m.r.Start) / pageSize
-				if pg := rt.pages[pageKey{m.r.File.id, idx}]; pg != nil {
-					removeVAFrom(pg, va)
+		// Shrink in place: unmap the tail. A huge unit straddling the new end
+		// must demote first — its tail leaves the mapping while its head
+		// stays, and a 2 MB PTE cannot be half-unmapped.
+		if rt.hugeEnabled() && newPages%uint64(hugePages) != 0 {
+			for {
+				unit := rt.lookupPage(m.r.File.id, newPages)
+				if unit == nil || !unit.huge {
+					break
 				}
+				if unit.io != nil && !unit.io.Fired() {
+					unit.io.Wait(p)
+					continue
+				}
+				if unit.pins > 0 {
+					p.Yield()
+					continue
+				}
+				rt.splitUnit(p, unit, -1)
+				break
 			}
 		}
-		if unmapped > 0 {
+		if unmapped := rt.unmapSpan(p, m.r, m.r.Start+newPages*pageSize, m.r.End); unmapped > 0 {
 			rt.shootdown(p)
 		}
 		rt.vs.Remove(m.r)
@@ -151,23 +174,35 @@ func (m *AqMapping) Mremap(p *engine.Proc, newSize uint64) {
 		rt.vs.Insert(m.r)
 		rt.charge(p, "vspace", 4*rt.P.RadixLookup)
 	default:
-		// Grow: relocate to a fresh range, moving live translations.
+		// Grow: relocate to a fresh range, moving live translations. Huge
+		// entries move whole: both bases are 2 MB-aligned, so the extent
+		// offset keeps its alignment at the new range.
 		newStart := rt.nextVA
-		rt.nextVA += (newPages + 16) * pageSize
+		if rt.hugeEnabled() {
+			newStart = (newStart + hugeBytes - 1) &^ uint64(hugeBytes-1)
+		}
+		rt.nextVA = newStart + (newPages+16)*pageSize
 		moved := 0
-		for i := uint64(0); i < oldPages; i++ {
+		for i := uint64(0); i < oldPages; {
 			oldVA := m.r.Start + i*pageSize
-			if e, ok := rt.PT.Lookup(oldVA); ok {
-				rt.PT.Unmap(oldVA)
-				rt.PT.Map(newStart+i*pageSize, e.Frame, e.Flags, pagetable.Size4K)
-				rt.charge(p, "map-pte", 2*rt.C.PTEUpdate)
-				idx := i
-				if pg := rt.pages[pageKey{m.r.File.id, idx}]; pg != nil {
-					removeVAFrom(pg, oldVA)
-					pg.vas = append(pg.vas, newStart+i*pageSize)
-				}
-				moved++
+			e, ok := rt.PT.Lookup(oldVA)
+			if !ok {
+				i++
+				continue
 			}
+			size, span := uint64(pagetable.Size4K), uint64(1)
+			if e.PageSize == pagetable.Size2M {
+				size, span = pagetable.Size2M, hugePages
+			}
+			rt.PT.Unmap(oldVA)
+			rt.PT.Map(newStart+i*pageSize, e.Frame, e.Flags, size)
+			rt.charge(p, "map-pte", 2*rt.C.PTEUpdate)
+			if pg := rt.lookupPage(m.r.File.id, i); pg != nil {
+				removeVAFrom(pg, oldVA)
+				pg.vas = append(pg.vas, newStart+i*pageSize)
+			}
+			moved++
+			i += span
 		}
 		if moved > 0 {
 			rt.shootdown(p)

@@ -92,6 +92,29 @@ type Params struct {
 	// of the old starvation panic). Zero derives 50M cycles (~20 ms).
 	EvictStallBudget uint64
 
+	// HugeFaultDensity enables the 2 MB huge-page mmio path and sets the
+	// promotion trigger: a major fault in a 2 MB-aligned extent promotes the
+	// whole extent to one huge mapping once the fraction of its 512 pages
+	// already resident (counting the faulting page) reaches this value.
+	// Regions hinted with AdviseHuge promote on the first fault regardless.
+	// Zero disables huge pages entirely; the runtime is then bit-identical
+	// to the 4 KB-only path.
+	HugeFaultDensity float64
+	// HugePromote is the software cost of assembling a promotion: collapsing
+	// the extent's PTE subtree into one 2 MB entry and merging the cache
+	// metadata (charged once per promotion, on top of the per-PTE work).
+	HugePromote uint64
+	// HugeSplit is the software cost of demoting a huge mapping: allocating
+	// a PTE table and re-pointing the 2 MB entry at it (charged once per
+	// split; the surviving 4 KB pieces re-fault lazily).
+	HugeSplit uint64
+	// BuddyOp is one operation on the buddy contiguous-frame tier
+	// (block pop/push, including the split/coalesce bookkeeping).
+	BuddyOp uint64
+	// HugeTLBEntries overrides the per-CPU 2 MB dTLB array size when huge
+	// pages are enabled. Zero derives the hardware default (32).
+	HugeTLBEntries int
+
 	// IORetryLimit is how many times a transient device error is retried
 	// before the I/O is declared failed (poison on reads, quarantine or
 	// requeue on writeback). Zero derives 3.
@@ -126,6 +149,12 @@ func DefaultParams() Params {
 		CoreQueueLimit:  8192,
 		ReadAheadPages:  16,
 		WritebackMaxRun: 128,
+
+		// Huge pages ship disabled (HugeFaultDensity 0); the cost constants
+		// are calibrated so enabling them only needs the density knob.
+		HugePromote: 1800,
+		HugeSplit:   1400,
+		BuddyOp:     120,
 
 		IORetryLimit:   3,
 		IORetryBackoff: 20000,

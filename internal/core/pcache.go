@@ -7,6 +7,13 @@ import (
 
 const pageSize = mem.PageSize
 
+// Huge-page geometry: one 2 MB unit covers a 512-page, 2 MB-aligned extent.
+const (
+	hugePages = mem.BlockFrames          // 512 base pages per unit
+	hugeShift = mem.MaxOrder             // log2(hugePages)
+	hugeBytes = hugePages * mem.PageSize // == pagetable.Size2M
+)
+
 // pageKey identifies a cached page: file id + page index.
 type pageKey struct {
 	fid uint64
@@ -47,6 +54,21 @@ type Page struct {
 	// keeps its frame, is never re-selected by eviction, and is never
 	// silently dropped — the in-DRAM copy is the only good one.
 	quarantined bool
+	// huge marks a 2 MB unit: one cache entry (stored under the extent's
+	// base index) covering 512 contiguous frames. frame aliases frames[0] so
+	// size-agnostic code keeps working; dirtiness, LRU position and
+	// writeback are tracked for the unit as a whole.
+	huge   bool
+	frames []*mem.Frame
+}
+
+// pages returns how many base pages the entry accounts for (512 for a huge
+// unit, 1 otherwise).
+func (pg *Page) pages() int {
+	if pg.huge {
+		return hugePages
+	}
+	return 1
 }
 
 // Key returns the page's hash key.
@@ -75,6 +97,10 @@ type fileState struct {
 	// writeback of one of this file's pages records here, and each sync
 	// caller (mapping or open file) drains it once via its own cursor.
 	wbErr errseq
+	// extResident counts resident 4 KB pages per 2 MB extent (key idx>>9),
+	// feeding the promotion-density trigger. Maintained only with huge pages
+	// enabled; host-side bookkeeping, no simulated cost.
+	extResident map[uint64]int
 }
 
 // Name returns the file's name.
@@ -116,16 +142,37 @@ func (l *lruApprox) record(p *engine.Proc, pg *Page) {
 	l.rt.charge(p, "lru", l.rt.P.LRUAppend)
 }
 
-// selectVictims pops up to n least-recently-faulted resident pages, skipping
-// stale entries, pinned pages and pages with in-flight I/O. Selected pages
-// are removed from the hash table immediately, so no new faults can map them.
+// recordBulk appends a batch of pages created by one operation (huge-unit
+// split) to the calling core's queue, charging the append cost once per page
+// in a single batched charge.
+func (l *lruApprox) recordBulk(p *engine.Proc, pages []*Page) {
+	if len(pages) == 0 {
+		return
+	}
+	q := &l.queues[p.CPU()]
+	for _, pg := range pages {
+		l.seq++
+		pg.lruSeq = l.seq
+		q.entries = append(q.entries, lruEntry{pg, l.seq})
+	}
+	l.rt.charge(p, "lru", l.rt.P.LRUAppend*uint64(len(pages)))
+}
+
+// selectVictims pops least-recently-faulted resident pages until n frames
+// worth have been selected, skipping stale entries, pinned pages and pages
+// with in-flight I/O. The budget is frames, not entries: a 2 MB unit counts
+// as its 512 constituents, so one batch never grabs a cache's worth of huge
+// units and starves every other reclaimer past its stall budget. Selected
+// pages are removed from the hash table immediately, so no new faults can
+// map them.
 func (l *lruApprox) selectVictims(p *engine.Proc, n int) []*Page {
 	victims := make([]*Page, 0, n)
+	frames := 0
 	attempts := 0
 	// Preference (rt.Prefer) is honored on a best-effort budget; past it,
 	// selection falls back to plain LRU order so eviction always proceeds.
 	preferBudget := 2 * n
-	for len(victims) < n && attempts < 4*n+1024 {
+	for frames < n && attempts < 4*n+1024 {
 		attempts++
 		best := -1
 		var bestSeq uint64
@@ -177,6 +224,7 @@ func (l *lruApprox) selectVictims(p *engine.Proc, n int) []*Page {
 		pg.resident = false
 		pg.io = engine.NewEvent(l.rt.e, "evict")
 		victims = append(victims, pg)
+		frames += pg.pages()
 	}
 	return victims
 }

@@ -49,6 +49,17 @@ type Stats struct {
 	// SyncWritebackFallbacks counts background-evict batches that fell back
 	// from overlapped to synchronous writeback after repeated failures.
 	SyncWritebackFallbacks uint64
+	// HugeFaults counts faults served by a 2 MB unit: promotions, minor
+	// faults mapping an existing unit, and write upgrades on units.
+	HugeFaults uint64
+	// HugePromotions counts extents collapsed into one 2 MB unit.
+	HugePromotions uint64
+	// HugeDemotions counts units split back into 4 KB pages (first dirtying
+	// store on a clean unit, failed merged fill, boundary operations).
+	HugeDemotions uint64
+	// HugeEvictions counts whole-unit evictions: one shootdown slot and one
+	// merged 2 MB writeback per unit.
+	HugeEvictions uint64
 }
 
 // Eviction stall handling: an empty selection round means every cached page
@@ -204,7 +215,16 @@ func NewRuntime(p *engine.Proc, hostOS *host.OS, eng IOEngine, cfg Config) *Runt
 		Reg:      reg,
 	}
 	rt.stallCtr = reg.Counter("aquila_evict_stall", labels...)
-	rt.framePool = mem.NewAllocator(cfg.MaxCacheBytes, hostOS.E.NumNUMANodes())
+	if rt.hugeEnabled() {
+		// The huge path needs physically contiguous 2 MB blocks: grant the
+		// guest-physical pool as a per-node buddy system, and size the split
+		// 2 MB dTLB arrays. Disabled mode keeps the classic allocator so the
+		// 4 KB-only runtime stays bit-identical.
+		rt.framePool = mem.NewBuddyAllocator(cfg.MaxCacheBytes, hostOS.E.NumNUMANodes())
+		rt.TLBs.SetCapacity2M(params.HugeTLBEntries)
+	} else {
+		rt.framePool = mem.NewAllocator(cfg.MaxCacheBytes, hostOS.E.NumNUMANodes())
+	}
 	rt.fl = newFreelist(rt)
 	rt.lru = newLRU(rt)
 	rt.dirty = make([]*rbTree, hostOS.E.NumCPUs())
@@ -227,8 +247,16 @@ func NewRuntime(p *engine.Proc, hostOS *host.OS, eng IOEngine, cfg Config) *Runt
 // CacheLimitPages returns the current cache size in pages.
 func (rt *Runtime) CacheLimitPages() uint64 { return rt.limitPages }
 
-// ResidentPages returns the number of cached pages.
-func (rt *Runtime) ResidentPages() int { return len(rt.pages) }
+// ResidentPages returns the number of cached base pages (a 2 MB unit counts
+// its 512 frames).
+func (rt *Runtime) ResidentPages() int {
+	n := 0
+	//aqlint:sorted -- order-independent sum; pages() reads one bool, no simulated state
+	for _, pg := range rt.pages {
+		n += pg.pages()
+	}
+	return n
+}
 
 // FreePages returns the free-list population.
 func (rt *Runtime) FreePages() int { return rt.fl.Free() }
@@ -252,16 +280,31 @@ func (rt *Runtime) grow(p *engine.Proc, bytes uint64) {
 	rt.Host.HV.GrantRegion(p, rt.gpaBase, granted)
 	rt.gpaBase += granted
 	var frames []*mem.Frame
+	var blocks [][]*mem.Frame
 	perNode := int(wantPages) / rt.e.NumNUMANodes()
 	for n := 0; n < rt.e.NumNUMANodes(); n++ {
 		want := perNode
 		if n == 0 {
 			want = int(wantPages) - perNode*(rt.e.NumNUMANodes()-1)
 		}
+		if rt.hugeEnabled() && !rt.P.SingleQueueFreelist {
+			// Carve contiguous 2 MB blocks into the huge tier first; the
+			// remainder fills the base queues. pop() splits blocks back into
+			// singles on demand (fall-back demotion), so no memory strands.
+			for want >= hugePages {
+				blk := rt.framePool.AllocBlock(n)
+				if blk == nil {
+					break
+				}
+				blocks = append(blocks, blk)
+				want -= hugePages
+			}
+		}
 		frames = append(frames, rt.framePool.AllocN(n, want)...)
 	}
 	rt.fl.fill(frames)
-	rt.limitPages += uint64(len(frames))
+	rt.fl.fillHuge(blocks)
+	rt.limitPages += uint64(len(frames)) + uint64(len(blocks))*hugePages
 	if rt.bg != nil {
 		rt.setWatermarks()
 	}
@@ -374,9 +417,12 @@ func (rt *Runtime) DeleteFile(p *engine.Proc, name string) {
 			pg.dirty = false
 		}
 		pg.resident = false
-		delete(rt.pages, pg.Key())
+		rt.cacheRemove(pg)
 		rt.charge(p, "cache-lookup", rt.P.HashRemove)
-		if pg.frame != nil {
+		if pg.huge {
+			rt.fl.pushHuge(p, pg.frames)
+			pg.frames, pg.frame = nil, nil
+		} else if pg.frame != nil {
 			rt.fl.push(p, pg.frame)
 			pg.frame = nil
 		}
@@ -391,7 +437,12 @@ func (rt *Runtime) Mmap(p *engine.Proc, f *fileState, size uint64) *AqMapping {
 	rt.Host.HV.VMCall(p, rt.P.VspaceVMCall)
 	pages := (size + pageSize - 1) / pageSize
 	start := rt.nextVA
-	rt.nextVA += (pages + 16) * pageSize
+	if rt.hugeEnabled() {
+		// 2 MB-align region bases so every 2 MB file extent lands on a huge-
+		// page-capable VA boundary.
+		start = (start + hugeBytes - 1) &^ uint64(hugeBytes-1)
+	}
+	rt.nextVA = start + (pages+16)*pageSize
 	r := &Region{Start: start, End: start + pages*pageSize, File: f}
 	rt.vs.Insert(r)
 	rt.charge(p, "vspace", 4*rt.P.RadixLookup)
@@ -404,23 +455,37 @@ func (rt *Runtime) Mmap(p *engine.Proc, f *fileState, size uint64) *AqMapping {
 // shootdown, and write-back of the file's dirty pages.
 func (rt *Runtime) munmapRegion(p *engine.Proc, r *Region) {
 	rt.Host.HV.VMCall(p, rt.P.VspaceVMCall)
-	unmapped := 0
-	for va := r.Start; va < r.End; va += pageSize {
-		if rt.PT.Unmap(va) {
-			rt.charge(p, "unmap", rt.C.PTEUpdate)
-			unmapped++
-			idx := (va - r.Start) / pageSize
-			if pg := rt.pages[pageKey{r.File.id, idx}]; pg != nil {
-				removeVAFrom(pg, va)
-			}
-		}
-	}
-	if unmapped > 0 {
+	if unmapped := rt.unmapSpan(p, r, r.Start, r.End); unmapped > 0 {
 		rt.shootdown(p)
 	}
 	rt.vs.Remove(r)
 	rt.charge(p, "vspace", 4*rt.P.RadixLookup)
 	rt.msyncFile(p, r.File)
+}
+
+// unmapSpan removes every PTE covering region r's VAs in [lo, hi), stepping
+// by the mapped page size (a huge entry costs one PTE update and one
+// reverse-map fix for the whole extent) and maintaining the rmap bookkeeping.
+// A huge extent straddling a boundary must have been split by the caller.
+func (rt *Runtime) unmapSpan(p *engine.Proc, r *Region, lo, hi uint64) int {
+	unmapped := 0
+	for va := lo; va < hi; {
+		step := uint64(pageSize)
+		if e, ok := rt.PT.Lookup(va); ok {
+			rt.PT.Unmap(va)
+			rt.charge(p, "unmap", rt.C.PTEUpdate)
+			unmapped++
+			idx := (va - r.Start) / pageSize
+			if pg := rt.lookupPage(r.File.id, idx); pg != nil {
+				removeVAFrom(pg, va)
+			}
+			if e.PageSize == pagetable.Size2M {
+				step = pagetable.Size2M
+			}
+		}
+		va += step
+	}
+	return unmapped
 }
 
 func removeVAFrom(pg *Page, va uint64) {
@@ -443,7 +508,7 @@ func (rt *Runtime) resolve(p *engine.Proc, va uint64, write bool) (*mem.Frame, e
 		if err != nil {
 			return nil, err
 		}
-		if e, ok := rt.PT.Lookup(va); ok && e.Frame == frame.ID &&
+		if e, ok := rt.PT.Lookup(va); ok && entryFrameID(e, va) == frame.ID &&
 			(!write || e.Flags.Has(pagetable.FlagWritable)) {
 			return frame, nil
 		}
@@ -456,21 +521,28 @@ func (rt *Runtime) access(p *engine.Proc, va uint64, write bool) (*mem.Frame, er
 	vpn := va >> mem.PageShift
 	tlb := rt.TLBs.CPU(p.CPU())
 	asid := rt.PT.ASID()
-	if tlb.Lookup(asid, vpn) {
+	if tlb.LookupVA(asid, va) {
 		if e, ok := rt.PT.Lookup(va); ok {
 			if !write || e.Flags.Has(pagetable.FlagWritable) {
-				return rt.framePool.Frame(e.Frame), nil
+				return rt.framePool.Frame(entryFrameID(e, va)), nil
 			}
 			return rt.wpFault(p, va)
 		}
 		tlb.InvalidatePage(asid, vpn)
+		tlb.Invalidate2M(asid, va>>21)
 	}
 	if e, ok := rt.PT.Lookup(va); ok {
-		// TLB refill: guest-PT x EPT two-dimensional walk.
-		p.AdvanceUser(rt.C.TLBRefill + rt.C.EPTWalkExtra)
-		tlb.Insert(asid, vpn)
+		// TLB refill: guest-PT x EPT two-dimensional walk. A 2 MB leaf ends
+		// the walk one level early and fills the split 2 MB array.
+		if e.PageSize == pagetable.Size2M {
+			p.AdvanceUser(rt.C.TLBRefill2M + rt.C.EPTWalkExtra)
+			tlb.Insert2M(asid, va>>21)
+		} else {
+			p.AdvanceUser(rt.C.TLBRefill + rt.C.EPTWalkExtra)
+			tlb.Insert(asid, vpn)
+		}
 		if !write || e.Flags.Has(pagetable.FlagWritable) {
-			return rt.framePool.Frame(e.Frame), nil
+			return rt.framePool.Frame(entryFrameID(e, va)), nil
 		}
 		return rt.wpFault(p, va)
 	}
@@ -494,9 +566,12 @@ func (rt *Runtime) wpFault(p *engine.Proc, va uint64) (*mem.Frame, error) {
 	}
 	idx := (va - r.Start) / pageSize
 	rt.charge(p, "cache-lookup", rt.P.HashLookup)
-	pg := rt.pages[pageKey{r.File.id, idx}]
+	pg := rt.lookupPage(r.File.id, idx)
 	if pg == nil || (pg.io != nil && !pg.io.Fired()) {
 		return rt.fault(p, va, true) // raced with eviction
+	}
+	if pg.huge {
+		return rt.hugeWP(p, r, pg, va)
 	}
 	pg.pins++
 	defer func() { pg.pins-- }()
@@ -554,9 +629,10 @@ func (rt *Runtime) fault(p *engine.Proc, va uint64, write bool) (*mem.Frame, err
 	idx := (va - r.Start) / pageSize
 
 	var pg *Page
+	promoteTried := false
 	for {
 		rt.charge(p, "cache-lookup", rt.P.HashLookup)
-		if existing := rt.pages[pageKey{f.id, idx}]; existing != nil {
+		if existing := rt.lookupPage(f.id, idx); existing != nil {
 			if existing.io != nil && !existing.io.Fired() {
 				existing.io.Wait(p)
 				continue // re-check: may have been evicted meanwhile
@@ -564,14 +640,41 @@ func (rt *Runtime) fault(p *engine.Proc, va uint64, write bool) (*mem.Frame, err
 			pg = existing
 			rt.Stats.MinorFaults++
 			p.SpanEvent("fault.minor", 1)
-			rt.lru.record(p, pg)
+			if rt.hugeEnabled() {
+				// Pin across the LRU-record charge: it yields, and a
+				// concurrent promotion claiming this extent must see the page
+				// busy rather than recycle its frame under us.
+				pg.pins++
+				rt.lru.record(p, pg)
+				pg.pins--
+			} else {
+				rt.lru.record(p, pg)
+			}
 			break
+		}
+		if !promoteTried && rt.shouldPromote(r, f, idx) {
+			promoteTried = true
+			hp, herr := rt.hugeFault(p, r, f, idx)
+			if herr != nil {
+				return nil, herr
+			}
+			if hp != nil {
+				pg = hp
+				break
+			}
+			// Promotion aborted (no contiguous block, extent busy, writeback
+			// failure): fall back to the 4 KB path, at most one attempt per
+			// fault. The attempt yielded, so re-probe from the top.
+			continue
 		}
 		var err error
 		if pg, err = rt.majorFault(p, r, f, idx); err != nil {
 			return nil, err
 		}
 		break
+	}
+	if pg.huge {
+		return rt.hugeMap(p, r, pg, va, write)
 	}
 	if pg.poison != nil {
 		// The page's backing I/O failed permanently: deliver the recorded
@@ -622,8 +725,7 @@ func (rt *Runtime) majorFault(p *engine.Proc, r *Region, f *fileState, idx uint6
 	var target *Page
 	var allocErr error
 	for i := idx; i < hi; i++ {
-		key := pageKey{f.id, i}
-		if existing := rt.pages[key]; existing != nil {
+		if existing := rt.lookupPage(f.id, i); existing != nil {
 			if i == idx {
 				target = existing
 			}
@@ -634,13 +736,24 @@ func (rt *Runtime) majorFault(p *engine.Proc, r *Region, f *fileState, idx uint6
 			io: engine.NewEvent(rt.e, fmt.Sprintf("aqio:%s:%d", f.name, i)),
 		}
 		rt.charge(p, "cache-insert", rt.P.HashInsert)
-		rt.pages[key] = pg
+		if rt.hugeEnabled() {
+			// The insert charge yields; a concurrent promotion may have
+			// claimed this extent meanwhile. Re-probe before publishing so a
+			// 4 KB entry never appears inside a live huge unit.
+			if raced := rt.lookupPage(f.id, i); raced != nil {
+				if i == idx {
+					target = raced
+				}
+				continue
+			}
+		}
+		rt.cacheInsert(pg)
 		fr, err := rt.allocFrame(p)
 		if err != nil {
 			// Unwind this page's claim: it was published but never read.
 			// Waiters re-probe on the fired event, miss, and fault it in
 			// themselves (taking the same stall error if it persists).
-			delete(rt.pages, key)
+			rt.cacheRemove(pg)
 			pg.resident = false
 			pg.io.Fire(p.Now())
 			pg.io = nil
@@ -690,6 +803,16 @@ func (rt *Runtime) majorFault(p *engine.Proc, r *Region, f *fileState, idx uint6
 		}
 	}
 	return target, nil
+}
+
+// entryFrameID returns the frame backing va under PTE e: for a 2 MB leaf the
+// base frame plus the 4 KB offset within the extent (the unit's frames are
+// physically contiguous, so frame IDs are consecutive).
+func entryFrameID(e pagetable.Entry, va uint64) uint64 {
+	if e.PageSize == pagetable.Size2M {
+		return e.Frame + ((va >> mem.PageShift) & (hugePages - 1))
+	}
+	return e.Frame
 }
 
 // allocFrame pops a frame from the freelist. With the background evictor
@@ -811,10 +934,17 @@ func (rt *Runtime) evict(p *engine.Proc) error {
 			// requeued) and keeps its frame; waiters re-probe and find it.
 			continue
 		}
-		delete(rt.pages, v.Key())
-		rt.fl.push(p, v.frame)
-		v.frame = nil
-		recycled++
+		rt.cacheRemove(v)
+		if v.huge {
+			rt.fl.pushHuge(p, v.frames)
+			v.frames, v.frame = nil, nil
+			rt.Stats.HugeEvictions++
+			recycled += hugePages
+		} else {
+			rt.fl.push(p, v.frame)
+			v.frame = nil
+			recycled++
+		}
 	}
 	rt.Stats.Evictions += uint64(recycled)
 	rt.Stats.DirectReclaimPages += uint64(recycled)
@@ -878,8 +1008,17 @@ func (rt *Runtime) writeSorted(p *engine.Proc, pages []*Page, evicting bool) err
 	var firstErr error
 	i := 0
 	for i < len(pages) {
+		if pages[i].huge {
+			// A unit writes back as its own merged 2 MB run, never split or
+			// capped: the frames are contiguous by construction.
+			if err := rt.writeRunOrRecover(p, "aq.writeback", pages[i:i+1], pages[i].frames, evicting); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			i++
+			continue
+		}
 		j := i + 1
-		for j < len(pages) && j-i < rt.P.WritebackMaxRun &&
+		for j < len(pages) && j-i < rt.P.WritebackMaxRun && !pages[j].huge &&
 			pages[j].file == pages[i].file && pages[j].idx == pages[j-1].idx+1 {
 			j++
 		}
@@ -1000,8 +1139,8 @@ func (rt *Runtime) poison(pg *Page, ferr *IOFault) {
 func (rt *Runtime) writeRunOrRecover(p *engine.Proc, spanName string, run []*Page, frames []*mem.Frame, evicting bool) error {
 	ferr := rt.writeRun(p, spanName, run[0].file, run[0].idx, frames)
 	if ferr == nil {
-		rt.Stats.WrittenBack += uint64(len(run))
-		p.SpanEvent("writeback.pages", uint64(len(run)))
+		rt.Stats.WrittenBack += uint64(len(frames))
+		p.SpanEvent("writeback.pages", uint64(len(frames)))
 		return nil
 	}
 	if len(run) == 1 {
@@ -1108,7 +1247,7 @@ func (rt *Runtime) msyncFileRange(p *engine.Proc, f *fileState, off, length uint
 	for core := range rt.dirty {
 		var keys []uint64
 		rt.dirty[core].Ascend(func(key uint64, pg *Page) bool {
-			if pg.file == f && pg.idx >= lo && pg.idx < hi {
+			if pg.file == f && pg.idx+uint64(pg.pages()) > lo && pg.idx < hi {
 				keys = append(keys, key)
 				dirtyPages = append(dirtyPages, pg)
 			}

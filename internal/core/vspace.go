@@ -13,6 +13,10 @@ type Region struct {
 	Advice     iface.Advice
 	// ReadOnly blocks stores (mprotect(PROT_READ), §4.4).
 	ReadOnly bool
+	// HugeHint marks the region MADV_HUGEPAGE'd: with huge pages enabled,
+	// extents promote on first fault and dirtying stores re-dirty the whole
+	// unit instead of splitting it.
+	HugeHint bool
 }
 
 // Pages returns the number of pages the region covers.

@@ -59,6 +59,9 @@ func runFig8a(scale float64) []*Result {
 	aqCfg := base
 	aqCfg.mode = aquila.ModeAquila
 	aqTotal, aqRes := faultCost(aqCfg)
+	hugeCfg := aqCfg
+	hugeCfg.huge = true
+	hugeTotal, hugeRes := faultCost(hugeCfg)
 
 	linIO := float64(costs.MemcpyNoSIMD(4096)) + float64(host.DefaultParams().PMemBlockOverhead)
 	aqIO := float64(costs.MemcpyAVX2(4096))
@@ -70,9 +73,12 @@ func runFig8a(scale float64) []*Result {
 	r.AddRow("device I/O", f2(linIO), f2(aqIO))
 	r.AddRow("handler + cache mgmt", f2(linTotal-linTrap-linIO), f2(aqTotal-aqExc-aqIO))
 	r.AddRow("total excluding device I/O", f2(linTotal-linIO), f2(aqTotal-aqIO))
+	r.AddRow("total, 2 MB path (MADV_HUGEPAGE)", "", f2(hugeTotal))
 	r.AddNote("paper: Linux ~5380 total, 2724 excluding I/O; trap/exception = 1287/552 = 2.33x")
 	r.AddNote("measured trap/exception ratio: %s; Linux/Aquila total: %s",
 		ratio(linTrap, aqExc), ratio(linTotal, aqTotal))
+	r.AddNote("2 MB path: %s per access vs 4K Aquila (%d fault events vs %d; one promotion per extent)",
+		ratio(aqTotal, hugeTotal), faultEvents(hugeRes.sys), faultEvents(aqRes.sys))
 
 	lat := aqRes.lat.Summarize()
 	r.Report = &obs.Report{
@@ -103,6 +109,9 @@ func runFig8a(scale float64) []*Result {
 			"exception_cycles":       aqExc,
 			"linux_over_aquila":      safeDiv(linTotal, aqTotal),
 			"trap_over_exception":    safeDiv(linTrap, aqExc),
+			"huge_total_per_access":  hugeTotal,
+			"aquila_over_huge":       safeDiv(aqTotal, hugeTotal),
+			"huge_fault_ratio":       hugeFaultRatio(hugeRes.sys),
 		},
 	}
 	return []*Result{r}

@@ -13,7 +13,7 @@ func TestRegistryComplete(t *testing.T) {
 	// Lexicographic id order (fig10* sorts before fig5*).
 	want := []string{
 		"ablate-async-evict", "ablate-batch", "ablate-faults", "ablate-freelist",
-		"ablate-readahead",
+		"ablate-hugepages", "ablate-readahead",
 		"fig10a", "fig10b", "fig5a", "fig5b", "fig6a", "fig6b", "fig6c",
 		"fig7", "fig8a", "fig8b", "fig8c", "fig9",
 		"iouring", "ipi", "memcpy", "nvm-heap", "pagerank", "resize", "table1",

@@ -1,0 +1,236 @@
+package harness
+
+import (
+	"fmt"
+
+	"aquila"
+	"aquila/internal/metrics"
+	"aquila/internal/obs"
+)
+
+// Ablation for the 2 MB huge-page mmio path: the same workloads with the
+// path disabled (4 KB only), with transparent density-driven promotion at two
+// thresholds, and with MADV_HUGEPAGE (promote every extent on first fault).
+// Two workloads per device: the dense in-memory touch the path targets
+// (every per-fault cost amortized 512x) and an out-of-memory mixed workload
+// where reclaim churn fragments the buddy tier.
+
+// hugeDensityDefault is the promotion density harness experiments use when
+// they enable the 2 MB path: an extent promotes once a quarter of its 4 KB
+// pages are resident (or on first fault under AdviseHuge).
+const hugeDensityDefault = 0.25
+
+func init() {
+	register(Experiment{
+		ID:    "ablate-hugepages",
+		Title: "Ablation: 2 MB huge-page mmio path vs 4 KB-only (promotion density sweep)",
+		Paper: "per-fault costs (trap, hash, LRU, shootdown, dirty-tree) are paid per 4 KB page; 2 MB units amortize them 512x (cf. Figs 8, 10)",
+		Run:   runAblateHugepages,
+	})
+}
+
+// faultEvents is every fault the runtime handled: major, minor and
+// write-protect.
+func faultEvents(sys *aquila.System) uint64 {
+	st := sys.RT.Stats
+	return st.MajorFaults + st.MinorFaults + st.WPFaults
+}
+
+// hugeFaultRatio is the share of fault events served by a 2 MB unit — the
+// promotion-effectiveness number perfgate tracks across PRs.
+func hugeFaultRatio(sys *aquila.System) float64 {
+	return safeDiv(float64(sys.RT.Stats.HugeFaults), float64(faultEvents(sys)))
+}
+
+// bootHugeWorld boots an Aquila world with the huge path at the given
+// promotion density (0 disables it, reproducing the 4 KB-only baseline
+// bit-identically).
+func bootHugeWorld(dev aquila.DeviceKind, cache, dataset uint64, density float64, seed int64) *aquila.System {
+	params := aquilaParams(cache)
+	params.HugeFaultDensity = density
+	return boot(aquila.Options{
+		Mode: aquila.ModeAquila, Device: dev,
+		CacheBytes: cache, DeviceBytes: dataset + 96*mib,
+		CPUs: 8, Seed: seed, Params: params,
+	})
+}
+
+// denseTouch is the dense in-memory microbenchmark: threads sequentially load
+// every page of a mapping that fits the cache, each thread one contiguous
+// chunk. Exactly the access pattern extent promotion exists for.
+func denseTouch(sys *aquila.System, dataset uint64, threads int, hint bool) microResult {
+	var m aquila.Mapping
+	sys.Do(func(p *aquila.Proc) {
+		f := sys.NS.Create(p, "huge-dense", dataset)
+		m = sys.NS.Mmap(p, f, dataset)
+		if hint {
+			m.Advise(p, aquila.AdviceHuge)
+		}
+	})
+	pages := dataset / 4096
+	chunk := pages / uint64(threads)
+	lats := make([]*metrics.Histogram, threads)
+	var ops uint64
+	elapsed := sys.Run(threads, func(t int, p *aquila.Proc) {
+		lat := metrics.NewHistogram()
+		lats[t] = lat
+		buf := make([]byte, 8)
+		lo, hi := uint64(t)*chunk, uint64(t+1)*chunk
+		if t == threads-1 {
+			hi = pages
+		}
+		for pg := lo; pg < hi; pg++ {
+			t0 := p.Now()
+			m.Load(p, pg*4096, buf)
+			lat.Record(p.Now() - t0)
+		}
+		ops += hi - lo
+	})
+	return microResult{ops: ops, elapsed: elapsed, lat: mergeHists(lats), sys: sys}
+}
+
+// hugeMixed is the out-of-memory leg: a 2:1 read/write mix at random page
+// offsets over a dataset several times the cache, so promotion competes with
+// reclaim for contiguity and dirtying stores exercise the demote-vs-whole
+// decision.
+func hugeMixed(sys *aquila.System, dataset uint64, threads, opsPerThread int, hint bool, seed int64) microResult {
+	var m aquila.Mapping
+	sys.Do(func(p *aquila.Proc) {
+		f := sys.NS.Create(p, "huge-mixed", dataset)
+		m = sys.NS.Mmap(p, f, dataset)
+		m.Advise(p, aquila.AdviceRandom)
+		if hint {
+			m.Advise(p, aquila.AdviceHuge)
+		}
+	})
+	lats := make([]*metrics.Histogram, threads)
+	var ops uint64
+	elapsed := sys.Run(threads, func(t int, p *aquila.Proc) {
+		lat := metrics.NewHistogram()
+		lats[t] = lat
+		pages := m.Size() / 4096
+		buf := make([]byte, 8)
+		x := uint64(seed + int64(t)*2654435761)
+		for i := 0; i < opsPerThread; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			pg := (x >> 17) % pages
+			t0 := p.Now()
+			if i%3 == 0 {
+				m.Store(p, pg*4096, buf)
+			} else {
+				m.Load(p, pg*4096, buf)
+			}
+			lat.Record(p.Now() - t0)
+		}
+		ops += uint64(opsPerThread)
+	})
+	return microResult{ops: ops, elapsed: elapsed, lat: mergeHists(lats), sys: sys}
+}
+
+func runAblateHugepages(scale float64) []*Result {
+	r := &Result{
+		ID:    "ablate-hugepages",
+		Title: "2 MB huge-page path: dense in-memory touch and out-of-memory mixed 2:1 (4 threads)",
+		Header: []string{"device", "workload", "config", "Kops/s", "avg(us)",
+			"faults", "vs 4K", "promo", "demo", "2M evict", "2M share"},
+	}
+	cache := scaled(32*mib, scale, 16*mib)
+	threads := 4
+	mixedOps := scaledN(3000, scale, 600)
+
+	type cfg struct {
+		name    string
+		density float64
+		hint    bool
+	}
+	cfgs := []cfg{
+		{"4K only", 0, false},
+		{"density 0.5", 0.5, false},
+		{"density 0.25", 0.25, false},
+		{"AdviseHuge", hugeDensityDefault, true},
+	}
+
+	// Headline numbers for the report: dense in-memory on pmem, 4K baseline
+	// vs the AdviseHuge run.
+	var base4K, headline microResult
+	for _, dev := range []aquila.DeviceKind{aquila.DevicePMem, aquila.DeviceNVMe} {
+		devName := "pmem"
+		if dev == aquila.DeviceNVMe {
+			devName = "NVMe"
+		}
+		for _, inMemory := range []bool{true, false} {
+			wlName, dataset := "in-mem dense", cache
+			if !inMemory {
+				wlName, dataset = "out-of-mem mixed", cache*6
+			}
+			var baseFaults uint64
+			for _, c := range cfgs {
+				sys := bootHugeWorld(dev, cache, dataset, c.density, 97)
+				var res microResult
+				if inMemory {
+					res = denseTouch(sys, dataset, threads, c.hint)
+				} else {
+					res = hugeMixed(sys, dataset, threads, mixedOps, c.hint, 97)
+				}
+				st := sys.RT.Stats
+				events := faultEvents(sys)
+				if c.density == 0 {
+					baseFaults = events
+				}
+				r.AddRow(devName, wlName, c.name,
+					kops(res.ops, res.elapsed), usF(res.lat.Mean()),
+					fmt.Sprint(events), ratio(float64(baseFaults), float64(events)),
+					fmt.Sprint(st.HugePromotions), fmt.Sprint(st.HugeDemotions),
+					fmt.Sprint(st.HugeEvictions),
+					fmt.Sprintf("%.2f", hugeFaultRatio(sys)))
+				if dev == aquila.DevicePMem && inMemory {
+					if c.density == 0 {
+						base4K = res
+					} else if c.hint {
+						headline = res
+					}
+				}
+			}
+		}
+	}
+	r.AddNote("dense in-memory: promotion replaces 512 per-page faults with one merged 2 MB fill + one huge PTE")
+	r.AddNote("out-of-memory: reclaim churn splits buddy blocks; only whole-unit evictions restore contiguity, so the 2M share drops")
+	r.AddNote("pmem dense faults: 4K %d vs AdviseHuge %d (%s fewer); cycles %s lower",
+		faultEvents(base4K.sys), faultEvents(headline.sys),
+		ratio(float64(faultEvents(base4K.sys)), float64(faultEvents(headline.sys))),
+		ratio(float64(base4K.elapsed), float64(headline.elapsed)))
+
+	lat := headline.lat.Summarize()
+	r.Report = &obs.Report{
+		Schema:     obs.ReportSchemaVersion,
+		Experiment: "ablate-hugepages",
+		Title:      r.Title,
+		Scale:      scale,
+		Config: map[string]string{
+			"mode":    "aquila",
+			"device":  "pmem",
+			"cache":   fmt.Sprintf("%d", cache),
+			"dataset": fmt.Sprintf("%d", cache),
+			"threads": fmt.Sprintf("%d", threads),
+			"cpus":    "8",
+			"seed":    "97",
+			"config":  "AdviseHuge, in-mem dense",
+		},
+		Ops:                 headline.ops,
+		ElapsedCycles:       headline.elapsed,
+		ThroughputOpsPerSec: aquila.ThroughputOpsPerSec(headline.ops, headline.elapsed),
+		Latency:             &lat,
+		Extra: map[string]float64{
+			"fault_events_4k":      float64(faultEvents(base4K.sys)),
+			"fault_events_huge":    float64(faultEvents(headline.sys)),
+			"fault_reduction":      safeDiv(float64(faultEvents(base4K.sys)), float64(faultEvents(headline.sys))),
+			"elapsed_cycles_4k":    float64(base4K.elapsed),
+			"elapsed_cycles_huge":  float64(headline.elapsed),
+			"cycle_reduction":      safeDiv(float64(base4K.elapsed), float64(headline.elapsed)),
+			"huge_fault_ratio":     hugeFaultRatio(headline.sys),
+			"huge_promotions":      float64(headline.sys.RT.Stats.HugePromotions),
+			"tlb_2m_capacity_hint": float64(32),
+		},
+	}
+	return []*Result{r}
+}

@@ -26,6 +26,10 @@ type microConfig struct {
 	sharedFile   bool
 	cpus         int
 	seed         int64
+	// huge enables the 2 MB mmio path (Aquila mode only): the runtime gets a
+	// nonzero Params.HugeFaultDensity and every mapping is AdviseHuge'd, so
+	// extents promote on first fault.
+	huge bool
 }
 
 // microResult aggregates a run.
@@ -88,6 +92,9 @@ func newWorld(cfg microConfig) *aquila.System {
 	}
 	if cfg.mode == aquila.ModeAquila {
 		opts.Params = aquilaParams(cfg.cache)
+		if cfg.huge {
+			opts.Params.HugeFaultDensity = hugeDensityDefault
+		}
 	}
 	return boot(opts)
 }
@@ -102,10 +109,16 @@ func runMicro(cfg microConfig) microResult {
 	// benchmark isolates the fault path itself (no readahead noise).
 	maps := make([]aquila.Mapping, cfg.threads)
 	sys.Do(func(p *aquila.Proc) {
+		advise := func(m aquila.Mapping) {
+			m.Advise(p, aquila.AdviceRandom)
+			if cfg.huge && cfg.mode == aquila.ModeAquila {
+				m.Advise(p, aquila.AdviceHuge)
+			}
+		}
 		if cfg.sharedFile {
 			f := sys.NS.Create(p, "micro-shared", cfg.dataset)
 			m := sys.NS.Mmap(p, f, cfg.dataset)
-			m.Advise(p, aquila.AdviceRandom)
+			advise(m)
 			for t := range maps {
 				maps[t] = m
 			}
@@ -114,7 +127,7 @@ func runMicro(cfg microConfig) microResult {
 			for t := range maps {
 				f := sys.NS.Create(p, fmt.Sprintf("micro-%d", t), per)
 				maps[t] = sys.NS.Mmap(p, f, per)
-				maps[t].Advise(p, aquila.AdviceRandom)
+				advise(maps[t])
 			}
 		}
 	})

@@ -68,6 +68,11 @@ const (
 	AdviceSequential
 	AdviceWillNeed
 	AdviceDontNeed
+	// AdviceHuge asks the mapping's world for 2 MB mappings (MADV_HUGEPAGE).
+	// Under Aquila with huge pages enabled, extents of a hinted region are
+	// promoted on first touch; the hint composes with (does not replace) the
+	// access-pattern advice above. Worlds without huge-page support ignore it.
+	AdviceHuge
 )
 
 // Namespace creates and opens files and mappings. Both worlds provide one.

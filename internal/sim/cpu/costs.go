@@ -45,6 +45,9 @@ type Costs struct {
 	TLBFlushAll uint64
 	// TLBRefill is a 4-level page-table walk on a TLB miss.
 	TLBRefill uint64
+	// TLBRefill2M is the walk on a miss that resolves to a 2 MB leaf: one
+	// level shorter than the 4 KB walk.
+	TLBRefill2M uint64
 	// EPTWalkExtra is the additional 2-D walk cost of a TLB refill under
 	// virtualization (guest PT x EPT).
 	EPTWalkExtra uint64
@@ -85,6 +88,7 @@ func Default() Costs {
 		TLBInvalidatePage: 100,
 		TLBFlushAll:       500,
 		TLBRefill:         120,
+		TLBRefill2M:       90,
 		EPTWalkExtra:      200,
 		FPUSaveRestore:    300,  // §3.3
 		Memcpy4KNoSIMD:    2400, // §3.3

@@ -122,6 +122,124 @@ func TestTLBSetShootdown(t *testing.T) {
 	}
 }
 
+func TestTLB2MCapacityAccounting(t *testing.T) {
+	tlb := NewTLB(8, 1)
+	tlb.SetCapacity2M(4)
+	for i := uint64(0); i < 100; i++ {
+		tlb.Insert2M(1, i)
+	}
+	if tlb.Len2M() > 4 {
+		t.Fatalf("2M side over capacity: %d", tlb.Len2M())
+	}
+	// The split arrays account independently: filling the 2M side must not
+	// consume 4K entries and vice versa.
+	for i := uint64(0); i < 8; i++ {
+		tlb.Insert(1, i)
+	}
+	if tlb.Len() != 8 || tlb.Len2M() != 4 {
+		t.Fatalf("len4k=%d len2m=%d, want 8/4", tlb.Len(), tlb.Len2M())
+	}
+	// A just-inserted 2M entry is always resident and covers its whole extent.
+	tlb.Insert2M(1, 7)
+	for _, off := range []uint64{0, 4096, Default2MEntries * 4096, 1<<21 - 1} {
+		if !tlb.LookupVA(1, 7<<21+off) {
+			t.Fatalf("2M entry should cover offset %#x", off)
+		}
+	}
+	if tlb.LookupVA(1, 8<<21) {
+		t.Fatal("neighboring extent should miss")
+	}
+}
+
+func TestTLB2MInvalidateOnShootdown(t *testing.T) {
+	set := NewTLBSet(4, 16, 1)
+	for i := 0; i < 4; i++ {
+		set.CPU(i).Insert2M(1, 42)
+	}
+	// One shootdown slot invalidates the whole 2 MB mapping on every CPU.
+	set.Invalidate2MAll(1, 42)
+	for i := 0; i < 4; i++ {
+		if set.CPU(i).Len2M() != 0 {
+			t.Fatalf("cpu %d still has 2M entry after shootdown", i)
+		}
+		if set.CPU(i).LookupVA(1, 42<<21+12345) {
+			t.Fatalf("cpu %d hit after shootdown", i)
+		}
+	}
+	// FlushAll clears both sides.
+	tlb := NewTLB(16, 1)
+	tlb.Insert(1, 3)
+	tlb.Insert2M(1, 3)
+	tlb.FlushAll()
+	if tlb.Len() != 0 || tlb.Len2M() != 0 {
+		t.Fatalf("len4k=%d len2m=%d after FlushAll", tlb.Len(), tlb.Len2M())
+	}
+}
+
+// Deterministic replacement with mixed page sizes: the same insert sequence
+// leaves the same residency on two independently built TLBs, and the 4 KB
+// side behaves identically to a TLB that never saw 2 MB inserts.
+func TestTLBMixedSizeDeterministicReplacement(t *testing.T) {
+	mixed1, mixed2 := NewTLB(8, 7), NewTLB(8, 7)
+	plain := NewTLB(8, 7)
+	mixed1.SetCapacity2M(4)
+	mixed2.SetCapacity2M(4)
+	for i := uint64(0); i < 300; i++ {
+		vpn := (i * 2654435761) % 64
+		mixed1.Insert(1, vpn)
+		mixed2.Insert(1, vpn)
+		plain.Insert(1, vpn)
+		if i%3 == 0 {
+			mixed1.Insert2M(1, vpn%16)
+			mixed2.Insert2M(1, vpn%16)
+		}
+	}
+	for vpn := uint64(0); vpn < 64; vpn++ {
+		r1 := mixed1.Lookup(1, vpn)
+		r2 := mixed2.Lookup(1, vpn)
+		rp := plain.Lookup(1, vpn)
+		if r1 != r2 {
+			t.Fatalf("vpn %d: same sequence diverged (%v vs %v)", vpn, r1, r2)
+		}
+		if r1 != rp {
+			t.Fatalf("vpn %d: 2M inserts perturbed the 4K side (%v vs %v)", vpn, r1, rp)
+		}
+	}
+	for v := uint64(0); v < 16; v++ {
+		if mixed1.Len2M() != mixed2.Len2M() {
+			t.Fatal("2M residency counts diverged")
+		}
+		a := mixed1.LookupVA(2, v<<21) // asid 2: all misses, counter-only
+		b := mixed2.LookupVA(2, v<<21)
+		if a != b {
+			t.Fatalf("2M vpn %d: residency diverged", v)
+		}
+	}
+}
+
+// LookupVA must be behaviorally identical to Lookup while no 2 MB entries are
+// resident, so the runtime can use it unconditionally without perturbing the
+// 4 KB-only goldens.
+func TestLookupVAMatchesLookupWithout2M(t *testing.T) {
+	a, b := NewTLB(8, 3), NewTLB(8, 3)
+	for i := uint64(0); i < 200; i++ {
+		vpn := (i * 11400714819323198485) % 32
+		a.Insert(1, vpn)
+		b.Insert(1, vpn)
+		probe := (i * 2654435761) % 32
+		ra := a.Lookup(1, probe)
+		rb := b.LookupVA(1, probe<<12+uint64(i)%4096)
+		if ra != rb {
+			t.Fatalf("op %d: Lookup=%v LookupVA=%v", i, ra, rb)
+		}
+	}
+	ah, am, _ := a.Stats()
+	bh, bm, _ := b.Stats()
+	if ah != bh || am != bm {
+		t.Fatalf("stats diverged: %d/%d vs %d/%d", ah, am, bh, bm)
+	}
+}
+
 // Property: TLB never exceeds capacity and a just-inserted entry is always
 // resident.
 func TestTLBCapacityProperty(t *testing.T) {

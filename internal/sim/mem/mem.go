@@ -38,11 +38,14 @@ func (f *Frame) Reset() {
 	}
 }
 
-// Allocator hands out frames from per-NUMA-node pools.
+// Allocator hands out frames from per-NUMA-node pools. With the optional
+// buddy tier (NewBuddyAllocator) the per-node pools are buddy systems that can
+// additionally hand out 2 MB-contiguous blocks; see buddy.go.
 type Allocator struct {
 	numNodes  int
 	perNode   uint64
-	freeLists [][]uint64 // stacks of free frame IDs per node
+	freeLists [][]uint64 // stacks of free frame IDs per node (non-buddy mode)
+	buddy     []*buddyNode
 	frames    map[uint64]*Frame
 	allocated uint64
 	capacity  uint64
@@ -88,12 +91,18 @@ func (a *Allocator) Free() uint64 { return a.capacity - a.allocated }
 
 // FreeOnNode returns the number of free frames on one node.
 func (a *Allocator) FreeOnNode(node int) uint64 {
+	if a.buddy != nil {
+		return a.buddy[node].freeFrames
+	}
 	return uint64(len(a.freeLists[node]))
 }
 
 // Alloc allocates one frame, preferring the given NUMA node and falling back
 // to other nodes. Returns nil when out of memory.
 func (a *Allocator) Alloc(preferNode int) *Frame {
+	if a.buddy != nil {
+		return a.buddyAlloc(preferNode)
+	}
 	if preferNode < 0 || preferNode >= a.numNodes {
 		preferNode = 0
 	}
@@ -135,10 +144,15 @@ func (a *Allocator) Release(f *Frame) {
 	if f == nil {
 		panic("mem: release of nil frame")
 	}
-	a.freeLists[f.Node] = append(a.freeLists[f.Node], f.ID)
 	if a.allocated == 0 {
 		panic(fmt.Sprintf("mem: double release of frame %d", f.ID))
 	}
+	if a.buddy != nil {
+		a.buddy[f.Node].freeBlock(f.ID, 0)
+		a.allocated--
+		return
+	}
+	a.freeLists[f.Node] = append(a.freeLists[f.Node], f.ID)
 	a.allocated--
 }
 

@@ -215,23 +215,44 @@ func (t *Table) SetAccessed(va uint64) bool {
 	return true
 }
 
-// UnmapRange removes all 4 KB mappings in [va, va+length). Huge mappings
-// fully inside the range are removed too. Returns the number of mappings
-// removed.
+// UnmapRange removes all mappings in [va, va+length). Huge mappings fully
+// inside the range are removed whole; a huge mapping that only partially
+// overlaps the range is split — the entry is removed and the surviving pieces
+// outside the range are re-mapped as 4 KB entries with the same flags and the
+// corresponding base frames. Returns the number of mappings removed (a split
+// counts as one removal).
 func (t *Table) UnmapRange(va, length uint64) int {
 	removed := 0
 	end := va + length
 	for cur := va; cur < end; {
 		e := t.lookupRef(cur)
-		if e != nil {
-			step := e.PageSize
+		if e == nil {
+			cur += Size4K
+			continue
+		}
+		size := e.PageSize
+		base := cur &^ (size - 1)
+		entryEnd := base + size
+		if size > Size4K && (base < va || entryEnd > end) {
+			// Partial overlap: drop the huge entry, keep the pieces that
+			// survive as 4 KB mappings.
+			ent := *e
 			*e = Entry{}
 			t.mapped--
 			removed++
-			cur += step
-		} else {
-			cur += Size4K
+			for p := base; p < entryEnd; p += Size4K {
+				if p >= va && p < end {
+					continue
+				}
+				t.Map(p, ent.Frame+((p-base)>>12), ent.Flags, Size4K)
+			}
+			cur = entryEnd
+			continue
 		}
+		*e = Entry{}
+		t.mapped--
+		removed++
+		cur = entryEnd
 	}
 	return removed
 }

@@ -116,6 +116,82 @@ func TestUnmapRange(t *testing.T) {
 	}
 }
 
+func TestUnmapRangeHugeWhole(t *testing.T) {
+	pt := New(1)
+	pt.Map(0, 0, FlagWritable, Size2M)
+	pt.Map(Size2M, 512, FlagWritable, Size2M)
+	removed := pt.UnmapRange(0, 2*Size2M)
+	if removed != 2 {
+		t.Fatalf("removed = %d, want 2", removed)
+	}
+	if pt.Mapped() != 0 {
+		t.Fatalf("mapped = %d, want 0", pt.Mapped())
+	}
+}
+
+// Regression: a range that starts or ends mid-2MB must neither remove mapped
+// memory outside the range nor skip the entry — the huge entry splits into
+// surviving 4 KB mappings.
+func TestUnmapRangeHugePartial(t *testing.T) {
+	pt := New(1)
+	pt.Map(0, 1000, FlagWritable|FlagUser|FlagDirty, Size2M)
+
+	// Punch out the middle quarter [64*4K, 128*4K).
+	removed := pt.UnmapRange(64*Size4K, 64*Size4K)
+	if removed != 1 {
+		t.Fatalf("removed = %d, want 1 (the huge entry)", removed)
+	}
+	for i := uint64(0); i < 512; i++ {
+		va := i * Size4K
+		e, ok := pt.Lookup(va)
+		inHole := i >= 64 && i < 128
+		if ok == inHole {
+			t.Fatalf("page %d: present=%v, inHole=%v", i, ok, inHole)
+		}
+		if !ok {
+			continue
+		}
+		if e.PageSize != Size4K {
+			t.Fatalf("page %d: survivor has size %d, want 4K", i, e.PageSize)
+		}
+		if e.Frame != 1000+i {
+			t.Fatalf("page %d: survivor frame %d, want %d", i, e.Frame, 1000+i)
+		}
+		if !e.Flags.Has(FlagWritable | FlagUser | FlagDirty) {
+			t.Fatalf("page %d: survivor flags %v", i, e.Flags)
+		}
+	}
+	if pt.Mapped() != 512-64 {
+		t.Fatalf("mapped = %d, want %d", pt.Mapped(), 512-64)
+	}
+}
+
+func TestUnmapRangeHugeStraddle(t *testing.T) {
+	pt := New(1)
+	// Two adjacent huge mappings; unmap a range straddling their boundary.
+	pt.Map(0, 0, FlagUser, Size2M)
+	pt.Map(Size2M, 512, FlagUser, Size2M)
+	removed := pt.UnmapRange(Size2M-4*Size4K, 8*Size4K)
+	if removed != 2 {
+		t.Fatalf("removed = %d, want 2", removed)
+	}
+	// First mapping keeps pages 0..507, second keeps 516..1023.
+	for i := uint64(0); i < 1024; i++ {
+		va := i * Size4K
+		e, ok := pt.Lookup(va)
+		inHole := i >= 508 && i < 516
+		if ok == inHole {
+			t.Fatalf("page %d: present=%v, inHole=%v", i, ok, inHole)
+		}
+		if ok && e.Frame != i {
+			t.Fatalf("page %d: frame %d, want %d", i, e.Frame, i)
+		}
+	}
+	if pt.Mapped() != 1024-8 {
+		t.Fatalf("mapped = %d, want %d", pt.Mapped(), 1024-8)
+	}
+}
+
 func TestWalkLevels(t *testing.T) {
 	pt := New(1)
 	pt.Map(0, 0, 0, Size4K)
