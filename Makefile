@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fmt lint faults perfgate ci bench-reports bench-async
+.PHONY: all build vet test race fmt lint faults crash perfgate ci bench-reports bench-async
 
 all: ci
 
@@ -41,6 +41,15 @@ faults:
 	$(GO) test -race -run 'Fault|SigBus|Msync|Quarantin|Poison|IOURingInjected' \
 		./internal/sim/device/ ./internal/core/ ./internal/host/
 
+# The crash-consistency suite end to end under the race detector: durability
+# model + torn sectors, crash-point injection and determinism, durable-image
+# capture/recovery, errseq across restart, Kreon CRC replay, the io_uring
+# in-flight drain, and the msync durability-point pin (DESIGN.md §9).
+crash:
+	$(GO) test -race -run 'Crash|Recover|Durab|TornSector|CrashPlan' \
+		. ./internal/sim/device/ ./internal/sim/engine/ ./internal/core/ \
+		./internal/host/ ./internal/kvs/kreon/
+
 # Performance-regression gate: re-run the report-backed experiments into a
 # scratch directory and diff every BENCH_*.json against the checked-in
 # goldens, exactly to the cycle. Fails on any drift; regenerate the goldens
@@ -48,14 +57,14 @@ faults:
 # appended to the BENCH_history.jsonl trajectory.
 perfgate:
 	rm -rf .perfgate && mkdir -p .perfgate
-	$(GO) run ./cmd/aquila-bench -exp fig8a,fig7,fig5b,fig10a,ablate-hugepages -report-dir .perfgate > /dev/null
+	$(GO) run ./cmd/aquila-bench -exp fig8a,fig7,fig5b,fig10a,ablate-hugepages,ablate-crash -report-dir .perfgate > /dev/null
 	$(GO) run ./cmd/aqperf -goldens . -dir .perfgate -history BENCH_history.jsonl -label local
 
-ci: build vet fmt lint test race faults perfgate
+ci: build vet fmt lint test race faults crash perfgate
 
 # Regenerate the checked-in machine-readable experiment reports.
 bench-reports:
-	$(GO) run ./cmd/aquila-bench -exp fig8a,fig7,fig5b,fig10a,ablate-hugepages -report-dir .
+	$(GO) run ./cmd/aquila-bench -exp fig8a,fig7,fig5b,fig10a,ablate-hugepages,ablate-crash -report-dir .
 
 # Background-eviction comparison: fig5b's sync-vs-async rows plus the
 # watermark-sweep ablation.

@@ -179,6 +179,12 @@ type Options struct {
 	// TraceLabel prefixes this System's tracks and labels its metrics.
 	// Empty derives a label from Mode ("aquila", "linux", ...).
 	TraceLabel string
+
+	// Recovery state, set only by Recover (see crash.go): the durable media
+	// image the device adopts at boot and the errseq state to replay.
+	restoreMedia map[uint64][]byte
+	restoreWBErr map[string]error
+	recovered    bool
 }
 
 func (o *Options) fill() {
@@ -218,6 +224,8 @@ type System struct {
 	// PMem / NVMe expose the raw devices for inspection.
 	PMem *device.PMem
 	NVMe *device.NVMe
+	// crashPlan is the armed crash schedule (see InjectCrash in crash.go).
+	crashPlan *CrashPlan
 }
 
 // New boots a System with the given options.
@@ -244,6 +252,11 @@ func New(opts Options) *System {
 	default:
 		panic(fmt.Sprintf("aquila: unknown device kind %d", opts.Device))
 	}
+	if opts.restoreMedia != nil {
+		// Recovery boot: the device starts from the crash image's durable
+		// media, before any layer above has touched it.
+		s.store().AdoptMedia(opts.restoreMedia)
+	}
 	if opts.Tracer != nil || opts.Registry != nil {
 		devPID := 0
 		if opts.Tracer != nil {
@@ -268,11 +281,13 @@ func New(opts Options) *System {
 		s.Do(func(p *Proc) {
 			eng := s.buildEngine(p)
 			s.RT = core.NewRuntime(p, s.Host, eng, core.Config{
-				CacheBytes:    opts.CacheBytes,
-				MaxCacheBytes: opts.MaxCacheBytes,
-				Params:        opts.Params,
-				Registry:      opts.Registry,
-				Label:         label,
+				CacheBytes:       opts.CacheBytes,
+				MaxCacheBytes:    opts.MaxCacheBytes,
+				Params:           opts.Params,
+				Registry:         opts.Registry,
+				Label:            label,
+				RestoredWBErrors: opts.restoreWBErr,
+				Recovered:        opts.recovered,
 			})
 			s.NS = &core.Namespace{RT: s.RT}
 		})
@@ -352,6 +367,15 @@ func (s *System) PublishStats() {
 		reg.Counter("aq_huge_promotions", l).Set(st.HugePromotions)
 		reg.Counter("aq_huge_demotions", l).Set(st.HugeDemotions)
 		reg.Counter("aq_huge_evictions", l).Set(st.HugeEvictions)
+		reg.Counter("aq_recovery_restored_wb_errors", l).Set(st.RestoredWBErrors)
+		reg.Counter("aq_recovery_files", l).Set(st.RecoveredFiles)
+	}
+	if info := s.Sim.Crashed(); info != nil {
+		reg.Gauge("aq_crash_cycle", l).Set(float64(info.Cycle))
+		if res := s.store().CrashedResult(); res != nil {
+			reg.Counter("aq_crash_dropped_blocks", l).Set(uint64(res.DroppedBlocks))
+			reg.Counter("aq_crash_torn_blocks", l).Set(uint64(res.TornBlocks))
+		}
 	}
 	c := s.Host.Cache
 	reg.Counter("pagecache_inserted", l).Set(c.Inserted)

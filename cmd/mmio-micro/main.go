@@ -35,6 +35,7 @@ func main() {
 		profOut  = flag.String("profile", "", "write the run's folded flame-graph stacks to this file")
 		profDir  = flag.String("profile-dir", "", "write profile.json and profile.folded into this directory")
 		profTop  = flag.Int("profile-top", 0, "print the top-N call paths by exclusive cycles")
+		crashP   = flag.String("crash-plan", "", "JSON crash plan: kill the run at the planned point, capture the durable image, verify recovery")
 	)
 	flag.Parse()
 
@@ -78,6 +79,14 @@ func main() {
 		opts.Profiler = prof
 	}
 	sys := aquila.New(opts)
+	if *crashP != "" {
+		plan, err := aquila.LoadCrashPlan(*crashP)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crash plan: %v\n", err)
+			os.Exit(1)
+		}
+		sys.InjectCrash(plan)
+	}
 	maps := make([]aquila.Mapping, *threads)
 	sys.Do(func(p *aquila.Proc) {
 		if *shared {
@@ -115,6 +124,23 @@ func main() {
 		}
 		total += uint64(*ops)
 	})
+	if info := sys.Crashed(); info != nil {
+		img := sys.CaptureCrash()
+		fmt.Printf("crashed: cycle=%d reason=%s\n", info.Cycle, info.Reason)
+		fmt.Printf("durable image: fingerprint=%#x dropped-blocks=%d torn-blocks=%d\n",
+			img.Fingerprint, img.DroppedBlocks, img.TornBlocks)
+		ropts := opts
+		ropts.Tracer, ropts.Registry, ropts.Profiler = nil, nil, nil
+		rec := aquila.Recover(ropts, img)
+		verdict := "ok"
+		if rec.RT != nil {
+			if err := rec.RT.CheckInvariants(); err != nil {
+				verdict = err.Error()
+			}
+		}
+		fmt.Printf("recovery: booted from durable image, invariants %s\n", verdict)
+		return
+	}
 	all := metrics.NewHistogram()
 	for _, l := range lats {
 		all.Merge(l)

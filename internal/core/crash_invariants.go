@@ -1,0 +1,135 @@
+package core
+
+import "fmt"
+
+// CheckCrashInvariants audits the runtime state reachable at an *arbitrary*
+// crash point — the complement of CheckInvariants, which demands a quiescent
+// runtime. A crash may land between an allocation's freelist pop and the
+// page attach, mid-fill (placeholder io event unfired), or mid-eviction
+// (victims non-resident but still hashed), so this audit tolerates:
+//
+//   - pages with in-flight (unfired) io events,
+//   - non-resident pages still present in the hash,
+//   - pages without a frame (claimed by eviction, not yet recycled),
+//   - frames owned by neither the freelist nor any page (in transit through
+//     a fault path's local variables).
+//
+// What can never be true, crash or not:
+//
+//   - a frame owned twice (two pages, a page and a free queue, two queues),
+//   - more frames accounted for than were ever granted,
+//   - a hash entry filed under the wrong key,
+//   - a dirty-flagged page missing from its core's dirty tree, or a tree
+//     entry whose page is clean (the runtime changes flag and tree entry
+//     together, with no yield point in between — see evict/msyncFileRange).
+func (rt *Runtime) CheckCrashInvariants() error {
+	owner := make(map[uint64]string)
+	claim := func(id uint64, who string) error {
+		if prev, ok := owner[id]; ok {
+			return fmt.Errorf("frame %d owned twice: %s and %s", id, prev, who)
+		}
+		owner[id] = who
+		return nil
+	}
+	for c, q := range rt.fl.cores {
+		for _, fr := range q {
+			if err := claim(fr.ID, fmt.Sprintf("core queue %d", c)); err != nil {
+				return err
+			}
+		}
+	}
+	for n, q := range rt.fl.nodes {
+		for _, fr := range q {
+			if err := claim(fr.ID, fmt.Sprintf("numa queue %d", n)); err != nil {
+				return err
+			}
+		}
+	}
+	for n, blocks := range rt.fl.hugeNodes {
+		for _, blk := range blocks {
+			for _, fr := range blk {
+				if err := claim(fr.ID, fmt.Sprintf("huge queue %d", n)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for _, fr := range rt.fl.single {
+		if err := claim(fr.ID, "single queue"); err != nil {
+			return err
+		}
+	}
+	if free := rt.fl.Free(); free < 0 {
+		return fmt.Errorf("freelist negative: %d", free)
+	}
+	dirtyPages := 0
+	//aqlint:sorted -- read-only audit: which violation is reported first may vary, but no simulated state is touched
+	for key, pg := range rt.pages {
+		if pg.Key() != key {
+			return fmt.Errorf("page (%s,%d) under wrong key", pg.file.name, pg.idx)
+		}
+		who := fmt.Sprintf("page (%s,%d)", pg.file.name, pg.idx)
+		if pg.huge {
+			for _, fr := range pg.frames {
+				if fr == nil {
+					continue
+				}
+				if err := claim(fr.ID, who); err != nil {
+					return err
+				}
+			}
+		} else if pg.frame != nil {
+			if err := claim(pg.frame.ID, who); err != nil {
+				return err
+			}
+		}
+		if pg.dirty {
+			dirtyPages++
+		}
+	}
+	if uint64(len(owner)) > rt.limitPages {
+		return fmt.Errorf("%d frames accounted > limit %d", len(owner), rt.limitPages)
+	}
+	dirtyInTrees := 0
+	for core, tree := range rt.dirty {
+		var err error
+		tree.Ascend(func(key uint64, pg *Page) bool {
+			dirtyInTrees++
+			if !pg.dirty {
+				err = fmt.Errorf("core %d dirty tree holds clean page (%s,%d)",
+					core, pg.file.name, pg.idx)
+				return false
+			}
+			if key != dirtyKey(pg) {
+				err = fmt.Errorf("dirty tree key %d != dirtyKey %d", key, dirtyKey(pg))
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if dirtyPages != dirtyInTrees {
+		return fmt.Errorf("dirty pages %d != dirty-tree entries %d", dirtyPages, dirtyInTrees)
+	}
+	return nil
+}
+
+// WBErrorSnapshot returns, per file name, the latest writeback error no sync
+// caller has observed yet — the errseq state a crash image must carry so
+// exactly-once error reporting survives a restart (Config.RestoredWBErrors
+// replays it into the recovered runtime).
+func (rt *Runtime) WBErrorSnapshot() map[string]error {
+	var out map[string]error
+	//aqlint:sorted -- host-side snapshot into a map; insertion order invisible
+	for name, f := range rt.files {
+		if f.wbErr.err != nil && !f.wbErr.seen {
+			if out == nil {
+				out = make(map[string]error)
+			}
+			out[name] = f.wbErr.err
+		}
+	}
+	return out
+}

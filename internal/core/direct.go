@@ -54,7 +54,7 @@ func (rt *Runtime) MmapDirectNVM(p *engine.Proc, f *fileState, size uint64) *Dir
 		rt.charge(p, "map-pte", rt.C.PTEUpdate)
 	}
 	return &DirectMapping{rt: rt, eng: eng, f: f, base: base, size: size,
-		errCursor: f.wbErr.seq}
+		errCursor: f.wbErr.sample()}
 }
 
 // Size returns the mapped length.
@@ -98,6 +98,10 @@ func (m *DirectMapping) Store(p *engine.Proc, off uint64, buf []byte) {
 	}
 	lines := uint64(len(buf)+63) / 64
 	p.AdvanceUser(m.eng.PMemCost(len(buf)) + loadStoreCost(len(buf)) + lines*12 + 30 + delay)
+	if ferr == nil {
+		// The clwb+fence has drained the stores to the persistent domain.
+		st.Persist(devOff, len(buf), p.Now())
+	}
 }
 
 // Msync is a fence (stores already reached the media) plus the errseq check:

@@ -9,29 +9,52 @@ package core
 // advances. Two independent callers therefore both see the same error once
 // each — exactly Linux's file_check_and_advance_wb_err contract.
 //
+// Like the kernel's SEEN bit, the sequence distinguishes an error someone has
+// already observed from one nobody has: sample() (used to initialize cursors
+// at open/mmap time) backs the cursor up one step while the latest error is
+// unseen, so a file opened after an unreported writeback error still reports
+// it — including an opener in a *recovered* system whose errseq state was
+// restored from a crash image (exactly-once reporting survives restart).
+//
 // The simulation is single-threaded per engine step, so no atomics needed.
 type errseq struct {
 	err error
 	seq uint64
+	// seen is set once any consumer has observed the current error.
+	seen bool
 }
 
 // record notes a writeback error; nil is a no-op. Every record bumps the
-// sequence so an error that repeats after being reported is reported again.
+// sequence so an error that repeats after being reported is reported again,
+// and clears seen — the new occurrence has not been observed by anyone.
 func (e *errseq) record(err error) {
 	if err == nil {
 		return
 	}
 	e.err = err
 	e.seq++
+	e.seen = false
 }
 
 // check reports the latest unseen error for the caller owning *cursor and
-// marks it seen. Callers initialize their cursor to the sequence at
-// open/mmap time, so errors predating them are not re-reported.
+// marks it seen. Callers initialize their cursor via sample() at open/mmap
+// time, so errors someone already reported are not re-reported to them.
 func (e *errseq) check(cursor *uint64) error {
 	if *cursor == e.seq {
 		return nil
 	}
 	*cursor = e.seq
+	e.seen = true
 	return e.err
+}
+
+// sample returns the cursor value a new consumer starts from: the current
+// sequence, backed up one step while the latest error is still unseen, so
+// the new consumer's first check reports it (the kernel's "errseq_sample
+// returns 0 if the SEEN bit is unset" behavior).
+func (e *errseq) sample() uint64 {
+	if e.err != nil && !e.seen {
+		return e.seq - 1
+	}
+	return e.seq
 }

@@ -194,9 +194,12 @@ func (ev *bgEvictor) reclaimBatch(p *engine.Proc) int {
 	var dirtyV []*Page
 	for _, v := range victims {
 		if v.dirty {
+			// Flag and tree entry change together, before the charge below can
+			// yield: a crash mid-bg_evict must never observe a dirty page
+			// missing from its tree (CheckCrashInvariants).
 			rt.dirty[v.dirtyCore].Delete(dirtyKey(v))
-			rt.charge(p, "dirty-track", rt.P.DirtyTreeOp)
 			v.dirty = false
+			rt.charge(p, "dirty-track", rt.P.DirtyTreeOp)
 			dirtyV = append(dirtyV, v)
 		}
 	}

@@ -143,6 +143,11 @@ func (e *DAXEngine) WriteRun(p *engine.Proc, f *fileState, pageIdx uint64, frame
 	}
 	p.AdvanceSystem(e.costs.MemcpyAVX2(bytes))
 	done := e.OS.Disk().Timing.Submit(p.Now(), bytes, true)
+	if ferr == nil {
+		// Durability point: the persistence-domain drain completes at done
+		// (+ any injected delay), not when the streaming stores were issued.
+		st.Persist(hf.DevOffset(pageIdx*pageSize), bytes, done+delay)
+	}
 	p.WaitUntil(done+delay, engine.KindIOWait)
 	return ferr
 }
@@ -165,7 +170,9 @@ func (e *DAXEngine) SubmitWriteRun(p *engine.Proc, f *fileState, pageIdx uint64,
 		flushFrame(st, hf.DevOffset((pageIdx+uint64(i))*pageSize), fr)
 	}
 	p.AdvanceSystem(e.costs.MemcpyAVX2(bytes))
-	return e.OS.Disk().Timing.Submit(p.Now(), bytes, true) + delay, nil
+	done := e.OS.Disk().Timing.Submit(p.Now(), bytes, true) + delay
+	st.Persist(hf.DevOffset(pageIdx*pageSize), bytes, done)
+	return done, nil
 }
 
 // DirectRead implements IOEngine: load/memcpy straight from the DAX mapping.
@@ -196,6 +203,10 @@ func (e *DAXEngine) DirectWrite(p *engine.Proc, f *fileState, off uint64, buf []
 		}
 	}
 	p.AdvanceSystem(e.costs.MemcpyAVX2(len(buf)))
+	if ferr == nil {
+		// The non-temporal stores have drained once the memcpy completes.
+		st.Persist(devOff, len(buf), p.Now())
+	}
 	if delay > 0 {
 		p.WaitUntil(p.Now()+delay, engine.KindIOWait)
 	}
@@ -289,7 +300,8 @@ func (e *SPDKEngine) WriteRun(p *engine.Proc, f *fileState, pageIdx uint64, fram
 		for j := 0; j < n; j++ {
 			flushFrame(st, bs.DevOff(b, off+uint64(j)*pageSize), frames[i+j])
 		}
-		drv.WriteTimed(p, n*pageSize)
+		done := drv.WriteTimed(p, n*pageSize)
+		st.Persist(bs.DevOff(b, off), n*pageSize, done)
 		i += n
 	}
 	return nil
@@ -319,7 +331,9 @@ func (e *SPDKEngine) SubmitWriteRun(p *engine.Proc, f *fileState, pageIdx uint64
 		for j := 0; j < n; j++ {
 			flushFrame(st, bs.DevOff(b, off+uint64(j)*pageSize), frames[i+j])
 		}
-		if d := drv.WriteAsync(p, n*pageSize) + delay; d > done {
+		d := drv.WriteAsync(p, n*pageSize) + delay
+		st.Persist(bs.DevOff(b, off), n*pageSize, d)
+		if d > done {
 			done = d
 		}
 		i += n
@@ -441,7 +455,10 @@ func (e *HostEngine) WriteRun(p *engine.Proc, f *fileState, pageIdx uint64, fram
 			flushFrame(st, hf.DevOffset((pageIdx+uint64(i))*pageSize), fr)
 		}
 	}
-	e.OS.DirectIOTimed(p, bytes, true)
+	done := e.OS.DirectIOTimed(p, bytes, true)
+	if ferr == nil {
+		st.Persist(hf.DevOffset(pageIdx*pageSize), bytes, done)
+	}
 	if delay > 0 {
 		p.WaitUntil(p.Now()+delay, engine.KindIOWait)
 	}

@@ -303,13 +303,13 @@ var _ iface.Namespace = (*Namespace)(nil)
 // Create implements iface.Namespace.
 func (ns *Namespace) Create(p *engine.Proc, name string, size uint64) iface.File {
 	f := ns.RT.CreateFile(p, name, size)
-	return &AqFile{rt: ns.RT, f: f, errCursor: f.wbErr.seq}
+	return &AqFile{rt: ns.RT, f: f, errCursor: f.wbErr.sample()}
 }
 
 // Open implements iface.Namespace.
 func (ns *Namespace) Open(p *engine.Proc, name string) iface.File {
 	f := ns.RT.OpenFile(p, name)
-	return &AqFile{rt: ns.RT, f: f, errCursor: f.wbErr.seq}
+	return &AqFile{rt: ns.RT, f: f, errCursor: f.wbErr.sample()}
 }
 
 // Exists implements iface.Namespace.

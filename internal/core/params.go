@@ -115,6 +115,14 @@ type Params struct {
 	// pages are enabled. Zero derives the hardware default (32).
 	HugeTLBEntries int
 
+	// UnsafeMsyncAtSubmit deliberately breaks msync's durability contract:
+	// dirty runs are submitted to the device queue and msync returns without
+	// waiting for the completion (the durability point). Validation-only —
+	// the ablate-crash harness flips it to demonstrate that the crash oracle
+	// catches acknowledged-but-volatile data when a crash lands inside the
+	// device's completion window. Never set it for real measurements.
+	UnsafeMsyncAtSubmit bool
+
 	// IORetryLimit is how many times a transient device error is retried
 	// before the I/O is declared failed (poison on reads, quarantine or
 	// requeue on writeback). Zero derives 3.

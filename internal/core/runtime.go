@@ -60,6 +60,13 @@ type Stats struct {
 	// HugeEvictions counts whole-unit evictions: one shootdown slot and one
 	// merged 2 MB writeback per unit.
 	HugeEvictions uint64
+	// RestoredWBErrors counts files whose writeback error sequence was
+	// re-seeded from a crash image at open/create, so a pre-crash unreported
+	// error still surfaces exactly once after recovery.
+	RestoredWBErrors uint64
+	// RecoveredFiles counts files reopened from a recovered (post-crash)
+	// backing image.
+	RecoveredFiles uint64
 }
 
 // Eviction stall handling: an empty selection round means every cached page
@@ -117,6 +124,16 @@ type Config struct {
 	// Label distinguishes this runtime's series in a shared Registry
 	// (metric key "aquila_fault_cycles{world=<label>}").
 	Label string
+	// RestoredWBErrors carries per-file writeback errors out of a crash
+	// image into a recovered runtime: the first open/create of a named file
+	// seeds its errseq with the error, unseen, so the first sync caller in
+	// the new incarnation reports it — exactly-once reporting survives
+	// restart (see errseq.sample).
+	RestoredWBErrors map[string]error
+	// Recovered marks this runtime as booted from a crash image (stats and
+	// metrics labeling only; the mechanism is RestoredWBErrors plus the
+	// adopted device media).
+	Recovered bool
 }
 
 // Runtime is one Aquila instance: the library OS state of a single process
@@ -146,6 +163,10 @@ type Runtime struct {
 	files  map[string]*fileState
 	nextID uint64
 	nextVA uint64
+	// restoredWBErr holds crash-image writeback errors not yet claimed by an
+	// open/create (consumed entries are deleted; see Config.RestoredWBErrors).
+	restoredWBErr map[string]error
+	recovered     bool
 
 	// evictSel serializes victim selection only (never held across I/O).
 	evictSel    *engine.Mutex
@@ -213,6 +234,14 @@ func NewRuntime(p *engine.Proc, hostOS *host.OS, eng IOEngine, cfg Config) *Runt
 		evictSel: engine.NewMutex(hostOS.E, "aquila_evict_select"),
 		Break:    reg.Breakdown("aquila_fault_cycles", labels...),
 		Reg:      reg,
+	}
+	rt.recovered = cfg.Recovered
+	if len(cfg.RestoredWBErrors) > 0 {
+		rt.restoredWBErr = make(map[string]error, len(cfg.RestoredWBErrors))
+		//aqlint:sorted -- host-side map copy, no simulated state
+		for name, err := range cfg.RestoredWBErrors {
+			rt.restoredWBErr[name] = err
+		}
 	}
 	rt.stallCtr = reg.Counter("aquila_evict_stall", labels...)
 	if rt.hugeEnabled() {
@@ -351,7 +380,22 @@ func (rt *Runtime) CreateFile(p *engine.Proc, name string, size uint64) *fileSta
 	f := &fileState{id: rt.nextID, name: name, size: size}
 	f.backing = rt.Engine.Create(p, name, size)
 	rt.files[name] = f
+	rt.restoreWBErr(f)
 	return f
+}
+
+// restoreWBErr seeds a freshly opened file's error sequence from the crash
+// image (Config.RestoredWBErrors): the error enters unseen at sequence 1, so
+// cursors sampled from here start at 0 and the first Msync/Fsync in the
+// recovered incarnation reports it — once.
+func (rt *Runtime) restoreWBErr(f *fileState) {
+	err, ok := rt.restoredWBErr[f.name]
+	if !ok {
+		return
+	}
+	delete(rt.restoredWBErr, f.name)
+	f.wbErr = errseq{err: err, seq: 1}
+	rt.Stats.RestoredWBErrors++
 }
 
 // FileExists reports whether a name resolves, in this runtime or in the
@@ -381,6 +425,10 @@ func (rt *Runtime) OpenFile(p *engine.Proc, name string) *fileState {
 	rt.nextID++
 	f := &fileState{id: rt.nextID, name: name, size: size, backing: backing}
 	rt.files[name] = f
+	rt.restoreWBErr(f)
+	if rt.recovered {
+		rt.Stats.RecoveredFiles++
+	}
 	return f
 }
 
@@ -448,7 +496,7 @@ func (rt *Runtime) Mmap(p *engine.Proc, f *fileState, size uint64) *AqMapping {
 	rt.charge(p, "vspace", 4*rt.P.RadixLookup)
 	// Sample the error sequence at map time: earlier errors belong to
 	// earlier callers.
-	return &AqMapping{rt: rt, r: r, size: size, errCursor: f.wbErr.seq}
+	return &AqMapping{rt: rt, r: r, size: size, errCursor: f.wbErr.sample()}
 }
 
 // munmapRegion tears a region down: vmcall, radix removal, batched unmap +
@@ -917,9 +965,12 @@ func (rt *Runtime) evict(p *engine.Proc) error {
 	var dirtyV []*Page
 	for _, v := range victims {
 		if v.dirty {
+			// Flag and tree entry change together, before the charge below can
+			// yield: a crash must never observe a dirty page missing from its
+			// tree (CheckCrashInvariants).
 			rt.dirty[v.dirtyCore].Delete(dirtyKey(v))
-			rt.charge(p, "dirty-track", rt.P.DirtyTreeOp)
 			v.dirty = false
+			rt.charge(p, "dirty-track", rt.P.DirtyTreeOp)
 			dirtyV = append(dirtyV, v)
 		}
 	}
@@ -1033,6 +1084,71 @@ func (rt *Runtime) writeSorted(p *engine.Proc, pages []*Page, evicting bool) err
 		i = j
 	}
 	return firstErr
+}
+
+// writeSortedUnsafe is the deliberately broken msync write-back used to
+// validate the crash oracle (Params.UnsafeMsyncAtSubmit): runs are submitted
+// through the engine's asynchronous path and the caller returns at submission,
+// not at the durability point. A crash landing between submission and the
+// device completion silently discards the acknowledged data from the volatile
+// tier — exactly the failure class the ablate-crash oracle must flag. Engines
+// without an asynchronous path fall back to the correct synchronous write.
+func (rt *Runtime) writeSortedUnsafe(p *engine.Proc, pages []*Page) {
+	aw, _ := rt.Engine.(AsyncWriter)
+	if aw == nil {
+		rt.writeSorted(p, pages, false)
+		return
+	}
+	if len(pages) == 0 {
+		return
+	}
+	sort.Slice(pages, func(i, j int) bool { return dirtyKey(pages[i]) < dirtyKey(pages[j]) })
+	protected := 0
+	for _, pg := range pages {
+		for _, va := range pg.vas {
+			if rt.PT.Protect(va, pagetable.FlagUser|pagetable.FlagAccessed) {
+				rt.charge(p, "writeback", rt.C.PTEUpdate)
+				protected++
+			}
+		}
+	}
+	if protected > 0 {
+		rt.shootdown(p)
+	}
+	i := 0
+	for i < len(pages) {
+		var run []*Page
+		var frames []*mem.Frame
+		if pages[i].huge {
+			run = pages[i : i+1]
+			frames = pages[i].frames
+		} else {
+			j := i + 1
+			for j < len(pages) && j-i < rt.P.WritebackMaxRun && !pages[j].huge &&
+				pages[j].file == pages[i].file && pages[j].idx == pages[j-1].idx+1 {
+				j++
+			}
+			run = pages[i:j]
+			frames = make([]*mem.Frame, len(run))
+			for k, pg := range run {
+				frames[k] = pg.frame
+			}
+		}
+		i += len(run)
+		t0 := p.Now()
+		p.BeginSpan("aq.writeback")
+		_, err := aw.SubmitWriteRun(p, run[0].file, run[0].idx, frames)
+		p.EndSpan()
+		rt.Break.Add("writeback", p.Now()-t0)
+		if err != nil {
+			// Submission rejected: nothing queued, recover synchronously. The
+			// bug under test is the missing drain, not error handling.
+			rt.writeRunOrRecover(p, "aq.writeback", run, frames, false)
+			continue
+		}
+		rt.Stats.WrittenBack += uint64(len(frames))
+		p.SpanEvent("writeback.pages", uint64(len(frames)))
+	}
 }
 
 // retryLimit / retryBackoff derive the transient-retry policy (defaults for
@@ -1245,23 +1361,28 @@ func (rt *Runtime) msyncFileRange(p *engine.Proc, f *fileState, off, length uint
 	}
 	var dirtyPages []*Page
 	for core := range rt.dirty {
-		var keys []uint64
+		var pgs []*Page
 		rt.dirty[core].Ascend(func(key uint64, pg *Page) bool {
 			if pg.file == f && pg.idx+uint64(pg.pages()) > lo && pg.idx < hi {
-				keys = append(keys, key)
-				dirtyPages = append(dirtyPages, pg)
+				pgs = append(pgs, pg)
 			}
 			return true
 		})
-		for _, k := range keys {
-			rt.dirty[core].Delete(k)
+		// Clear the flag with the tree entry, before the charge below can
+		// yield: a crash must never observe a dirty page missing from its
+		// tree (CheckCrashInvariants).
+		for _, pg := range pgs {
+			rt.dirty[core].Delete(dirtyKey(pg))
+			pg.dirty = false
 		}
-		if len(keys) > 0 {
-			rt.charge(p, "dirty-track", rt.P.DirtyTreeOp*uint64(len(keys)))
+		dirtyPages = append(dirtyPages, pgs...)
+		if len(pgs) > 0 {
+			rt.charge(p, "dirty-track", rt.P.DirtyTreeOp*uint64(len(pgs)))
 		}
 	}
-	for _, pg := range dirtyPages {
-		pg.dirty = false
+	if rt.P.UnsafeMsyncAtSubmit {
+		rt.writeSortedUnsafe(p, dirtyPages)
+		return
 	}
 	rt.writeSorted(p, dirtyPages, false)
 }

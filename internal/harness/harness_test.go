@@ -12,7 +12,7 @@ const testScale = 0.15
 func TestRegistryComplete(t *testing.T) {
 	// Lexicographic id order (fig10* sorts before fig5*).
 	want := []string{
-		"ablate-async-evict", "ablate-batch", "ablate-faults", "ablate-freelist",
+		"ablate-async-evict", "ablate-batch", "ablate-crash", "ablate-faults", "ablate-freelist",
 		"ablate-hugepages", "ablate-readahead",
 		"fig10a", "fig10b", "fig5a", "fig5b", "fig6a", "fig6b", "fig6c",
 		"fig7", "fig8a", "fig8b", "fig8c", "fig9",
@@ -313,6 +313,33 @@ func TestAblateFaultsShape(t *testing.T) {
 	}
 	if cell(t, r, i, 2) == 0 {
 		t.Error("faulty run recorded zero throughput")
+	}
+}
+
+func TestAblateCrashShape(t *testing.T) {
+	r := runAblateCrash(testScale)[0]
+	// Every correct world passes the oracle at every enumerated crash point.
+	for _, w := range [][2]string{
+		{"aquila", "pmem"}, {"aquila", "NVMe"},
+		{"linux", "pmem"}, {"linux", "NVMe"},
+		{"kreon", "pmem"}, {"kreon", "NVMe"},
+	} {
+		i := findRow(t, r, w[0], w[1])
+		if got := r.Rows[i][6]; got != "PASS" {
+			t.Errorf("%s/%s verdict = %q, want PASS (lost %s, inv fails %s)",
+				w[0], w[1], got, r.Rows[i][4], r.Rows[i][5])
+		}
+		if cell(t, r, i, 2) == 0 {
+			t.Errorf("%s/%s enumerated no crash points", w[0], w[1])
+		}
+	}
+	// The broken-ordering row must fail — otherwise the oracle is vacuous.
+	i := findRow(t, r, "aquila UNSAFE", "NVMe")
+	if got := r.Rows[i][6]; got != "FAIL (expected)" {
+		t.Errorf("UNSAFE verdict = %q, want FAIL (expected)", got)
+	}
+	if cell(t, r, i, 4) == 0 {
+		t.Error("UNSAFE row lost no acked records — the oracle has no teeth")
 	}
 }
 

@@ -246,19 +246,23 @@ func (os *OS) blockRead(p *engine.Proc, off uint64, buf []byte) {
 	disk.Content.ReadAt(off, buf)
 }
 
-// blockWrite moves bytes from a kernel buffer to the disk.
+// blockWrite moves bytes from a kernel buffer to the disk. The staged
+// content becomes durable at the device completion cycle, not at submission.
 func (os *OS) blockWrite(p *engine.Proc, off uint64, buf []byte) {
 	disk := os.FS.disk
 	disk.Content.WriteAt(off, buf)
 	p.BeginSpan("lx.block_io")
 	defer p.EndSpan()
+	var done uint64
 	if disk.PMem {
 		os.charge(p, "block-io", os.P.PMemBlockOverhead+os.C.MemcpyNoSIMD(len(buf)))
-		done := disk.Timing.Submit(p.Now(), len(buf), true)
+		done = disk.Timing.Submit(p.Now(), len(buf), true)
+		disk.Content.Persist(off, len(buf), done)
 		p.WaitUntil(done, engine.KindIOWait)
 	} else {
 		os.charge(p, "block-io", os.P.BlockLayerSubmit)
-		done := disk.Timing.Submit(p.Now(), len(buf), true)
+		done = disk.Timing.Submit(p.Now(), len(buf), true)
+		disk.Content.Persist(off, len(buf), done)
 		p.WaitUntil(done, engine.KindIOWait)
 		os.charge(p, "block-io", os.P.BlockLayerComplete+os.C.InterruptDelivery+os.C.ContextSwitch)
 	}

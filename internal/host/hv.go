@@ -91,21 +91,25 @@ func (hv *Hypervisor) SendShootdownIPIs(p *engine.Proc, targets []int, recvCycle
 
 // DirectIOTimed charges the timing of a guest-issued direct I/O through the
 // host kernel (vmcall + syscall + block path + device) without moving
-// content; Aquila's HOST-* engines move content per page themselves.
-func (os *OS) DirectIOTimed(p *engine.Proc, bytes int, write bool) {
+// content; Aquila's HOST-* engines move content per page themselves. It
+// returns the device completion cycle — the durability point the caller must
+// pass to Store.Persist for any content it staged before calling.
+func (os *OS) DirectIOTimed(p *engine.Proc, bytes int, write bool) uint64 {
 	p.AdvanceSystem(os.C.VMExit + os.C.Syscall + os.P.SyscallKernelPath + os.P.DirectIOPathCost)
 	disk := os.FS.disk
+	var done uint64
 	if disk.PMem {
 		p.AdvanceSystem(os.P.PMemBlockOverhead + os.C.MemcpyNoSIMD(bytes))
-		done := disk.Timing.Submit(p.Now(), bytes, write)
+		done = disk.Timing.Submit(p.Now(), bytes, write)
 		p.WaitUntil(done, engine.KindIOWait)
 	} else {
 		p.AdvanceSystem(os.P.BlockLayerSubmit)
-		done := disk.Timing.Submit(p.Now(), bytes, write)
+		done = disk.Timing.Submit(p.Now(), bytes, write)
 		p.WaitUntil(done, engine.KindIOWait)
 		p.AdvanceSystem(os.P.BlockLayerComplete + os.C.InterruptDelivery + os.C.ContextSwitch)
 	}
 	p.AdvanceSystem(os.C.VMEntry)
+	return done
 }
 
 // DirectReadHost is the HOST-pmem / HOST-NVMe I/O engine entry point of

@@ -95,6 +95,12 @@ func (r *IOURing) Enter(p *engine.Proc) {
 		// A latency spike pushes the completion out; a failed operation
 		// still holds the device for its full service time.
 		done += delay
+		if e.Write && ferr == nil {
+			// Each SQE becomes durable (whole) at its own completion: a
+			// crash before then discards it from the volatile tier, never
+			// half-applies it.
+			disk.Content.Persist(r.f.devOff(e.Off), len(e.Buf), done)
+		}
 		r.cq = append(r.cq, Cqe{UserData: e.UserData, DoneAt: done, Err: ferr})
 		if !e.Write && ferr == nil {
 			// The read lands in the caller's buffer by completion

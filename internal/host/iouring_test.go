@@ -3,6 +3,7 @@ package host
 import (
 	"bytes"
 	"errors"
+	"math/rand"
 	"testing"
 
 	"aquila/internal/sim/device"
@@ -160,6 +161,80 @@ func TestIOURingInjectedErrors(t *testing.T) {
 		}
 		if cqe.DoneAt < t0+99999 {
 			t.Errorf("spiked read done at %d, want >= %d", cqe.DoneAt, t0+99999)
+		}
+	})
+}
+
+// TestIOURingCrashDropsInflightWhole pins the per-SQE durability point: each
+// submitted write becomes durable — whole — at its own completion time, so a
+// crash landing between two completions of one batch keeps exactly the
+// finished entries and discards the rest. No entry is ever half-applied: every
+// page reads back as either its full pre-batch or full post-batch content.
+func TestIOURingCrashDropsInflightWhole(t *testing.T) {
+	e, os := newNVMeOS(16 * mib)
+	run1(e, func(p *engine.Proc) {
+		const n = 16
+		f := os.FS.Create(p, "f", 1*mib)
+		st := os.FS.disk.Content
+		ring := NewIOURing(os, f, 2*n)
+		pat := func(i int, phase byte) []byte {
+			b := make([]byte, 4096)
+			for j := range b {
+				b[j] = byte(i)*13 ^ phase ^ byte(j)
+			}
+			return b
+		}
+		// Phase A: baseline content, fully durable.
+		for i := 0; i < n; i++ {
+			ring.Prep(Sqe{Write: true, Off: uint64(i) * 4096, Buf: pat(i, 0xA0), UserData: uint64(i)})
+		}
+		ring.Enter(p)
+		ring.WaitCqes(p, n)
+		st.SettleAll()
+		// Phase B: one batch overwriting every page; crash mid-batch, between
+		// the n/2-th and n/2+1-th completions. (The cqes are reaped only to
+		// learn the completion schedule — durability was fixed at Enter time,
+		// reaped or not.)
+		for i := 0; i < n; i++ {
+			ring.Prep(Sqe{Write: true, Off: uint64(i) * 4096, Buf: pat(i, 0xB1), UserData: uint64(i)})
+		}
+		ring.Enter(p)
+		cqes := ring.WaitCqes(p, n)
+		if len(cqes) != n {
+			t.Fatalf("reaped %d cqes, want %d", len(cqes), n)
+		}
+		doneAt := make(map[uint64]uint64, n)
+		for _, c := range cqes {
+			doneAt[c.UserData] = c.DoneAt
+		}
+		crashCycle := (cqes[n/2-1].DoneAt + cqes[n/2].DoneAt) / 2
+		res := st.Crash(crashCycle, rand.New(rand.NewSource(5)), 0)
+		wantDropped := 0
+		buf := make([]byte, 4096)
+		for i := 0; i < n; i++ {
+			completed := doneAt[uint64(i)] <= crashCycle
+			if !completed {
+				wantDropped++
+			}
+			st.ReadAt(f.devOff(uint64(i)*4096), buf)
+			switch {
+			case bytes.Equal(buf, pat(i, 0xB1)):
+				if !completed {
+					t.Errorf("page %d: in-flight write survived the crash", i)
+				}
+			case bytes.Equal(buf, pat(i, 0xA0)):
+				if completed {
+					t.Errorf("page %d: completed write lost at the crash", i)
+				}
+			default:
+				t.Errorf("page %d: half-applied content after crash", i)
+			}
+		}
+		if wantDropped == 0 || wantDropped == n {
+			t.Fatalf("crash cycle split nothing (dropped %d of %d)", wantDropped, n)
+		}
+		if res.DroppedBlocks != wantDropped {
+			t.Errorf("DroppedBlocks = %d, want %d", res.DroppedBlocks, wantDropped)
 		}
 	})
 }

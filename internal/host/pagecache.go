@@ -316,7 +316,9 @@ func (c *PageCache) writePages(p *engine.Proc, pages []*cachedPage) {
 }
 
 // timedWrite charges the kernel write path without content movement
-// (content is copied per page above).
+// (content is copied per page above) and schedules the staged range's
+// durability at the device completion cycle: fsync/msync callers return only
+// after this wait, so acknowledged data is on durable media.
 func (c *PageCache) timedWrite(p *engine.Proc, off uint64, bytes int) {
 	disk := c.os.FS.disk
 	p.BeginSpan("lx.block_io")
@@ -324,10 +326,12 @@ func (c *PageCache) timedWrite(p *engine.Proc, off uint64, bytes int) {
 	if disk.PMem {
 		c.os.charge(p, "writeback", c.os.P.PMemBlockOverhead+c.os.C.MemcpyNoSIMD(bytes))
 		done := disk.Timing.Submit(p.Now(), bytes, true)
+		disk.Content.Persist(off, bytes, done)
 		p.WaitUntil(done, engine.KindIOWait)
 	} else {
 		c.os.charge(p, "writeback", c.os.P.BlockLayerSubmit)
 		done := disk.Timing.Submit(p.Now(), bytes, true)
+		disk.Content.Persist(off, bytes, done)
 		p.WaitUntil(done, engine.KindIOWait)
 		c.os.charge(p, "writeback", c.os.P.BlockLayerComplete+c.os.C.InterruptDelivery+c.os.C.ContextSwitch)
 	}

@@ -16,6 +16,7 @@ package kreon
 import (
 	"bytes"
 	"encoding/binary"
+	"hash/crc32"
 	"sort"
 
 	"aquila/internal/detutil"
@@ -29,6 +30,10 @@ const (
 	pageSize = 4096
 	// keySize is the fixed key length (YCSB keys are 30 bytes, §6.1).
 	keySize = 30
+	// recHeader is the value-log record header: key length (u16), value
+	// length (u16), CRC-32 of key+value (u32). The CRC lets recovery tell a
+	// committed record from torn or never-completed tail garbage.
+	recHeader = 8
 	// leafEntrySize is key + log offset.
 	leafEntrySize = keySize + 8
 	// nodeHeader is count(u16) + isLeaf(u8) + pad.
@@ -96,6 +101,20 @@ type DB struct {
 
 	// Stats.
 	Gets, Puts, Spills uint64
+	// Recov describes what the last Reopen found (zero if Open'd fresh).
+	Recov RecoverStats
+}
+
+// RecoverStats summarizes a Reopen's recovery pass.
+type RecoverStats struct {
+	// FreshStore is set when no valid superblock was found (never msync'd,
+	// or the crash predates the first sync): the store opens empty.
+	FreshStore bool
+	// ReplayedRecords counts committed log records re-indexed into level 0.
+	ReplayedRecords int
+	// TruncatedBytes is the length of the discarded log tail — records whose
+	// CRC failed or that were cut short (torn or never-completed writes).
+	TruncatedBytes uint64
 }
 
 var _ ycsb.KV = (*DB)(nil)
@@ -161,37 +180,75 @@ func (db *DB) writeSuperblock(p *engine.Proc) {
 	db.m.Store(p, 0, sb)
 }
 
-// Reopen recovers a store from its mapping: superblock state, then log
-// replay of the level-0 window. Data written after the last Msync is lost,
-// matching the durability contract of msync-based stores.
+// Reopen recovers a store from its mapping: superblock state, then a
+// CRC-validating replay of the un-spilled log window into level 0. Data
+// written after the last Msync is lost, matching the durability contract of
+// msync-based stores. Reopen never panics on a damaged image: a missing or
+// foreign superblock opens an empty store (Recov.FreshStore), and a log tail
+// that fails validation — torn sectors, never-completed appends — is
+// truncated (Recov.TruncatedBytes) so garbage is never served.
+//
+// The superblock itself needs no checksum: it is 52 bytes inside the first
+// 512-byte sector, and the device guarantees sector atomicity, so a crashed
+// superblock write leaves either the old or the new superblock — never a mix.
 func Reopen(p *engine.Proc, opts Options, m iface.Mapping) *DB {
 	db := OpenWithMapping(p, opts, m)
 	sb := make([]byte, 52)
 	db.m.Load(p, 0, sb)
 	if binary.LittleEndian.Uint32(sb[0:]) != sbMagic {
-		panic("kreon: reopen without a valid superblock (never msync'd?)")
+		db.Recov.FreshStore = true
+		return db
 	}
-	db.logHead = binary.LittleEndian.Uint64(sb[4:])
-	db.logCheckpoint = binary.LittleEndian.Uint64(sb[12:])
-	db.idxHead = binary.LittleEndian.Uint64(sb[20:])
+	logHead := binary.LittleEndian.Uint64(sb[4:])
+	logCheckpoint := binary.LittleEndian.Uint64(sb[12:])
+	idxHead := binary.LittleEndian.Uint64(sb[20:])
+	if logHead < db.logBase || logHead > db.idxBase ||
+		logCheckpoint < db.logBase || logCheckpoint > logHead ||
+		idxHead < db.idxBase || idxHead > db.m.Size() {
+		// Geometry mismatch (file reopened with different region sizes);
+		// a crashed superblock write cannot cause this (sector atomicity).
+		db.Recov.FreshStore = true
+		return db
+	}
+	db.logHead = logHead
+	db.logCheckpoint = logCheckpoint
+	db.idxHead = idxHead
 	db.rootOff = binary.LittleEndian.Uint64(sb[28:])
 	db.treeN = int(binary.LittleEndian.Uint64(sb[36:]))
 	db.leafRegionEnd = binary.LittleEndian.Uint64(sb[44:])
-	// Replay the un-spilled log window into level 0.
+	// Replay the un-spilled log window into level 0, validating each record;
+	// the first record that is cut short or fails its CRC ends the committed
+	// prefix and the rest of the window is truncated.
 	off := db.logCheckpoint
 	for off < db.logHead {
-		var hdr [4]byte
+		if off+recHeader > db.logHead {
+			break
+		}
+		var hdr [recHeader]byte
 		db.m.Load(p, off, hdr[:])
 		kl := int(binary.LittleEndian.Uint16(hdr[0:]))
 		vl := int(binary.LittleEndian.Uint16(hdr[2:]))
-		if kl == 0 {
+		crc := binary.LittleEndian.Uint32(hdr[4:])
+		if kl == 0 || kl > keySize || off+recHeader+uint64(kl+vl) > db.logHead {
 			break
 		}
-		key := make([]byte, kl)
-		db.m.Load(p, off+4, key)
-		db.l0[string(key)] = off
-		off += uint64(4 + kl + vl)
+		kv := make([]byte, kl+vl)
+		db.m.Load(p, off+recHeader, kv)
+		if crc32.ChecksumIEEE(kv) != crc {
+			break
+		}
+		db.l0[string(kv[:kl])] = off
+		db.Recov.ReplayedRecords++
+		off += recHeader + uint64(kl+vl)
 	}
+	if off < db.logHead {
+		db.Recov.TruncatedBytes = db.logHead - off
+		db.logHead = off
+	}
+	// Everything at or below the recovered heads is durable; only future
+	// appends need syncing.
+	db.lastSyncLog = db.logHead
+	db.lastSyncIdx = db.idxHead
 	return db
 }
 
@@ -209,11 +266,12 @@ func (db *DB) Put(p *engine.Proc, key, value []byte) {
 	if len(key) != keySize {
 		key = normalizeKey(key)
 	}
-	rec := make([]byte, 4+len(key)+len(value))
+	rec := make([]byte, recHeader+len(key)+len(value))
 	binary.LittleEndian.PutUint16(rec, uint16(len(key)))
 	binary.LittleEndian.PutUint16(rec[2:], uint16(len(value)))
-	copy(rec[4:], key)
-	copy(rec[4+len(key):], value)
+	copy(rec[recHeader:], key)
+	copy(rec[recHeader+len(key):], value)
+	binary.LittleEndian.PutUint32(rec[4:], crc32.ChecksumIEEE(rec[recHeader:]))
 	off := db.logHead
 	if off+uint64(len(rec)) > db.idxBase {
 		panic("kreon: value log full")
@@ -296,11 +354,17 @@ func (db *DB) Scan(p *engine.Proc, startKey []byte, n int) int {
 // Kreon's custom ranged msync (§7.2): only the superblock page and the
 // append-only windows written since the previous Msync are flushed, instead
 // of scanning every dirty page of the store.
+//
+// Ordering is the crash-consistency linchpin: the data windows reach their
+// durability point *before* the superblock that references them. A crash
+// anywhere inside Msync leaves the old superblock pointing at the old
+// consistent state; the new heads become visible only once everything below
+// them is durable. (Syncing the superblock first — as an earlier version did
+// — let a crash between the two syncs persist heads that point at data still
+// in the device's volatile tier.)
 func (db *DB) Msync(p *engine.Proc) {
 	p.BeginSpan("kv.msync")
 	defer p.EndSpan()
-	db.writeSuperblock(p)
-	db.m.MsyncRange(p, 0, pageSize) // superblock
 	if db.logHead > db.lastSyncLog {
 		db.m.MsyncRange(p, db.lastSyncLog, db.logHead-db.lastSyncLog)
 		db.lastSyncLog = db.logHead
@@ -309,23 +373,28 @@ func (db *DB) Msync(p *engine.Proc) {
 		db.m.MsyncRange(p, db.lastSyncIdx, db.idxHead-db.lastSyncIdx)
 		db.lastSyncIdx = db.idxHead
 	}
+	db.writeSuperblock(p)
+	db.m.MsyncRange(p, 0, pageSize) // superblock last
 }
 
 // MsyncFull flushes every dirty page of the mapping (the non-customized
-// msync, kept for the ablation comparison).
+// msync, kept for the ablation comparison). Two phases for the same ordering
+// reason as Msync: a single full msync writes dirty pages in device order,
+// which would put the superblock (page 0) first.
 func (db *DB) MsyncFull(p *engine.Proc) {
+	db.m.MsyncRange(p, pageSize, db.m.Size()-pageSize)
 	db.writeSuperblock(p)
-	db.m.Msync(p)
+	db.m.MsyncRange(p, 0, pageSize)
 }
 
 // readLog fetches a record's value from the value log via mmio.
 func (db *DB) readLog(p *engine.Proc, off uint64) []byte {
-	var hdr [4]byte
+	var hdr [recHeader]byte
 	db.m.Load(p, off, hdr[:])
 	kl := int(binary.LittleEndian.Uint16(hdr[0:]))
 	vl := int(binary.LittleEndian.Uint16(hdr[2:]))
 	val := make([]byte, vl)
-	db.m.Load(p, off+4+uint64(kl), val)
+	db.m.Load(p, off+recHeader+uint64(kl), val)
 	return val
 }
 

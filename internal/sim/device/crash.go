@@ -1,0 +1,296 @@
+// Durability model: every device content store is split into a volatile
+// write-cache tier and durable media. WriteAt stages bytes into the volatile
+// tier; they migrate to media only once the operation's durability point has
+// passed — Persist(off, n, at) schedules the staged bytes to become durable
+// at completion time `at`, and settle(now) (called from every Submit) folds
+// everything whose durability point has been reached into media. A run that
+// never crashes observes identical content (reads overlay the newest staged
+// version), but Crash() discards the volatile tier and exposes exactly what
+// a real power loss would leave on the device: completed writes, nothing
+// in flight, except an optional seeded torn-sector prefix.
+package device
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"os"
+	"sort"
+)
+
+// SectorSize is the tear granularity: a crashed in-flight 4 KB block write
+// may leave a prefix of whole 512-byte sectors on media.
+const SectorSize = 512
+
+// notDurable marks a staged version whose durability point has not been
+// scheduled yet (WriteAt done, Persist pending).
+const notDurable = ^uint64(0)
+
+// volVersion is one staged write of a block sitting in the device's volatile
+// write-cache tier. Versions are ordered oldest-to-newest per block.
+type volVersion struct {
+	data      []byte // full BlockSize content
+	durableAt uint64 // completion cycle, or notDurable until Persist
+}
+
+// view returns the newest visible content of blk — the volatile overlay wins
+// over media — or nil when the block has never been written.
+func (s *Store) view(blk uint64) []byte {
+	if vs, ok := s.volatile[blk]; ok && len(vs) > 0 {
+		return vs[len(vs)-1].data
+	}
+	return s.blocks[blk]
+}
+
+// stage copies chunk into the volatile tier at (blk, bo). Consecutive writes
+// before a Persist merge into one pending version; once a version has been
+// scheduled it is immutable and a fresh copy-on-write version is appended.
+func (s *Store) stage(blk uint64, bo int, chunk []byte) {
+	vs := s.volatile[blk]
+	if n := len(vs); n > 0 && vs[n-1].durableAt == notDurable {
+		copy(vs[n-1].data[bo:], chunk)
+		return
+	}
+	b := make([]byte, BlockSize)
+	if cur := s.view(blk); cur != nil {
+		copy(b, cur)
+	}
+	copy(b[bo:], chunk)
+	s.volatile[blk] = append(vs, volVersion{data: b, durableAt: notDurable})
+}
+
+// Persist schedules the newest staged version of every block overlapping
+// [off, off+n) to become durable at completion cycle `at`. I/O engines call
+// it right after Submit with the returned completion time; pmem paths call it
+// with the cycle the persistent-domain copy drains. Re-persisting an already
+// scheduled version keeps the earlier durability point.
+func (s *Store) Persist(off uint64, n int, at uint64) {
+	if n <= 0 || len(s.volatile) == 0 {
+		return
+	}
+	first := off / BlockSize
+	last := (off + uint64(n) - 1) / BlockSize
+	for blk := first; blk <= last; blk++ {
+		vs := s.volatile[blk]
+		if len(vs) == 0 {
+			continue
+		}
+		if v := &vs[len(vs)-1]; v.durableAt == notDurable || at < v.durableAt {
+			v.durableAt = at
+		}
+	}
+}
+
+// settle folds every staged version whose durability point has been reached
+// into media. Called from Submit on each device operation: any crash cycle
+// the engine can still reach is >= the current submit time, so folding up to
+// `now` never makes something durable that a future crash should discard.
+func (s *Store) settle(upTo uint64) {
+	if len(s.volatile) == 0 {
+		return
+	}
+	//aqlint:sorted -- per-block fold, order-independent; no simulated state touched
+	for blk, vs := range s.volatile {
+		best := -1
+		for i, v := range vs {
+			if v.durableAt <= upTo {
+				best = i
+			}
+		}
+		if best < 0 {
+			continue
+		}
+		// The newest version durable by upTo wins the media slot; older
+		// versions are superseded. In-flight writes serialize per page above
+		// this layer, so inverted completions of overlapping writes do not
+		// occur in practice.
+		s.blocks[blk] = vs[best].data
+		if rest := vs[best+1:]; len(rest) > 0 {
+			s.volatile[blk] = rest
+		} else {
+			delete(s.volatile, blk)
+		}
+	}
+}
+
+// SettleAll folds every *scheduled* staged version into media regardless of
+// its durability point (end-of-run quiesce). Versions never Persisted remain
+// volatile: a write path that forgets its durability point shows up as lost
+// data instead of being silently absorbed.
+func (s *Store) SettleAll() { s.settle(notDurable - 1) }
+
+// PendingBlocks returns how many blocks have staged-but-not-yet-durable
+// content in the volatile tier.
+func (s *Store) PendingBlocks() int { return len(s.volatile) }
+
+// CrashResult summarizes what a Crash() did to the device.
+type CrashResult struct {
+	// Cycle is the simulated cycle the power was lost.
+	Cycle uint64
+	// DroppedBlocks counts blocks whose newest staged version never reached
+	// its durability point and was discarded.
+	DroppedBlocks int
+	// TornBlocks counts dropped blocks that left a partial sector prefix on
+	// media (always <= DroppedBlocks).
+	TornBlocks int
+}
+
+// Crash models power loss at `cycle`: staged versions durable by then fold
+// into media, everything else is discarded. With tearProb > 0 each dropped
+// block independently leaves a prefix of 1..7 whole 512-byte sectors of the
+// in-flight write on media, drawn from rng — the torn-write behavior of real
+// devices that only guarantee sector atomicity. The store stays readable
+// afterwards (it serves the durable image) and keeps accepting writes, but
+// recovery normally adopts CloneMedia() into a fresh system instead.
+func (s *Store) Crash(cycle uint64, rng *rand.Rand, tearProb float64) CrashResult {
+	s.settle(cycle)
+	res := CrashResult{Cycle: cycle}
+	if len(s.volatile) > 0 {
+		blks := make([]uint64, 0, len(s.volatile))
+		//aqlint:sorted -- keys only collected; sorted before use below
+		for blk := range s.volatile {
+			blks = append(blks, blk)
+		}
+		sort.Slice(blks, func(i, j int) bool { return blks[i] < blks[j] })
+		for _, blk := range blks {
+			vs := s.volatile[blk]
+			pending := vs[len(vs)-1].data
+			res.DroppedBlocks++
+			if tearProb > 0 && rng != nil && rng.Float64() < tearProb {
+				sectors := 1 + rng.Intn(BlockSize/SectorSize-1)
+				b := s.blocks[blk]
+				if b == nil {
+					b = make([]byte, BlockSize)
+					s.blocks[blk] = b
+				}
+				copy(b[:sectors*SectorSize], pending[:sectors*SectorSize])
+				res.TornBlocks++
+			}
+		}
+		s.volatile = make(map[uint64][]volVersion)
+	}
+	s.crashRes = &res
+	return res
+}
+
+// CrashedResult returns the result of the store's Crash call, or nil.
+func (s *Store) CrashedResult() *CrashResult { return s.crashRes }
+
+// Fingerprint hashes the durable media image — block indexes and full block
+// content in sorted order (FNV-1a). The volatile tier is excluded: call
+// SettleAll first for an end-of-run fingerprint, or Crash for a post-crash
+// one. Same workload + same seed + same CrashPlan ⇒ identical fingerprint.
+func (s *Store) Fingerprint() uint64 {
+	h := fnv.New64a()
+	blks := make([]uint64, 0, len(s.blocks))
+	//aqlint:sorted -- keys only collected; sorted before use below
+	for blk := range s.blocks {
+		blks = append(blks, blk)
+	}
+	sort.Slice(blks, func(i, j int) bool { return blks[i] < blks[j] })
+	var le [8]byte
+	for _, blk := range blks {
+		binary.LittleEndian.PutUint64(le[:], blk)
+		h.Write(le[:])
+		h.Write(s.blocks[blk])
+	}
+	return h.Sum64()
+}
+
+// CloneMedia deep-copies the durable media image (call after Crash).
+func (s *Store) CloneMedia() map[uint64][]byte {
+	out := make(map[uint64][]byte, len(s.blocks))
+	//aqlint:sorted -- deep copy, order-independent; no simulated state touched
+	for blk, b := range s.blocks {
+		c := make([]byte, BlockSize)
+		copy(c, b)
+		out[blk] = c
+	}
+	return out
+}
+
+// AdoptMedia replaces the store's durable media with a deep copy of img and
+// clears the volatile tier — booting a recovered device from a crash image.
+func (s *Store) AdoptMedia(img map[uint64][]byte) {
+	s.blocks = make(map[uint64][]byte, len(img))
+	//aqlint:sorted -- deep copy, order-independent; no simulated state touched
+	for blk, b := range img {
+		c := make([]byte, BlockSize)
+		copy(c, b)
+		s.blocks[blk] = c
+	}
+	s.volatile = make(map[uint64][]volVersion)
+}
+
+// ArmCrashAtOp arms a crash hook that fires synchronously when the store's
+// opIndex'th content write (1-based, counted by Stats.Writes) has been
+// staged — "the machine dies between device writes W_k and W_k+1". The hook
+// is cleared before it runs, so it fires at most once; it is expected to
+// panic with the engine's crash sentinel and never return.
+func (s *Store) ArmCrashAtOp(opIndex uint64, hook func()) {
+	s.crashAtOp, s.crashHook = opIndex, hook
+}
+
+// CrashPlan is a seeded, declarative description of one crash: exactly when
+// the machine dies and how the device's in-flight sector tears. Mirrors
+// FaultPlan: plans are pure data, loadable from JSON fixtures, and all
+// randomness flows from Seed. An empty plan (no trigger set) never fires and
+// is byte-for-byte equivalent to running without one.
+type CrashPlan struct {
+	// Seed drives the tear policy RNG.
+	Seed int64
+	// AtCycle kills the run when simulated time reaches this cycle (0 = off).
+	AtCycle uint64
+	// AtDeviceOp kills the run right after the Nth device content write,
+	// 1-based (0 = off).
+	AtDeviceOp uint64
+	// AtSpan kills the run on entry to the SpanHit'th occurrence of this
+	// named span, e.g. "aq.msync" or "aq.bg_writeback" ("" = off).
+	AtSpan string
+	// SpanHit selects which occurrence of AtSpan fires (1-based; 0 = first).
+	SpanHit uint64
+	// TearProb is the per-dropped-block probability of a torn sector prefix.
+	TearProb float64
+}
+
+// Empty reports whether the plan has no trigger armed.
+func (p *CrashPlan) Empty() bool {
+	return p == nil || (p.AtCycle == 0 && p.AtDeviceOp == 0 && p.AtSpan == "")
+}
+
+// crashPlanJSON is the fixture wire format (testdata/crashplans/*.json).
+type crashPlanJSON struct {
+	Seed       int64   `json:"seed"`
+	AtCycle    uint64  `json:"at_cycle"`
+	AtDeviceOp uint64  `json:"at_device_op"`
+	AtSpan     string  `json:"at_span"`
+	SpanHit    uint64  `json:"span_hit"`
+	TearProb   float64 `json:"tear_prob"`
+}
+
+// CrashPlanFromJSON parses a plan from its fixture wire format.
+func CrashPlanFromJSON(data []byte) (*CrashPlan, error) {
+	var w crashPlanJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("crash plan: %w", err)
+	}
+	p := &CrashPlan{
+		Seed: w.Seed, AtCycle: w.AtCycle, AtDeviceOp: w.AtDeviceOp,
+		AtSpan: w.AtSpan, SpanHit: w.SpanHit, TearProb: w.TearProb,
+	}
+	if p.TearProb < 0 || p.TearProb > 1 {
+		return nil, fmt.Errorf("crash plan: tear_prob %v outside [0,1]", p.TearProb)
+	}
+	return p, nil
+}
+
+// LoadCrashPlan reads a plan fixture from disk.
+func LoadCrashPlan(path string) (*CrashPlan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return CrashPlanFromJSON(data)
+}

@@ -1,0 +1,139 @@
+package device
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func fullBlock(tag byte) []byte {
+	b := make([]byte, BlockSize)
+	for i := range b {
+		b[i] = tag ^ byte(i)
+	}
+	return b
+}
+
+// TestDurabilityPointBoundary pins the volatile-tier contract: a staged write
+// is immediately visible to reads but reaches media only once its Persist'ed
+// completion cycle has passed; a crash between two durability points keeps
+// exactly the earlier write.
+func TestDurabilityPointBoundary(t *testing.T) {
+	s := NewStore(1 << 20)
+	early, late := fullBlock(0xE1), fullBlock(0x1A)
+	s.WriteAt(0, early)
+	s.Persist(0, BlockSize, 1000)
+	s.WriteAt(BlockSize, late)
+	s.Persist(BlockSize, BlockSize, 2000)
+	// Both visible before any durability point passes.
+	got := make([]byte, BlockSize)
+	s.ReadAt(0, got)
+	if !bytes.Equal(got, early) {
+		t.Fatal("staged write not visible to reads")
+	}
+	if s.PendingBlocks() != 2 {
+		t.Fatalf("PendingBlocks = %d, want 2", s.PendingBlocks())
+	}
+	res := s.Crash(1500, nil, 0)
+	if res.DroppedBlocks != 1 || res.TornBlocks != 0 {
+		t.Fatalf("crash result %+v, want 1 dropped, 0 torn", res)
+	}
+	s.ReadAt(0, got)
+	if !bytes.Equal(got, early) {
+		t.Error("durable-by-crash write lost")
+	}
+	s.ReadAt(BlockSize, got)
+	if !bytes.Equal(got, make([]byte, BlockSize)) {
+		t.Error("in-flight write survived the crash")
+	}
+}
+
+// TestNeverPersistedWriteIsLost pins the bug-catcher: a write path that skips
+// its Persist handshake stays volatile forever — SettleAll does not absorb it
+// and a crash drops it.
+func TestNeverPersistedWriteIsLost(t *testing.T) {
+	s := NewStore(1 << 20)
+	s.WriteAt(0, fullBlock(0x42))
+	s.SettleAll()
+	if s.PendingBlocks() != 1 {
+		t.Fatalf("never-persisted write settled (pending = %d)", s.PendingBlocks())
+	}
+	s.Crash(1<<40, nil, 0)
+	got := make([]byte, BlockSize)
+	s.ReadAt(0, got)
+	if !bytes.Equal(got, make([]byte, BlockSize)) {
+		t.Error("never-persisted write reached media")
+	}
+}
+
+// TestCrashTornSectorPrefix pins the tear policy: with tearProb 1 every
+// dropped block leaves a prefix of 1..7 whole 512-byte sectors of the
+// in-flight data over the old content — sector atomicity, nothing finer.
+func TestCrashTornSectorPrefix(t *testing.T) {
+	s := NewStore(1 << 20)
+	oldC, newC := fullBlock(0x0D), fullBlock(0xFE)
+	s.WriteAt(0, oldC)
+	s.Persist(0, BlockSize, 10)
+	s.settle(10)
+	s.WriteAt(0, newC)
+	s.Persist(0, BlockSize, 5000)
+	res := s.Crash(100, rand.New(rand.NewSource(3)), 1.0)
+	if res.DroppedBlocks != 1 || res.TornBlocks != 1 {
+		t.Fatalf("crash result %+v, want 1 dropped, 1 torn", res)
+	}
+	got := make([]byte, BlockSize)
+	s.ReadAt(0, got)
+	// The block must be new-prefix + old-suffix on a sector boundary.
+	sectors := 0
+	for sectors < BlockSize/SectorSize &&
+		bytes.Equal(got[sectors*SectorSize:(sectors+1)*SectorSize],
+			newC[sectors*SectorSize:(sectors+1)*SectorSize]) {
+		sectors++
+	}
+	if sectors < 1 || sectors > 7 {
+		t.Fatalf("torn prefix = %d sectors, want 1..7", sectors)
+	}
+	if !bytes.Equal(got[sectors*SectorSize:], oldC[sectors*SectorSize:]) {
+		t.Error("bytes past the torn prefix are not the old durable content")
+	}
+}
+
+// TestRePersistKeepsEarlierPoint pins that re-persisting a scheduled version
+// keeps the earlier durability point, and that a post-schedule write COWs a
+// fresh version instead of mutating the immutable scheduled one.
+func TestRePersistKeepsEarlierPoint(t *testing.T) {
+	s := NewStore(1 << 20)
+	first := fullBlock(0xAA)
+	s.WriteAt(0, first)
+	s.Persist(0, BlockSize, 100)
+	s.Persist(0, BlockSize, 9000) // must not push the point out
+	second := fullBlock(0xBB)
+	s.WriteAt(0, second) // COW: new version, scheduled one untouched
+	s.Persist(0, BlockSize, 9000)
+	s.Crash(200, nil, 0)
+	got := make([]byte, BlockSize)
+	s.ReadAt(0, got)
+	if !bytes.Equal(got, first) {
+		t.Error("earlier durability point lost by re-persist or COW overwrite")
+	}
+}
+
+// TestCrashPlanJSONValidation pins fixture parsing and its error path.
+func TestCrashPlanJSONValidation(t *testing.T) {
+	p, err := CrashPlanFromJSON([]byte(`{"seed":3,"at_device_op":7,"tear_prob":0.5}`))
+	if err != nil || p.Seed != 3 || p.AtDeviceOp != 7 || p.TearProb != 0.5 {
+		t.Fatalf("parsed %+v, err %v", p, err)
+	}
+	if p.Empty() {
+		t.Error("armed plan reported Empty")
+	}
+	if !(&CrashPlan{Seed: 9, TearProb: 1}).Empty() {
+		t.Error("trigger-less plan not Empty")
+	}
+	if _, err := CrashPlanFromJSON([]byte(`{"tear_prob":1.5}`)); err == nil {
+		t.Error("tear_prob 1.5 accepted")
+	}
+	if _, err := CrashPlanFromJSON([]byte(`{bad`)); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}

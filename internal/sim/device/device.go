@@ -25,18 +25,30 @@ type Stats struct {
 	BytesWritten uint64
 }
 
-// Store is a sparse byte store: the persistent content of a device. Blocks
-// never written read back as zeros.
+// Store is a sparse byte store: the content of a device, split into durable
+// media (blocks) and a volatile write-cache tier (volatile) — see crash.go.
+// Blocks never written read back as zeros.
 type Store struct {
 	capacity uint64
 	blocks   map[uint64][]byte
+	// volatile holds staged writes that have not reached their durability
+	// point; reads overlay it, Crash() discards it.
+	volatile map[uint64][]volVersion
 	stats    Stats
 	faults   *faultState
+	// crashAtOp/crashHook implement CrashPlan.AtDeviceOp (crash.go).
+	crashAtOp uint64
+	crashHook func()
+	crashRes  *CrashResult
 }
 
 // NewStore creates a content store with the given capacity in bytes.
 func NewStore(capacity uint64) *Store {
-	return &Store{capacity: capacity, blocks: make(map[uint64][]byte)}
+	return &Store{
+		capacity: capacity,
+		blocks:   make(map[uint64][]byte),
+		volatile: make(map[uint64][]volVersion),
+	}
 }
 
 // Capacity returns the device capacity in bytes.
@@ -57,7 +69,7 @@ func (s *Store) ReadAt(off uint64, buf []byte) {
 		if chunk > len(buf)-n {
 			chunk = len(buf) - n
 		}
-		if b, ok := s.blocks[blk]; ok {
+		if b := s.view(blk); b != nil {
 			copy(buf[n:n+chunk], b[bo:bo+chunk])
 		} else {
 			for i := n; i < n+chunk; i++ {
@@ -68,7 +80,9 @@ func (s *Store) ReadAt(off uint64, buf []byte) {
 	}
 }
 
-// WriteAt copies buf into device content at off.
+// WriteAt stages buf into the device's volatile write-cache tier at off. The
+// bytes are immediately visible to reads but become durable only when a
+// Persist-scheduled durability point is reached (crash.go).
 func (s *Store) WriteAt(off uint64, buf []byte) {
 	s.checkRange(off, len(buf))
 	s.stats.Writes++
@@ -80,27 +94,39 @@ func (s *Store) WriteAt(off uint64, buf []byte) {
 		if chunk > len(buf)-n {
 			chunk = len(buf) - n
 		}
-		b, ok := s.blocks[blk]
-		if !ok {
-			b = make([]byte, BlockSize)
-			s.blocks[blk] = b
-		}
-		copy(b[bo:bo+chunk], buf[n:n+chunk])
+		s.stage(blk, bo, buf[n:n+chunk])
 		n += chunk
+	}
+	if s.crashHook != nil && s.stats.Writes >= s.crashAtOp {
+		h := s.crashHook
+		s.crashHook = nil
+		h() // panics with the engine's crash sentinel
 	}
 }
 
-// Discard drops content blocks fully inside [off, off+length) (TRIM).
+// Discard drops content blocks fully inside [off, off+length) (TRIM), from
+// both tiers.
 func (s *Store) Discard(off, length uint64) {
 	first := (off + BlockSize - 1) / BlockSize
 	last := (off + length) / BlockSize
 	for b := first; b < last; b++ {
 		delete(s.blocks, b)
+		delete(s.volatile, b)
 	}
 }
 
-// ResidentBlocks returns how many content blocks are materialized.
-func (s *Store) ResidentBlocks() int { return len(s.blocks) }
+// ResidentBlocks returns how many content blocks are materialized across
+// both tiers.
+func (s *Store) ResidentBlocks() int {
+	n := len(s.blocks)
+	//aqlint:sorted -- order-independent count; no simulated state touched
+	for blk := range s.volatile {
+		if _, ok := s.blocks[blk]; !ok {
+			n++
+		}
+	}
+	return n
+}
 
 // HasRange reports whether any content block overlapping [off, off+n) is
 // materialized (i.e. the range may hold non-zero bytes).
@@ -108,7 +134,7 @@ func (s *Store) HasRange(off uint64, n int) bool {
 	first := off / BlockSize
 	last := (off + uint64(n) - 1) / BlockSize
 	for b := first; b <= last; b++ {
-		if _, ok := s.blocks[b]; ok {
+		if s.view(b) != nil {
 			return true
 		}
 	}

@@ -47,6 +47,7 @@ func NewNVMe(capacity uint64, cfg NVMeConfig) *NVMe {
 
 // Submit implements Timing.
 func (d *NVMe) Submit(now uint64, bytes int, write bool) uint64 {
+	d.settle(now)
 	service := d.cfg.ServiceInterval
 	if bw := uint64(float64(bytes) * d.cfg.CyclesPerByte); bw > service {
 		service = bw

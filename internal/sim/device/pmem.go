@@ -38,6 +38,7 @@ func NewPMem(capacity uint64, cfg PMemConfig) *PMem {
 // Submit implements Timing: pmem access is synchronous, so the completion
 // time is just now + media cost. Software memcpy cost is charged by callers.
 func (d *PMem) Submit(now uint64, bytes int, write bool) uint64 {
+	d.settle(now)
 	completion := now + d.AccessCycles(bytes)
 	d.obs.record(now, now, completion, write)
 	return completion

@@ -1,0 +1,102 @@
+package engine
+
+import "testing"
+
+// TestCrashAtCycleUnwindsAllProcs pins the engine-side crash contract: when
+// the cycle trigger fires, every simulated thread unwinds without running the
+// rest of its body (no user-space cleanup), process clocks clamp to the crash
+// cycle, and no goroutine outlives Run.
+func TestCrashAtCycleUnwindsAllProcs(t *testing.T) {
+	e := New(Config{NumCPUs: 4, Seed: 1})
+	e.ArmCrash(CrashConfig{AtCycle: 1000})
+	cleanup := 0
+	for i := 0; i < 4; i++ {
+		e.Spawn(i, "w", func(p *Proc) {
+			for j := 0; j < 100; j++ {
+				p.AdvanceUser(50)
+			}
+			cleanup++ // must never run: the machine dies at cycle 1000
+		})
+	}
+	e.Run()
+	info := e.Crashed()
+	if info == nil || info.Reason != "cycle" {
+		t.Fatalf("Crashed() = %+v, want cycle crash", info)
+	}
+	if info.Cycle != 1000 || e.Now() != 1000 {
+		t.Fatalf("crash cycle %d, engine now %d, want 1000", info.Cycle, e.Now())
+	}
+	if cleanup != 0 {
+		t.Errorf("%d proc bodies ran past the crash point", cleanup)
+	}
+	for _, p := range e.Procs() {
+		if p.Now() > 1000 {
+			t.Errorf("proc %s clock %d not clamped to the crash cycle", p.Name(), p.Now())
+		}
+	}
+}
+
+// TestCrashAtSpanCountsMachineWide pins that the span trigger counts
+// occurrences across all processes and fires on entry to the Nth one.
+func TestCrashAtSpanCountsMachineWide(t *testing.T) {
+	e := New(Config{NumCPUs: 2, Seed: 1})
+	e.ArmCrash(CrashConfig{AtSpan: "work", SpanHit: 3})
+	entered := 0
+	for i := 0; i < 2; i++ {
+		e.Spawn(i, "w", func(p *Proc) {
+			for j := 0; j < 4; j++ {
+				p.BeginSpan("work")
+				entered++
+				p.AdvanceUser(100)
+				p.EndSpan()
+			}
+		})
+	}
+	e.Run()
+	info := e.Crashed()
+	if info == nil || info.Reason != "span:work" {
+		t.Fatalf("Crashed() = %+v, want span:work", info)
+	}
+	// The third BeginSpan dies on entry: exactly two bodies ran.
+	if entered != 2 {
+		t.Errorf("entered %d span bodies, want 2", entered)
+	}
+}
+
+// TestCrashNowFromHook pins the external-trigger path (the device store's
+// ArmCrashAtOp calls CrashNow from inside simulated code).
+func TestCrashNowFromHook(t *testing.T) {
+	e := New(Config{NumCPUs: 1, Seed: 1})
+	e.Spawn(0, "w", func(p *Proc) {
+		p.AdvanceSystem(700)
+		e.CrashNow("device-op")
+		t.Error("CrashNow returned")
+	})
+	e.Run()
+	info := e.Crashed()
+	if info == nil || info.Reason != "device-op" || info.Cycle != 700 {
+		t.Fatalf("Crashed() = %+v, want device-op at 700", info)
+	}
+}
+
+// TestDisarmedCrashIsInert pins that ArmCrash with a zero config disarms a
+// previously armed trigger completely.
+func TestDisarmedCrashIsInert(t *testing.T) {
+	e := New(Config{NumCPUs: 1, Seed: 1})
+	e.ArmCrash(CrashConfig{AtCycle: 100, AtSpan: "work", SpanHit: 1})
+	e.ArmCrash(CrashConfig{})
+	done := false
+	e.Spawn(0, "w", func(p *Proc) {
+		p.BeginSpan("work")
+		p.AdvanceUser(500)
+		p.EndSpan()
+		done = true
+	})
+	e.Run()
+	if e.Crashed() != nil {
+		t.Fatalf("disarmed trigger fired: %+v", e.Crashed())
+	}
+	if !done {
+		t.Error("workload did not complete")
+	}
+}

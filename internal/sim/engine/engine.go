@@ -127,6 +127,10 @@ type Engine struct {
 	pidProc int
 	// prof is the lossless span sink from Config.Profile.
 	prof obs.SpanSink
+
+	// crash holds the armed crash triggers and, once fired, the crash record
+	// (crash.go).
+	crash crashState
 }
 
 type batonKind uint8
@@ -135,6 +139,7 @@ const (
 	batonYield batonKind = iota // proc re-enqueued, run someone
 	batonBlock                  // proc suspended, run someone
 	batonDone                   // proc finished
+	batonCrash                  // proc unwound by a crash sentinel
 )
 
 type batonMsg struct {
@@ -244,6 +249,9 @@ func (e *Engine) SpawnDaemon(cpu int, name string, fn func(*Proc)) *Proc {
 // not count as deadlocked: they stay suspended across Run calls and resume
 // when some later process signals them.
 func (e *Engine) Run() {
+	if e.crash.info != nil {
+		return // the machine is dead; nothing ever runs again
+	}
 	for {
 		next := e.runq.Pop()
 		if next == nil {
@@ -274,6 +282,10 @@ func (e *Engine) Run() {
 			}
 		case batonDone:
 			e.finished++
+		case batonCrash:
+			e.finished++
+			e.drainCrash()
+			return
 		}
 	}
 }

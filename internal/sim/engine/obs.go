@@ -60,6 +60,7 @@ func (e *Engine) ProcPID() int  { return e.pidProc }
 // profiling disabled the call is a no-op costing two nil checks, and it
 // never consumes simulated time.
 func (p *Proc) BeginSpan(name string) {
+	p.checkSpanCrash(name)
 	if p.e.spans == nil && p.e.prof == nil {
 		return
 	}

@@ -64,6 +64,20 @@ func (p *Proc) Accounted(k Kind) uint64 { return p.acct[k] }
 func (p *Proc) IRQAbsorbed() uint64 { return p.irqAbsorbed }
 
 func (p *Proc) run() {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		cp, ok := r.(*crashPanic)
+		if !ok {
+			panic(r) // not a crash: propagate (simulated bugs must stay loud)
+		}
+		// The machine died under this process: no user-space cleanup runs.
+		p.done = true
+		p.e.noteCrash(p, cp)
+		p.e.baton <- batonMsg{kind: batonCrash, p: p}
+	}()
 	p.fn(p)
 	p.done = true
 	p.e.baton <- batonMsg{kind: batonDone, p: p}
@@ -95,6 +109,7 @@ func (p *Proc) advance(k Kind, cycles uint64) {
 	// Conservative causality: if advancing moved us past another runnable
 	// process, let it run before we next observe shared state.
 	p.Sync()
+	p.checkCrash()
 }
 
 // AdvanceUser charges application-processing cycles.
@@ -111,6 +126,7 @@ func (p *Proc) Advance(k Kind, cycles uint64) { p.advance(k, cycles) }
 func (p *Proc) Yield() {
 	p.e.baton <- batonMsg{kind: batonYield, p: p}
 	<-p.resume
+	p.checkCrash()
 }
 
 // Sync yields only if some other runnable process has an earlier clock.
@@ -145,6 +161,7 @@ func (p *Proc) block(on string) {
 	p.blockedOn = on
 	p.e.baton <- batonMsg{kind: batonBlock, p: p}
 	<-p.resume
+	p.checkCrash()
 }
 
 // String implements fmt.Stringer for diagnostics.

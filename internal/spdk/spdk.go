@@ -65,6 +65,7 @@ func (d *Driver) Write(p *engine.Proc, off uint64, buf []byte) {
 	d.dev.WriteAt(off, buf)
 	p.AdvanceSystem(submitCost)
 	done := d.dev.Submit(p.Now(), len(buf), true)
+	d.dev.Persist(off, len(buf), done)
 	if done > p.Now() {
 		d.PollCycles += done - p.Now()
 		p.AdvanceSystem(done - p.Now())
@@ -95,8 +96,10 @@ func (d *Driver) WriteAsync(p *engine.Proc, bytes int) uint64 {
 	return d.dev.Submit(p.Now(), bytes, true)
 }
 
-// WriteTimed charges only the timing of a write.
-func (d *Driver) WriteTimed(p *engine.Proc, bytes int) {
+// WriteTimed charges only the timing of a write (content handled by caller)
+// and returns the device completion cycle — the durability point the caller
+// must pass to Store.Persist for the content it staged.
+func (d *Driver) WriteTimed(p *engine.Proc, bytes int) uint64 {
 	d.Writes++
 	p.AdvanceSystem(submitCost)
 	done := d.dev.Submit(p.Now(), bytes, true)
@@ -105,6 +108,7 @@ func (d *Driver) WriteTimed(p *engine.Proc, bytes int) {
 		p.AdvanceSystem(done - p.Now())
 	}
 	p.AdvanceSystem(completeCost)
+	return done
 }
 
 // BlobID identifies a blob in the flat namespace.
