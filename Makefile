@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fmt lint faults crash perfgate ci bench-reports bench-async
+.PHONY: all build vet test race fmt lint lint-report faults crash perfgate ci bench-reports bench-async
 
 all: ci
 
@@ -29,10 +29,23 @@ fmt:
 	fi
 
 # Aquila's own static-analysis suite (DESIGN.md "Static invariants"):
-# determinism, cycle accounting, span pairing, typed-I/O-error propagation.
-# Independent of `go vet`, which keeps covering the generic mistakes.
+# determinism, cycle accounting, span pairing, typed-I/O-error propagation,
+# and the flow-aware durability/crash-unwind/huge-page invariants. `go vet`
+# runs first for the generic mistakes, then aqlint sweeps both build-tag
+# variants: the aqdebug tree compiles different core files and must uphold
+# the same invariants.
 lint:
+	$(GO) vet ./...
 	$(GO) run ./cmd/aqlint ./...
+	$(GO) run ./cmd/aqlint -tags aqdebug ./...
+
+# Machine-readable findings archive for CI artifacts: aqlint -json emits the
+# findings, suppression count, and package census even when the tree is
+# clean. The report is scratch output, not a golden.
+lint-report:
+	$(GO) run ./cmd/aqlint -json ./... > aqlint-report.json || true
+	$(GO) run ./cmd/aqlint -json -tags aqdebug ./... > aqlint-report-aqdebug.json || true
+	@echo "wrote aqlint-report.json aqlint-report-aqdebug.json"
 
 # The fault-injection suite end to end under the race detector: device fault
 # plans, retry/requeue/quarantine, errseq msync, SIGBUS delivery, io_uring

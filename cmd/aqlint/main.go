@@ -1,12 +1,15 @@
 // Command aqlint runs Aquila's custom static-analysis suite over the repo:
-// the determinism, cycle-accounting, span-pairing and error-propagation
-// invariants the goldens depend on (see DESIGN.md "Static invariants").
+// the determinism, cycle-accounting, span-pairing, error-propagation,
+// durability-pairing, crash-unwind and frame-lease invariants the goldens
+// and the crash sweep depend on (see DESIGN.md "Static invariants").
 //
 // Usage:
 //
 //	aqlint ./...            # analyze packages (exit 1 on findings)
 //	aqlint -list            # describe the analyzers
 //	aqlint -only detrand ./internal/core/...
+//	aqlint -tags aqdebug ./...   # analyze the aqdebug build variant
+//	aqlint -json ./...      # machine-readable findings (CI artifact)
 //
 // Findings are suppressed per line with `//aqlint:ignore <name> -- reason`
 // (and `//aqlint:sorted -- reason` for maporder). Suppressed counts are
@@ -14,6 +17,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,17 +26,36 @@ import (
 	"aquila/internal/analysis"
 )
 
+// jsonFinding is the machine-readable shape of one finding (-json mode).
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	Package  string `json:"package"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+// jsonReport is the top-level -json document.
+type jsonReport struct {
+	Findings   []jsonFinding `json:"findings"`
+	Suppressed int           `json:"suppressed"`
+	Packages   int           `json:"packages"`
+}
+
 func main() {
 	var (
-		list = flag.Bool("list", false, "describe the analyzers and exit")
-		only = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		list     = flag.Bool("list", false, "describe the analyzers and exit")
+		only     = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		tags     = flag.String("tags", "", "build tags to analyze under (as for go build -tags)")
+		jsonMode = flag.Bool("json", false, "emit findings as one JSON document on stdout")
 	)
 	flag.Parse()
 
 	analyzers := analysis.All()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-11s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -63,7 +86,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "aqlint: %v\n", err)
 		os.Exit(2)
 	}
-	pkgs, err := analysis.Load(cwd, patterns)
+	pkgs, err := analysis.Load(cwd, *tags, patterns)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "aqlint: %v\n", err)
 		os.Exit(2)
@@ -79,8 +102,32 @@ func main() {
 		fmt.Fprintf(os.Stderr, "aqlint: %v\n", err)
 		os.Exit(2)
 	}
-	for _, f := range res.Findings {
-		fmt.Println(f)
+	if *jsonMode {
+		rep := jsonReport{
+			Findings:   make([]jsonFinding, 0, len(res.Findings)),
+			Suppressed: res.Suppressed,
+			Packages:   len(pkgs),
+		}
+		for _, f := range res.Findings {
+			rep.Findings = append(rep.Findings, jsonFinding{
+				Analyzer: f.Analyzer,
+				Package:  f.Pkg,
+				File:     f.Pos.Filename,
+				Line:     f.Pos.Line,
+				Column:   f.Pos.Column,
+				Message:  f.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "aqlint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range res.Findings {
+			fmt.Println(f)
+		}
 	}
 	if res.Suppressed > 0 {
 		fmt.Fprintf(os.Stderr, "aqlint: %d finding(s) suppressed by //aqlint directives\n", res.Suppressed)

@@ -58,8 +58,12 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // Finding is a diagnostic resolved against the file set, ready to print.
 type Finding struct {
 	Analyzer string
-	Pos      token.Position
-	Message  string
+	// Pkg is the import path of the package the finding was reported in;
+	// it is the primary sort key, so output order is independent of the
+	// order packages were loaded in.
+	Pkg     string
+	Pos     token.Position
+	Message string
 }
 
 func (f Finding) String() string {

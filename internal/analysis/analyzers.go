@@ -2,5 +2,8 @@ package analysis
 
 // All returns the aqlint analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Cyclecost, Detrand, Errdrop, Maporder, Spanpair}
+	return []*Analyzer{
+		Crashclean, Cyclecost, Detrand, Errdrop, Framelease,
+		Maporder, Persistpair, Spanpair,
+	}
 }

@@ -1,0 +1,212 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// Intra-package call graph plus the two function summaries persistpair
+// needs. Cross-package calls are deliberately opaque: in this tree the
+// WriteAt/Persist handshake never spans a package boundary (DESIGN.md §8),
+// so package-local summaries keep the engine simple, fast, and free of
+// whole-program load order issues.
+
+type cgNode struct {
+	fn   *types.Func
+	decl *ast.FuncDecl
+	cfg  *CFG
+	// callers counts direct intra-package call sites of fn (calls through
+	// interfaces do not resolve to fn and are not counted).
+	callers int
+}
+
+type callGraph struct {
+	nodes map[*types.Func]*cgNode
+	// order lists nodes by declaration position: fixpoint iteration and
+	// reporting stay deterministic.
+	order []*cgNode
+}
+
+// buildCallGraph collects every function declaration with a body in the
+// package, builds its CFG, and counts direct call sites.
+func buildCallGraph(pass *Pass) *callGraph {
+	g := &callGraph{nodes: make(map[*types.Func]*cgNode)}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			n := &cgNode{fn: fn, decl: fd, cfg: BuildCFG(fd.Body, pass.TypesInfo)}
+			g.nodes[fn] = n
+			g.order = append(g.order, n)
+		}
+	}
+	sort.Slice(g.order, func(i, j int) bool {
+		return g.order[i].decl.Pos() < g.order[j].decl.Pos()
+	})
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee := calleeFunc(pass.TypesInfo, call); callee != nil {
+				if node, ok := g.nodes[callee]; ok {
+					node.callers++
+				}
+			}
+			return true
+		})
+	}
+	return g
+}
+
+// atomOp classifies what an atom does with respect to a pairing discipline:
+// the direct generating/discharging calls it contains, plus calls to
+// package-local functions (resolved through the graph).
+type atomOp struct {
+	call   *ast.CallExpr
+	callee *types.Func // non-nil when statically resolved
+}
+
+// atomCalls returns the calls inside an atom (outside nested literals) in
+// source order.
+func atomCalls(info *types.Info, g *callGraph, atom ast.Node) []atomOp {
+	var ops []atomOp
+	walkSameFunc(atom, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			ops = append(ops, atomOp{call: call, callee: calleeFunc(info, call)})
+		}
+		return true
+	})
+	return ops
+}
+
+// summarize computes a boolean per-function summary as a monotone fixpoint
+// over the call graph: prop(node, cur) may consult cur for callees; the
+// fixpoint starts at `false` everywhere and only flips summaries to `true`,
+// so iteration terminates. Deterministic: nodes are visited in declaration
+// order until a full pass changes nothing.
+func (g *callGraph) summarize(prop func(n *cgNode, cur map[*types.Func]bool) bool) map[*types.Func]bool {
+	cur := make(map[*types.Func]bool, len(g.order))
+	for {
+		changed := false
+		for _, n := range g.order {
+			if cur[n.fn] {
+				continue
+			}
+			if prop(n, cur) {
+				cur[n.fn] = true
+				changed = true
+			}
+		}
+		if !changed {
+			return cur
+		}
+	}
+}
+
+// mustPersistSummaries computes, per function, whether every path from
+// entry to a normal return passes a durability handshake — a direct
+// Store.Persist call or a call to a function that itself must persist.
+// Functions whose normal exit is unreachable are never marked (conservative:
+// calling them discharges nothing).
+func mustPersistSummaries(pass *Pass, g *callGraph) map[*types.Func]bool {
+	return g.summarize(func(n *cgNode, cur map[*types.Func]bool) bool {
+		transfer := func(done bool, atom ast.Node) bool {
+			if done {
+				return true
+			}
+			for _, op := range atomCalls(pass.TypesInfo, g, atom) {
+				if isStorePersist(pass.TypesInfo, op.call) {
+					return true
+				}
+				if op.callee != nil && cur[op.callee] {
+					return true
+				}
+			}
+			return false
+		}
+		edge := func(done bool, _ *Cond) bool { return done }
+		// Must-analysis: a path that has not persisted dominates the join.
+		join := func(dst, src bool) (bool, bool) { return dst && src, dst && !src }
+		in := solveMust(n.cfg, transfer, edge, join)
+		reached, done := in[n.cfg.Exit.Index][0], in[n.cfg.Exit.Index][1]
+		return reached && done
+	})
+}
+
+// solveMust is solveForward specialized to a bool lattice with an explicit
+// reachability bit (nil-state cannot be expressed with a plain bool).
+// Returns per-block [reached, value].
+func solveMust(
+	c *CFG,
+	transfer func(bool, ast.Node) bool,
+	edge func(bool, *Cond) bool,
+	join func(dst, src bool) (merged, changed bool),
+) [][2]bool {
+	type st struct {
+		reached bool
+		val     bool
+	}
+	out := solveForward(c, st{reached: true},
+		func(s st, atom ast.Node) st {
+			s.val = transfer(s.val, atom)
+			return s
+		},
+		func(s st, cond *Cond) st {
+			s.val = edge(s.val, cond)
+			return s
+		},
+		func(dst, src st) (st, bool) {
+			if !src.reached {
+				return dst, false
+			}
+			if !dst.reached {
+				return src, true
+			}
+			merged, changed := join(dst.val, src.val)
+			dst.val = merged
+			return dst, changed
+		},
+	)
+	res := make([][2]bool, len(out))
+	for i, s := range out {
+		res[i] = [2]bool{s.reached, s.val}
+	}
+	return res
+}
+
+// isStorePersist reports whether the call is the durability handshake: a
+// Persist method call on the device store type.
+func isStorePersist(info *types.Info, call *ast.CallExpr) bool {
+	return isStoreMethod(info, call, "Persist")
+}
+
+// isStoreWriteAt reports whether the call stages data into the device
+// store's volatile tier.
+func isStoreWriteAt(info *types.Info, call *ast.CallExpr) bool {
+	return isStoreMethod(info, call, "WriteAt")
+}
+
+// isStoreMethod matches a method call on the simulated device store by
+// receiver type name, the same bare-name idiom the cyclecost analyzer uses:
+// internal/analysis must not import the packages it checks, and there is a
+// single `Store` type in the tree (internal/sim/device).
+func isStoreMethod(info *types.Info, call *ast.CallExpr, name string) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return recvTypeName(sig.Recv().Type()) == "Store"
+}

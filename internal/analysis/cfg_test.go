@@ -1,0 +1,244 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody parses src as a file and returns the body of function f.
+func parseBody(t *testing.T, src string) *ast.BlockStmt {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cfg.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			return fd.Body
+		}
+	}
+	t.Fatal("no func f")
+	return nil
+}
+
+// reaches reports whether to is reachable from from along CFG edges.
+func reaches(from, to *Block) bool {
+	seen := map[int]bool{}
+	var walk func(b *Block) bool
+	walk = func(b *Block) bool {
+		if b == to {
+			return true
+		}
+		if seen[b.Index] {
+			return false
+		}
+		seen[b.Index] = true
+		for _, e := range b.Succs {
+			if walk(e.To) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(from)
+}
+
+func TestCFGIfElseEdges(t *testing.T) {
+	body := parseBody(t, `package p
+func f(x *int) {
+	if x == nil {
+		a()
+	} else {
+		b()
+	}
+}
+func a() {}
+func b() {}
+`)
+	c := BuildCFG(body, nil)
+	var conds []*Cond
+	for _, b := range c.Blocks {
+		for _, e := range b.Succs {
+			if e.Cond != nil {
+				conds = append(conds, e.Cond)
+			}
+		}
+	}
+	if len(conds) != 2 {
+		t.Fatalf("labeled edges = %d, want 2", len(conds))
+	}
+	for _, cc := range conds {
+		if cc.Key != "x == nil" {
+			t.Errorf("cond key = %q, want \"x == nil\"", cc.Key)
+		}
+	}
+	if conds[0].Val == conds[1].Val {
+		t.Errorf("then/else edges carry the same polarity %v", conds[0].Val)
+	}
+	if !reaches(c.Entry, c.Exit) {
+		t.Error("exit unreachable")
+	}
+}
+
+func TestCFGNegationNormalizes(t *testing.T) {
+	body := parseBody(t, `package p
+func f(x *int) {
+	if x != nil {
+		a()
+	}
+}
+func a() {}
+`)
+	c := BuildCFG(body, nil)
+	// `x != nil` must canonicalize to the `x == nil` key with flipped value,
+	// so it correlates with plain `x == nil` guards elsewhere.
+	found := false
+	for _, b := range c.Blocks {
+		for _, e := range b.Succs {
+			if e.Cond != nil && e.Cond.Key == "x == nil" && !e.Cond.Val {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("no edge labeled {x == nil, false} for the then-branch")
+	}
+}
+
+func TestCFGGuardsTrackIfNesting(t *testing.T) {
+	body := parseBody(t, `package p
+func f(ok bool) {
+	if ok {
+		a()
+	}
+	b()
+}
+func a() {}
+func b() {}
+`)
+	c := BuildCFG(body, nil)
+	var aGuards, bGuards int = -1, -1
+	for _, blk := range c.Blocks {
+		for _, atom := range blk.Atoms {
+			es, isExpr := atom.(*ast.ExprStmt)
+			if !isExpr {
+				continue
+			}
+			call, isCall := es.X.(*ast.CallExpr)
+			if !isCall {
+				continue
+			}
+			switch call.Fun.(*ast.Ident).Name {
+			case "a":
+				aGuards = len(c.Guards(atom))
+			case "b":
+				bGuards = len(c.Guards(atom))
+			}
+		}
+	}
+	if aGuards != 1 {
+		t.Errorf("a() guards = %d, want 1 (inside the if)", aGuards)
+	}
+	if bGuards != 0 {
+		t.Errorf("b() guards = %d, want 0 (after the merge)", bGuards)
+	}
+}
+
+func TestCFGLoopBodyHasNoLoopGuard(t *testing.T) {
+	body := parseBody(t, `package p
+func f(n int) {
+	for i := 0; i < n; i++ {
+		a()
+	}
+}
+func a() {}
+`)
+	c := BuildCFG(body, nil)
+	// Loop conditions must NOT become guards: the induction variable mutates
+	// between iterations, so facts from the body must survive the exit edge.
+	for _, blk := range c.Blocks {
+		for _, atom := range blk.Atoms {
+			if es, ok := atom.(*ast.ExprStmt); ok {
+				if _, ok := es.X.(*ast.CallExpr); ok {
+					if g := c.Guards(atom); len(g) != 0 {
+						t.Errorf("loop-body atom has %d guards, want 0", len(g))
+					}
+				}
+			}
+		}
+	}
+	if !reaches(c.Entry, c.Exit) {
+		t.Error("loop exit unreachable")
+	}
+}
+
+func TestCFGPanicAndReturnExits(t *testing.T) {
+	body := parseBody(t, `package p
+func f(ok bool) {
+	if ok {
+		return
+	}
+	panic("boom")
+}
+`)
+	c := BuildCFG(body, nil)
+	if !reaches(c.Entry, c.Exit) {
+		t.Error("return path does not reach Exit")
+	}
+	if !reaches(c.Entry, c.PanicExit) {
+		t.Error("panic path does not reach PanicExit")
+	}
+	// The block ending in panic must not fall through to Exit.
+	for _, blk := range c.Blocks {
+		for _, atom := range blk.Atoms {
+			es, ok := atom.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			if isPanicCall(nil, es.X) {
+				for _, e := range blk.Succs {
+					if e.To == c.Exit {
+						t.Error("panic block has an edge to the normal Exit")
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCFGBreakContinue(t *testing.T) {
+	body := parseBody(t, `package p
+func f(n int) {
+	for i := 0; i < n; i++ {
+		if i == 3 {
+			break
+		}
+		if i == 1 {
+			continue
+		}
+		a()
+	}
+	b()
+}
+func a() {}
+func b() {}
+`)
+	c := BuildCFG(body, nil)
+	if !reaches(c.Entry, c.Exit) {
+		t.Error("exit unreachable through break/continue loop")
+	}
+	// FuncLit bodies are separate units: the builder must not descend.
+	lit := parseBody(t, `package p
+func f() {
+	g := func() { panic("inner") }
+	g()
+}
+`)
+	cl := BuildCFG(lit, nil)
+	if reaches(cl.Entry, cl.PanicExit) {
+		t.Error("panic inside a nested literal leaked into the outer CFG")
+	}
+}

@@ -1,0 +1,359 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// Tests for the flow-aware engine against the REAL tree: the fixed
+// violations stay fixed, and deleting any single durability handshake is
+// caught statically (the in-band proof the issue demands).
+
+const repoRoot = "../.."
+
+// realPkgFiles returns the default-build, non-test Go file names of a real
+// package directory (the file set `aqlint ./...` analyzes).
+func realPkgFiles(t *testing.T, srcDir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(srcDir)
+	if err != nil {
+		t.Fatalf("read %s: %v", srcDir, err)
+	}
+	var names []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(srcDir, name))
+		if err != nil {
+			t.Fatalf("read %s: %v", name, err)
+		}
+		// Skip the aqdebug variant: LoadDir has no build-tag awareness and
+		// the debug_on/debug_off pair redeclares the same symbols.
+		if bytes.Contains(src, []byte("//go:build aqdebug")) {
+			continue
+		}
+		names = append(names, name)
+	}
+	return names
+}
+
+// loadRealPkg copies a real package into a temp dir — applying mutate to
+// each file body on the way, nil for verbatim — and type-checks it under
+// its real import path.
+func loadRealPkg(t *testing.T, rel, pkgPath string, mutate func(name string, src []byte) []byte) *Package {
+	t.Helper()
+	srcDir := filepath.Join(repoRoot, rel)
+	tmp := t.TempDir()
+	for _, name := range realPkgFiles(t, srcDir) {
+		src, err := os.ReadFile(filepath.Join(srcDir, name))
+		if err != nil {
+			t.Fatalf("read %s: %v", name, err)
+		}
+		if mutate != nil {
+			src = mutate(name, src)
+		}
+		if err := os.WriteFile(filepath.Join(tmp, name), src, 0o644); err != nil {
+			t.Fatalf("write %s: %v", name, err)
+		}
+	}
+	pkg, err := LoadDir(repoRoot, tmp, pkgPath)
+	if err != nil {
+		t.Fatalf("load %s: %v", pkgPath, err)
+	}
+	return pkg
+}
+
+// runOne runs a single analyzer over one package.
+func runOne(t *testing.T, pkg *Package, a *Analyzer) *RunResult {
+	t.Helper()
+	res, err := Run([]*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+	return res
+}
+
+// TestRealTreeClean pins the violations this PR fixed: the graph workers
+// release their waitgroup inline instead of by defer (crashclean), and
+// every staged device write in core and host pairs with its Persist
+// (persistpair) while every buddy claim is released or consumed
+// (framelease). On the pre-fix tree the graph case fails with three
+// deferred-Done findings.
+func TestRealTreeClean(t *testing.T) {
+	cases := []struct {
+		rel, pkgPath string
+		analyzer     *Analyzer
+	}{
+		{"internal/graph", "aquila/internal/graph", Crashclean},
+		{"internal/core", "aquila/internal/core", Persistpair},
+		{"internal/core", "aquila/internal/core", Framelease},
+		{"internal/host", "aquila/internal/host", Persistpair},
+		{"internal/spdk", "aquila/internal/spdk", Persistpair},
+	}
+	for _, tc := range cases {
+		t.Run(tc.rel+"/"+tc.analyzer.Name, func(t *testing.T) {
+			pkg := loadRealPkg(t, tc.rel, tc.pkgPath, nil)
+			res := runOne(t, pkg, tc.analyzer)
+			for _, f := range res.Findings {
+				t.Errorf("unexpected finding: %s", f)
+			}
+			if res.Suppressed != 0 {
+				t.Errorf("suppressed = %d, want 0 (no ignore directives may hide %s findings)",
+					res.Suppressed, tc.analyzer.Name)
+			}
+		})
+	}
+}
+
+// persistSite is one statement-level Store.Persist call in a real package.
+type persistSite struct {
+	file string
+	idx  int // ordinal among Persist statements in the file
+	line int
+}
+
+// listPersistSites enumerates the Persist call statements of a package.
+func listPersistSites(t *testing.T, srcDir string) []persistSite {
+	t.Helper()
+	var sites []persistSite
+	for _, name := range realPkgFiles(t, srcDir) {
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, name, mustRead(t, filepath.Join(srcDir, name)), 0)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		idx := 0
+		ast.Inspect(f, func(n ast.Node) bool {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Persist" {
+						sites = append(sites, persistSite{
+							file: name, idx: idx, line: fset.Position(es.Pos()).Line,
+						})
+						idx++
+					}
+				}
+			}
+			return true
+		})
+	}
+	return sites
+}
+
+func mustRead(t *testing.T, path string) []byte {
+	t.Helper()
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return src
+}
+
+// dropStmt parses src, replaces the idx-th statement matched by sel with a
+// compile-preserving tombstone (`_, _, ... = args` keeps every operand
+// used; nil replacement deletes the statement), and reprints the file.
+func dropStmt(t *testing.T, name string, src []byte, idx int, method string, keepArgs bool) []byte {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, name, src, 0)
+	if err != nil {
+		t.Fatalf("parse %s: %v", name, err)
+	}
+	count := 0
+	found := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		blk, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for i, s := range blk.List {
+			es, ok := s.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != method {
+				continue
+			}
+			if count == idx {
+				if keepArgs {
+					lhs := make([]ast.Expr, len(call.Args))
+					for j := range lhs {
+						lhs[j] = ast.NewIdent("_")
+					}
+					blk.List[i] = &ast.AssignStmt{
+						Lhs: lhs, Tok: token.ASSIGN, Rhs: call.Args,
+					}
+				} else {
+					blk.List = append(blk.List[:i:i], blk.List[i+1:]...)
+				}
+				found = true
+			}
+			count++
+			if found {
+				return false
+			}
+		}
+		return true
+	})
+	if !found {
+		t.Fatalf("%s: %s statement #%d not found", name, method, idx)
+	}
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, f); err != nil {
+		t.Fatalf("print %s: %v", name, err)
+	}
+	return buf.Bytes()
+}
+
+// TestPersistDeletionCaughtStatically is the acceptance proof: deleting any
+// single Persist call on a device write path in core or host leaves a
+// persistpair finding that names the unpaired WriteAt. The deletion keeps
+// the operands alive (`_, _, _ = off, n, at`) so the package still
+// compiles — exactly the refactoring slip the analyzer exists to catch.
+func TestPersistDeletionCaughtStatically(t *testing.T) {
+	pkgs := []struct{ rel, pkgPath string }{
+		{"internal/core", "aquila/internal/core"},
+		{"internal/host", "aquila/internal/host"},
+	}
+	for _, pc := range pkgs {
+		sites := listPersistSites(t, filepath.Join(repoRoot, pc.rel))
+		if len(sites) == 0 {
+			t.Fatalf("%s: no Persist sites found", pc.rel)
+		}
+		for _, site := range sites {
+			site := site
+			t.Run(fmt.Sprintf("%s/%s:%d", pc.rel, site.file, site.line), func(t *testing.T) {
+				pkg := loadRealPkg(t, pc.rel, pc.pkgPath, func(name string, src []byte) []byte {
+					if name != site.file {
+						return src
+					}
+					return dropStmt(t, name, src, site.idx, "Persist", true)
+				})
+				res := runOne(t, pkg, Persistpair)
+				if len(res.Findings) == 0 {
+					t.Fatalf("deleting Persist at %s:%d goes statically undetected",
+						site.file, site.line)
+				}
+				for _, f := range res.Findings {
+					if !strings.Contains(f.Message, "WriteAt") {
+						t.Errorf("finding does not name the unpaired WriteAt: %s", f)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestFrameLeaseDeletionCaught: deleting the busy-extent pushHuge abort in
+// hugeFault (the first pushHuge statement of huge.go) leaks the claimed
+// block on the abort path and framelease must say so.
+func TestFrameLeaseDeletionCaught(t *testing.T) {
+	pkg := loadRealPkg(t, "internal/core", "aquila/internal/core", func(name string, src []byte) []byte {
+		if name != "huge.go" {
+			return src
+		}
+		return dropStmt(t, name, src, 0, "pushHuge", false)
+	})
+	res := runOne(t, pkg, Framelease)
+	if len(res.Findings) == 0 {
+		t.Fatal("deleting the busy-abort pushHuge goes statically undetected")
+	}
+	for _, f := range res.Findings {
+		if !strings.Contains(f.Message, "popHuge") {
+			t.Errorf("finding does not name the leaking claim: %s", f)
+		}
+	}
+}
+
+// TestGraphDeferRegression re-introduces the bug this PR fixed — a deferred
+// waitgroup release on a simulated worker — and asserts crashclean reports
+// it. Together with TestRealTreeClean this pins the fix in both directions.
+func TestGraphDeferRegression(t *testing.T) {
+	pkg := loadRealPkg(t, "internal/graph", "aquila/internal/graph", func(name string, src []byte) []byte {
+		if name != "algorithms.go" {
+			return src
+		}
+		out := bytes.Replace(src,
+			[]byte("fn(wp, lo, hi)\n"),
+			[]byte("defer wg.Done(wp)\nfn(wp, lo, hi)\n"), 1)
+		if bytes.Equal(out, src) {
+			t.Fatal("could not re-introduce the deferred Done")
+		}
+		return out
+	})
+	res := runOne(t, pkg, Crashclean)
+	found := false
+	for _, f := range res.Findings {
+		if strings.Contains(f.Message, "deferred Done()") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("re-introduced deferred Done not reported; findings: %v", res.Findings)
+	}
+}
+
+// TestRunOrderDeterminism shuffles the package input order and asserts the
+// findings come back identical: Run's cross-package sort (package path,
+// file, offset, analyzer) must make output independent of load order.
+func TestRunOrderDeterminism(t *testing.T) {
+	load := func(dir, pkgPath string) *Package {
+		pkg, err := LoadDir(".", filepath.Join("testdata", dir), pkgPath)
+		if err != nil {
+			t.Fatalf("load %s: %v", dir, err)
+		}
+		return pkg
+	}
+	pkgs := []*Package{
+		load("detrand", "aquila/internal/sim/clockuser"),
+		load("maporder", "aquila/internal/core/maps"),
+		load("persistpair", "aquila/internal/core/persist"),
+		load("crashclean", "aquila/internal/sim/world"),
+		load("framelease", "aquila/internal/core/promote"),
+	}
+	base, err := Run(pkgs, All())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(base.Findings) == 0 {
+		t.Fatal("expected findings from the golden packages")
+	}
+	perms := [][]int{
+		{4, 3, 2, 1, 0},
+		{2, 0, 4, 1, 3},
+		{1, 4, 0, 3, 2},
+	}
+	for _, perm := range perms {
+		shuffled := make([]*Package, len(pkgs))
+		for i, j := range perm {
+			shuffled[i] = pkgs[j]
+		}
+		res, err := Run(shuffled, All())
+		if err != nil {
+			t.Fatalf("run perm %v: %v", perm, err)
+		}
+		if !reflect.DeepEqual(res.Findings, base.Findings) {
+			t.Errorf("perm %v changed the output:\nbase: %v\ngot:  %v",
+				perm, base.Findings, res.Findings)
+		}
+		if res.Suppressed != base.Suppressed {
+			t.Errorf("perm %v changed suppressed: %d != %d", perm, res.Suppressed, base.Suppressed)
+		}
+	}
+}

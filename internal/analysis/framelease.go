@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Framelease guards the 2 MB promotion protocol (DESIGN.md §7): hugeFault
+// claims a buddy block with freelist.popHuge and must, on every path out of
+// the claim window, either abort with pushHuge or hand the block to the
+// published unit page. A path that returns while the claim is still loose
+// leaks 512 frames from the buddy allocator — invisible until memory
+// pressure makes promotions fail permanently.
+//
+// The check runs the must-pair solver per function unit:
+//
+//   - gen: a popHuge call on the freelist type. If the result is bound to a
+//     variable the fact tracks it; a discarded result is an unconditional
+//     leak (nothing can release it).
+//   - kill: any use of the claimed variable outside a nil-comparison — a
+//     pushHuge return, handing the block to a composite literal, indexing a
+//     frame out of it — transfers ownership out of the loose window.
+//     Nil-comparison edges (`if block == nil { return }`) discharge the
+//     fact on the failed-claim path.
+//
+// Scope: core (FrameLeasePkg), where the promotion protocol lives.
+var Framelease = &Analyzer{
+	Name: "framelease",
+	Doc: "a 2 MB buddy block claimed with popHuge must be released with " +
+		"pushHuge or handed to the published unit on every path to a return",
+	Run: runFramelease,
+}
+
+func runFramelease(pass *Pass) error {
+	if !FrameLeasePkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		funcUnits(f, func(body *ast.BlockStmt) {
+			checkFrameLeaseUnit(pass, body)
+		})
+	}
+	return nil
+}
+
+func checkFrameLeaseUnit(pass *Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	cfg := BuildCFG(body, info)
+	facts := solvePairs(pairProblem{
+		cfg: cfg,
+		gen: func(atom ast.Node) []pairFact {
+			call := popHugeCall(info, atom)
+			if call == nil {
+				return nil
+			}
+			f := pairFact{Pos: call.Pos(), Gen: atom, Guards: cfg.Guards(atom)}
+			if as, ok := atom.(*ast.AssignStmt); ok && len(as.Lhs) == 1 && len(as.Rhs) == 1 {
+				f.Var = lhsObject(info, as.Lhs[0])
+			}
+			return []pairFact{f}
+		},
+		kill: func(atom ast.Node, f pairFact) bool {
+			return f.Var != nil && usesVar(info, atom, f.Var)
+		},
+	})
+	for _, f := range facts {
+		if f.Var == nil {
+			pass.Reportf(f.Pos,
+				"popHuge result discarded: the claimed 2 MB buddy block can never be released")
+			continue
+		}
+		pass.Reportf(f.Pos,
+			"2 MB buddy block claimed by popHuge may leak on a path to return: "+
+				"release it with pushHuge or hand it to the published unit first")
+	}
+}
+
+// popHugeCall returns the popHuge freelist-method call inside the atom, if
+// any.
+func popHugeCall(info *types.Info, atom ast.Node) *ast.CallExpr {
+	var found *ast.CallExpr
+	walkSameFunc(atom, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return found == nil
+		}
+		fn := calleeFunc(info, call)
+		if fn != nil && fn.Name() == "popHuge" {
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil &&
+				recvTypeName(sig.Recv().Type()) == "freelist" {
+				found = call
+			}
+		}
+		return found == nil
+	})
+	return found
+}

@@ -26,6 +26,9 @@ func TestAnalyzerGoldens(t *testing.T) {
 		{Cyclecost, "cyclecost", "aquila/internal/core/cycles", 0},
 		{Spanpair, "spanpair", "aquila/internal/core/spans", 1},
 		{Errdrop, "errdrop", "aquila/internal/core/eio", 1},
+		{Persistpair, "persistpair", "aquila/internal/core/persist", 1},
+		{Crashclean, "crashclean", "aquila/internal/sim/world", 1},
+		{Framelease, "framelease", "aquila/internal/core/promote", 1},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {
@@ -54,6 +57,11 @@ func TestScopeGating(t *testing.T) {
 		{Cyclecost, "cyclecost", "aquila/internal/sim/engine/cycles", 0},
 		{Spanpair, "spanpair", "aquila/cmd/spans", 0},
 		{Errdrop, "errdrop", "aquila/internal/kvs/eio", 0},
+		// The device package implements Store but does not own handshakes.
+		{Persistpair, "persistpair", "aquila/internal/sim/device/persist", 0},
+		// The engine owns the sentinel and the one sanctioned recover.
+		{Crashclean, "crashclean", "aquila/internal/sim/engine/unwind", 0},
+		{Framelease, "framelease", "aquila/internal/host/promote", 0},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {

@@ -36,23 +36,27 @@ func Run(pkgs []*Package, analyzers []*Analyzer) (*RunResult, error) {
 					continue
 				}
 				res.Findings = append(res.Findings, Finding{
-					Analyzer: a.Name, Pos: pos, Message: d.Message,
+					Analyzer: a.Name, Pkg: pkg.PkgPath, Pos: pos,
+					Message: d.Message,
 				})
 			}
 		}
 	}
+	// Fully deterministic cross-package order: package path, then file, then
+	// byte offset (finer than line/column and immune to formatting), then
+	// analyzer name. Independent of the order packages were passed in.
 	sort.Slice(res.Findings, func(i, j int) bool {
-		a, b := res.Findings[i].Pos, res.Findings[j].Pos
-		if a.Filename != b.Filename {
-			return a.Filename < b.Filename
+		fi, fj := res.Findings[i], res.Findings[j]
+		if fi.Pkg != fj.Pkg {
+			return fi.Pkg < fj.Pkg
 		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
+		if fi.Pos.Filename != fj.Pos.Filename {
+			return fi.Pos.Filename < fj.Pos.Filename
 		}
-		if a.Column != b.Column {
-			return a.Column < b.Column
+		if fi.Pos.Offset != fj.Pos.Offset {
+			return fi.Pos.Offset < fj.Pos.Offset
 		}
-		return res.Findings[i].Analyzer < res.Findings[j].Analyzer
+		return fi.Analyzer < fj.Analyzer
 	})
 	return res, nil
 }

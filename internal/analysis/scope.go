@@ -70,3 +70,59 @@ func SpanInstrumentedPkg(path string) bool {
 	}
 	return false
 }
+
+// persistPairPrefixes are the packages that stage device writes and own the
+// matching Persist durability handshakes: the I/O engines, the host OS
+// layers (page cache, block layer, io_uring), and the SPDK driver.
+var persistPairPrefixes = []string{
+	"aquila/internal/core",
+	"aquila/internal/host",
+	"aquila/internal/spdk",
+}
+
+// PersistPairPkg reports whether the import path is part of the
+// durability-handshake surface and therefore held to the persistpair
+// discipline (every Store.WriteAt paired with a Persist on all paths).
+func PersistPairPkg(path string) bool {
+	for _, p := range persistPairPrefixes {
+		if hasPkgPrefix(path, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// crashUnwindPrefixes are the packages whose code runs on simulated Procs
+// and therefore unwinds through the crash panic-sentinel: the runtime
+// layers, the stores and workloads above them, and the simulated host —
+// everything except the engine itself, which owns the sentinel and performs
+// the one sanctioned recover.
+var crashUnwindPrefixes = []string{
+	"aquila/internal/sim",
+	"aquila/internal/core",
+	"aquila/internal/host",
+	"aquila/internal/kvs",
+	"aquila/internal/graph",
+	"aquila/internal/spdk",
+}
+
+// CrashUnwindPkg reports whether the import path runs on simulated threads
+// and is held to the crashclean discipline (no recover that could absorb
+// the crash sentinel, no deferred user-space cleanup).
+func CrashUnwindPkg(path string) bool {
+	if hasPkgPrefix(path, "aquila/internal/sim/engine") {
+		return false
+	}
+	for _, p := range crashUnwindPrefixes {
+		if hasPkgPrefix(path, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// FrameLeasePkg reports whether the import path contains the 2 MB buddy
+// promotion protocol and is held to the framelease discipline.
+func FrameLeasePkg(path string) bool {
+	return hasPkgPrefix(path, "aquila/internal/core")
+}

@@ -13,10 +13,16 @@ import (
 // track nests under the leaked frame and the Chrome trace stops matching the
 // golden.
 //
-// The check is lexical, per function body (function literals are independent
-// units): at each return, the number of BeginSpan calls seen so far on a
-// receiver must not exceed the EndSpan calls seen plus the deferred EndSpans
-// registered. Spans intentionally handed across function boundaries need an
+// Since aqlint v2 the check is flow-aware: per function body (function
+// literals are independent units), the dataflow solver tracks a net
+// open-span counter per receiver expression along the CFG. BeginSpan
+// increments, EndSpan decrements, and a `defer recv.EndSpan()` decrements at
+// registration (defers run on every subsequent exit). At a function exit —
+// returns, falling off the end, and panic exits alike, since unwinding
+// through an open span corrupts the stack just the same — a receiver whose
+// counter is positive on any incoming path leaks. Joins take the worst
+// (largest) counter, so a leak on one branch is not masked by balance on
+// another. Spans intentionally handed across function boundaries need an
 // //aqlint:ignore spanpair annotation.
 //
 // Scope: the span-instrumented tree (SpanInstrumentedPkg) — the runtime
@@ -40,85 +46,144 @@ func runSpanpair(pass *Pass) error {
 	return nil
 }
 
-// spanCount tracks begin/end/defer totals for one receiver expression.
-type spanCount struct {
-	begins, ends, defers int
-	lastBegin            token.Pos
+// spanNet is the per-receiver dataflow value: the net number of spans still
+// open (begins − ends − registered defers) and the position of the last
+// BeginSpan, which anchors the finding (that is the line to fix, and the
+// line an //aqlint:ignore rides on).
+type spanNet struct {
+	net       int
+	lastBegin token.Pos
+}
+
+// spanNetClamp bounds the counter so unbalanced loops (begin without end in
+// a loop body) reach a fixpoint instead of counting up forever.
+const spanNetClamp = 32
+
+// spanState maps receiver expression to its counter. nil = unreachable.
+type spanState map[string]spanNet
+
+// spanCall decodes a call into (receiver, method) if it is a
+// BeginSpan/EndSpan method call.
+func spanCall(call *ast.CallExpr) (string, string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	name := sel.Sel.Name
+	if name != "BeginSpan" && name != "EndSpan" {
+		return "", "", false
+	}
+	return recvString(sel.X), name, true
 }
 
 func checkSpanUnit(pass *Pass, body *ast.BlockStmt) {
-	counts := map[string]*spanCount{}
-	get := func(recv string) *spanCount {
-		c := counts[recv]
-		if c == nil {
-			c = &spanCount{}
-			counts[recv] = c
+	cfg := BuildCFG(body, pass.TypesInfo)
+
+	clamp := func(n int) int {
+		if n > spanNetClamp {
+			return spanNetClamp
 		}
-		return c
+		if n < -spanNetClamp {
+			return -spanNetClamp
+		}
+		return n
 	}
-	// spanCall decodes a (possibly deferred) call into (receiver, method) if
-	// it is a BeginSpan/EndSpan method call.
-	spanCall := func(call *ast.CallExpr) (string, string, bool) {
-		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-		if !ok {
-			return "", "", false
+	bump := func(s spanState, recv string, delta int, begin token.Pos) spanState {
+		n := make(spanState, len(s)+1)
+		for k, v := range s {
+			n[k] = v
 		}
-		name := sel.Sel.Name
-		if name != "BeginSpan" && name != "EndSpan" {
-			return "", "", false
+		c := n[recv]
+		c.net = clamp(c.net + delta)
+		if begin != token.NoPos {
+			c.lastBegin = begin
 		}
-		return recvString(sel.X), name, true
+		n[recv] = c
+		return n
 	}
-	reported := false
-	report := func(pos token.Pos, recv string) {
-		if reported {
-			return // one finding per unit keeps the noise down
+	transfer := func(s spanState, atom ast.Node) spanState {
+		if ds, ok := atom.(*ast.DeferStmt); ok {
+			// The deferred call runs at exit, not here; registering it
+			// guarantees one end on every later path.
+			if recv, name, ok := spanCall(ds.Call); ok && name == "EndSpan" {
+				s = bump(s, recv, -1, token.NoPos)
+			}
+			return s
 		}
-		reported = true
+		walkSameFunc(atom, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if recv, name, ok := spanCall(call); ok {
+				if name == "BeginSpan" {
+					s = bump(s, recv, 1, call.Pos())
+				} else {
+					s = bump(s, recv, -1, token.NoPos)
+				}
+			}
+			return true
+		})
+		return s
+	}
+	edge := func(s spanState, _ *Cond) spanState { return s }
+	join := func(dst, src spanState) (spanState, bool) {
+		if src == nil {
+			return dst, false
+		}
+		if dst == nil {
+			n := make(spanState, len(src))
+			for k, v := range src {
+				n[k] = v
+			}
+			return n, true
+		}
+		changed := false
+		for k, sv := range src {
+			dv, ok := dst[k]
+			mv := dv
+			// Worst path wins: the larger open count; on ties, the later
+			// begin (closest to the leaking exit).
+			if sv.net > mv.net || (sv.net == mv.net && sv.lastBegin > mv.lastBegin) {
+				mv = sv
+			}
+			if !ok || mv != dv {
+				if !changed {
+					c := make(spanState, len(dst)+1)
+					for k2, v2 := range dst {
+						c[k2] = v2
+					}
+					dst = c
+					changed = true
+				}
+				dst[k] = mv
+			}
+		}
+		return dst, changed
+	}
+
+	in := solveForward(cfg, spanState{}, transfer, edge, join)
+	merged, _ := join(nil, in[cfg.Exit.Index])
+	merged, _ = join(merged, in[cfg.PanicExit.Index])
+
+	recvs := make([]string, 0, len(merged))
+	for recv := range merged {
+		recvs = append(recvs, recv)
+	}
+	sort.Strings(recvs)
+	for _, recv := range recvs {
+		c := merged[recv]
+		if c.net <= 0 {
+			continue
+		}
 		r := recv
 		if r == "" {
 			r = "recv"
 		}
-		pass.Reportf(pos,
+		// One finding per unit keeps the noise down.
+		pass.Reportf(c.lastBegin,
 			"span begun with %s.BeginSpan may stay open on a return path; close it with defer %s.EndSpan()",
 			r, r)
+		break
 	}
-	checkExit := func() {
-		recvs := make([]string, 0, len(counts))
-		for recv := range counts {
-			recvs = append(recvs, recv)
-		}
-		sort.Strings(recvs)
-		for _, recv := range recvs {
-			// Anchor the finding at the begin that leaks: that is the line
-			// to fix (and the line an //aqlint:ignore rides on).
-			if c := counts[recv]; c.begins-c.ends > c.defers {
-				report(c.lastBegin, recv)
-			}
-		}
-	}
-	walkSameFunc(body, func(n ast.Node) bool {
-		switch st := n.(type) {
-		case *ast.DeferStmt:
-			if recv, name, ok := spanCall(st.Call); ok && name == "EndSpan" {
-				get(recv).defers++
-			}
-			return false // the deferred call is not an inline end
-		case *ast.CallExpr:
-			if recv, name, ok := spanCall(st); ok {
-				c := get(recv)
-				if name == "BeginSpan" {
-					c.begins++
-					c.lastBegin = st.Pos()
-				} else {
-					c.ends++
-				}
-			}
-		case *ast.ReturnStmt:
-			checkExit()
-		}
-		return true
-	})
-	// Falling off the end of the body is the implicit final return.
-	checkExit()
 }

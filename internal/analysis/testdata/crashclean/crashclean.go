@@ -1,0 +1,137 @@
+// Package world is the crashclean golden: code on simulated threads must
+// not absorb the crash panic-sentinel with recover, and must not register
+// deferred user-space cleanup — defers run during crash unwinding, and a
+// simulated power cut must leave locks, waitgroups and handles exactly as
+// they were.
+package world
+
+// Proc, Mutex and WaitGroup mirror the engine's simulated primitives.
+type Proc struct{}
+
+func (p *Proc) EndSpan() {}
+
+type Mutex struct{}
+
+func (m *Mutex) Lock(p *Proc)   {}
+func (m *Mutex) Unlock(p *Proc) {}
+
+type WaitGroup struct{}
+
+func (w *WaitGroup) Done(p *Proc) {}
+
+// SigBus is a concrete locally-owned panic value: asserting to it cannot
+// absorb the engine-private crash sentinel.
+type SigBus struct{ VA uint64 }
+
+func deferredUnlock(p *Proc, mu *Mutex) {
+	mu.Lock(p)
+	defer mu.Unlock(p) // want "deferred Unlock"
+	step()
+}
+
+func deferredDone(p *Proc, wg *WaitGroup) {
+	defer wg.Done(p) // want "deferred Done"
+	step()
+}
+
+func inlineCleanupOK(p *Proc, mu *Mutex) {
+	mu.Lock(p)
+	step()
+	mu.Unlock(p)
+}
+
+// deferredSpanOK: the span stack is engine-owned and crash-tolerant.
+func deferredSpanOK(p *Proc) {
+	defer p.EndSpan()
+	step()
+}
+
+func deferredLitCleanup(p *Proc, wg *WaitGroup) {
+	defer func() { // want "Done.. inside a deferred func"
+		wg.Done(p)
+	}()
+	step()
+}
+
+// deferredLitBookkeepingOK: a deferred literal that only mutates fields is
+// crash-indifferent bookkeeping.
+func deferredLitBookkeepingOK() {
+	n := 0
+	defer func() { n-- }()
+	_ = n
+}
+
+func recoverSwallows() {
+	defer func() {
+		if r := recover(); r != nil { // want "absorb the crash panic-sentinel"
+			step()
+		}
+	}()
+	step()
+}
+
+// recoverRepanicsOK is the sanctioned pattern: nil and the concrete local
+// type are handled, everything else — including the sentinel — re-panics.
+func recoverRepanicsOK() {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		sb, ok := r.(*SigBus)
+		if !ok {
+			panic(r)
+		}
+		handle(sb)
+	}()
+	step()
+}
+
+// recoverAssertOK: a panicking assertion either proves the local type or
+// re-raises the recovered value itself.
+func recoverAssertOK() {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		handle(r.(*SigBus))
+	}()
+	step()
+}
+
+// recoverTypeSwitchOK: concrete cases and the nil case discharge; default
+// re-panics.
+func recoverTypeSwitchOK() {
+	defer func() {
+		r := recover()
+		switch r.(type) {
+		case nil:
+		case *SigBus:
+			step()
+		default:
+			panic(r)
+		}
+	}()
+	step()
+}
+
+func recoverDiscarded() {
+	defer func() {
+		recover() // want "absorb the crash panic-sentinel"
+	}()
+	step()
+}
+
+func recoverSanctioned() {
+	defer func() {
+		//aqlint:ignore crashclean -- harness boundary: converts the sentinel for the test driver
+		if r := recover(); r != nil {
+			step()
+		}
+	}()
+	step()
+}
+
+func step()          {}
+func handle(*SigBus) {}

@@ -1,0 +1,69 @@
+// Package promote is the framelease golden: a 2 MB buddy block claimed with
+// freelist.popHuge must, on every path to a return, either be released with
+// pushHuge or handed to the published unit page. Findings anchor at the
+// popHuge claim.
+package promote
+
+type Frame struct{}
+
+type Proc struct{}
+
+type freelist struct{}
+
+func (fl *freelist) popHuge(p *Proc) []*Frame     { return nil }
+func (fl *freelist) pushHuge(p *Proc, b []*Frame) {}
+
+type Page struct {
+	frames []*Frame
+	frame  *Frame
+}
+
+// pairedAbort is the promotion-protocol shape: failed claim returns nil,
+// busy extents push the block back, success hands it to the unit page.
+func pairedAbort(p *Proc, fl *freelist) *Page {
+	block := fl.popHuge(p)
+	if block == nil {
+		return nil
+	}
+	if busy() {
+		fl.pushHuge(p, block)
+		return nil
+	}
+	return &Page{frames: block, frame: block[0]}
+}
+
+func leakOnAbort(p *Proc, fl *freelist) *Page {
+	block := fl.popHuge(p) // want "may leak on a path to return"
+	if block == nil {
+		return nil
+	}
+	if busy() {
+		return nil
+	}
+	return &Page{frames: block}
+}
+
+func discarded(p *Proc, fl *freelist) {
+	fl.popHuge(p) // want "popHuge result discarded"
+}
+
+// retryLoop: the nil-claim edge discharges on continue; success consumes.
+func retryLoop(p *Proc, fl *freelist) *Page {
+	for i := 0; i < 3; i++ {
+		block := fl.popHuge(p)
+		if block == nil {
+			continue
+		}
+		return &Page{frames: block}
+	}
+	return nil
+}
+
+var stash []*Frame
+
+func stashClaim(p *Proc, fl *freelist) {
+	//aqlint:ignore framelease -- claim escapes via the stash; the reclaimer releases it
+	stash = fl.popHuge(p)
+}
+
+func busy() bool { return false }

@@ -39,8 +39,10 @@ func parallelFor(e *engine.Engine, p *engine.Proc, name string, n uint32, thread
 			hi = n
 		}
 		e.SpawnAt(workerCPU(t), name, p.Now(), func(wp *engine.Proc) {
-			defer wg.Done(wp)
 			fn(wp, lo, hi)
+			// Not deferred: a crash must unwind this worker without
+			// releasing the round's waitgroup (crashclean).
+			wg.Done(wp)
 		})
 	}
 	wg.Wait(p)

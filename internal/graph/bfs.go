@@ -97,7 +97,6 @@ func RunBFS(e *engine.Engine, g *Graph, src uint32, threads int) BFSResult {
 						hi = n
 					}
 					w := e.SpawnAt(workerCPU(t), "bfs-w", p.Now(), func(wp *engine.Proc) {
-						defer wg.Done(wp)
 						var scratch []uint32
 						for v := lo; v < hi; v++ {
 							wp.AdvanceUser(8)
@@ -117,6 +116,9 @@ func RunBFS(e *engine.Engine, g *Graph, src uint32, threads int) BFSResult {
 								}
 							}
 						}
+						// Not deferred: a crash must unwind this worker without
+						// releasing the round's waitgroup (crashclean).
+						wg.Done(wp)
 					})
 					workers = append(workers, w)
 				}
@@ -134,7 +136,6 @@ func RunBFS(e *engine.Engine, g *Graph, src uint32, threads int) BFSResult {
 						hi = len(sparse)
 					}
 					w := e.SpawnAt(workerCPU(t), "bfs-w", p.Now(), func(wp *engine.Proc) {
-						defer wg.Done(wp)
 						var scratch []uint32
 						for _, u := range sparse[lo:hi] {
 							nbrs := g.Neighbors(wp, u, scratch)
@@ -147,6 +148,9 @@ func RunBFS(e *engine.Engine, g *Graph, src uint32, threads int) BFSResult {
 								}
 							}
 						}
+						// Not deferred: a crash must unwind this worker without
+						// releasing the round's waitgroup (crashclean).
+						wg.Done(wp)
 					})
 					workers = append(workers, w)
 				}
