@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fmt lint lint-report faults crash perfgate ci bench-reports bench-async
+.PHONY: all build vet test race fmt lint lint-report faults crash torture fuzz-smoke cover perfgate ci bench-reports bench-async
 
 all: ci
 
@@ -11,8 +11,12 @@ build:
 vet:
 	$(GO) vet ./...
 
+# -shuffle=on randomizes test (and subtest) execution order per run so
+# hidden order dependencies surface in CI instead of on a contributor's
+# machine; every test builds its own engine/world, so none may rely on
+# state a sibling left behind.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 # The observability layer (tracer, registry, profiler, perf gate) shares
 # data across goroutines, and the background evictor daemons run as extra
@@ -63,6 +67,27 @@ crash:
 		. ./internal/sim/device/ ./internal/sim/engine/ ./internal/core/ \
 		./internal/host/ ./internal/kvs/kreon/
 
+# Torture harness (DESIGN.md §10): the fixed 64-seed bank across all
+# world × device × fault × crash × schedule combinations, each seed run
+# twice (-dup) to prove fingerprint determinism, failures auto-shrunk to
+# repros under internal/torture/testdata/repros/. -prove-unsafe first: the
+# planted UnsafeMsyncAtSubmit bug must be caught, or the battery is vacuous.
+torture:
+	$(GO) run ./cmd/aqtort -prove-unsafe -bank 64 -dup -shrink
+
+# Short native-fuzz smoke: a few seconds of FuzzKreonRecover per CI run.
+# The corpus (internal/kvs/testdata + the cached interesting inputs) still
+# replays in plain `make test`; this target actually mutates.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzKreonRecover -fuzztime 10s ./internal/kvs/kreon/
+
+# Per-function coverage report for the mmio core (scratch output, not a
+# golden): `make cover` prints the table and leaves core-cover.out for
+# `go tool cover -html`.
+cover:
+	$(GO) test -coverprofile=core-cover.out ./internal/core/
+	$(GO) tool cover -func=core-cover.out
+
 # Performance-regression gate: re-run the report-backed experiments into a
 # scratch directory and diff every BENCH_*.json against the checked-in
 # goldens, exactly to the cycle. Fails on any drift; regenerate the goldens
@@ -73,7 +98,7 @@ perfgate:
 	$(GO) run ./cmd/aquila-bench -exp fig8a,fig7,fig5b,fig10a,ablate-hugepages,ablate-crash -report-dir .perfgate > /dev/null
 	$(GO) run ./cmd/aqperf -goldens . -dir .perfgate -history BENCH_history.jsonl -label local
 
-ci: build vet fmt lint test race faults crash perfgate
+ci: build vet fmt lint test race faults crash fuzz-smoke torture perfgate
 
 # Regenerate the checked-in machine-readable experiment reports.
 bench-reports:

@@ -179,6 +179,12 @@ type Options struct {
 	// TraceLabel prefixes this System's tracks and labels its metrics.
 	// Empty derives a label from Mode ("aquila", "linux", ...).
 	TraceLabel string
+	// SchedPerturb perturbs the simulator's tie-breaking among processes
+	// runnable at the same cycle (see engine.Config.SchedPerturb): every
+	// value is a fully deterministic, replayable schedule; 0 is the
+	// canonical spawn-order schedule, bit-identical to previous releases.
+	// The torture harness (cmd/aqtort) sweeps this to explore interleavings.
+	SchedPerturb uint64
 
 	// Recovery state, set only by Recover (see crash.go): the durable media
 	// image the device adopts at boot and the errseq state to replay.
@@ -236,7 +242,7 @@ func New(opts Options) *System {
 	s.Sim = simengine.New(simengine.Config{
 		NumCPUs: opts.CPUs, NumNUMANodes: opts.NUMANodes, Seed: opts.Seed,
 		Trace: opts.Trace, Spans: opts.Tracer, Profile: opts.Profiler,
-		TraceLabel: label,
+		TraceLabel: label, SchedPerturb: opts.SchedPerturb,
 	})
 	var disk *host.Disk
 	var devName string

@@ -1,0 +1,149 @@
+// Command aqtort is the torture-harness driver: it generates seeded random
+// workloads over every world/device combination (internal/torture), runs the
+// oracle battery after each, double-runs plans to prove determinism, and
+// delta-debugs any failure down to a minimal JSON repro.
+//
+// Typical uses:
+//
+//	aqtort -bank 64 -dup -shrink        # CI: fixed seed bank, shrink failures
+//	aqtort -seed 7 -v                   # one seed, verbose
+//	aqtort -sched 12345 -bank 16        # force a perturbed schedule
+//	aqtort -repro testdata/repros/x.json  # replay a shrunk repro
+//	aqtort -prove-unsafe                # oracle soundness: planted bug must be caught
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"aquila/internal/torture"
+)
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", -1, "run the plan generated from this single seed")
+		bank     = flag.Int("bank", 0, "run the fixed seed bank 0..N-1")
+		ops      = flag.Int("ops", 80, "ops per generated plan")
+		dup      = flag.Bool("dup", false, "run each plan twice and require identical fingerprints")
+		shrink   = flag.Bool("shrink", false, "auto-shrink failures and write repros")
+		budget   = flag.Int("shrink-budget", 800, "max Execute calls per shrink")
+		repro    = flag.String("repro", "", "replay a repro plan from this JSON file")
+		reproDir = flag.String("repro-dir", filepath.Join("internal", "torture", "testdata", "repros"),
+			"directory shrunk repros are written to")
+		sched   = flag.Uint64("sched", 0, "override SchedPerturb on generated plans (0: keep the plan's own)")
+		prove   = flag.Bool("prove-unsafe", false, "run the UnsafeMsyncAtSubmit proof plan; the oracle MUST catch it")
+		verbose = flag.Bool("v", false, "verbose per-run output")
+	)
+	flag.Parse()
+
+	failed := false
+
+	if *repro != "" {
+		pl, err := torture.Load(*repro)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aqtort: %v\n", err)
+			os.Exit(2)
+		}
+		o := torture.Execute(pl)
+		report(fmt.Sprintf("repro %s", *repro), pl, o, true)
+		if o.Failed() {
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *prove {
+		pl := torture.ProofPlan()
+		o := torture.Execute(pl)
+		if !o.Failed() {
+			fmt.Fprintln(os.Stderr, "aqtort: PROOF FAILURE: the oracle battery did NOT catch "+
+				"UnsafeMsyncAtSubmit — the torture harness is vacuous")
+			os.Exit(1)
+		}
+		res := torture.Shrink(pl, *budget)
+		path := filepath.Join(*reproDir, "unsafe_msync.json")
+		if err := res.Plan.Save(path); err != nil {
+			fmt.Fprintf(os.Stderr, "aqtort: writing proof repro: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("proof: unsafe msync caught (%d failure(s)); shrunk %d -> %d ops in %d runs; repro: %s\n",
+			len(o.Failures), res.FromOps, res.ToOps, res.Runs, path)
+		if *verbose {
+			report("proof", res.Plan, res.Outcome, true)
+		}
+	}
+
+	runOne := func(s int64) {
+		pl := torture.Generate(s, *ops)
+		if *sched != 0 {
+			pl.SchedPerturb = *sched
+		}
+		o := torture.Execute(pl)
+		if *dup && !o.Failed() {
+			o2 := torture.Execute(pl)
+			if o2.Fingerprint != o.Fingerprint {
+				o.Failures = append(o.Failures, fmt.Sprintf(
+					"non-deterministic: fingerprint %016x then %016x", o.Fingerprint, o2.Fingerprint))
+			}
+		}
+		report(fmt.Sprintf("seed %d", s), pl, o, *verbose || o.Failed())
+		if !o.Failed() {
+			return
+		}
+		failed = true
+		if !*shrink {
+			return
+		}
+		res := torture.Shrink(pl, *budget)
+		path := filepath.Join(*reproDir, fmt.Sprintf("seed_%d.json", s))
+		if err := res.Plan.Save(path); err != nil {
+			fmt.Fprintf(os.Stderr, "aqtort: writing repro: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("  shrunk %d -> %d ops (%d runs); repro: %s\n",
+			res.FromOps, res.ToOps, res.Runs, path)
+	}
+
+	switch {
+	case *seed >= 0:
+		runOne(*seed)
+	case *bank > 0:
+		for s := 0; s < *bank; s++ {
+			runOne(int64(s))
+		}
+		if !failed {
+			fmt.Printf("bank: %d/%d seeds ok\n", *bank, *bank)
+		}
+	case !*prove:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func report(tag string, pl *torture.Plan, o *torture.Outcome, show bool) {
+	if !show {
+		return
+	}
+	status := "ok"
+	if o.Failed() {
+		status = fmt.Sprintf("FAIL (%d)", len(o.Failures))
+	}
+	crash := ""
+	if o.Crashed {
+		crash = fmt.Sprintf(" crash@%d", o.CrashCycle)
+	}
+	fmt.Printf("%s: %s %s/%s threads=%d perturb=%d ops=%d acked=%d%s cycles=%d fp=%016x\n",
+		tag, status, pl.World, pl.Device, pl.Threads, pl.SchedPerturb,
+		o.OpsRun, o.Acked, crash, o.Cycles, o.Fingerprint)
+	for _, f := range o.Failures {
+		fmt.Printf("  - %s\n", f)
+	}
+	if o.EventCount > 0 {
+		fmt.Printf("  (%d fault events)\n", o.EventCount)
+	}
+}

@@ -1368,23 +1368,47 @@ func (rt *Runtime) msyncFileRange(p *engine.Proc, f *fileState, off, length uint
 			}
 			return true
 		})
-		// Clear the flag with the tree entry, before the charge below can
-		// yield: a crash must never observe a dirty page missing from its
-		// tree (CheckCrashInvariants).
+		taken := 0
 		for _, pg := range pgs {
-			rt.dirty[core].Delete(dirtyKey(pg))
+			// A page claimed by a concurrent eviction (unfired io) is
+			// already on its way to the device: wait for that write-back
+			// instead of racing it — the evictor recycles the frame once
+			// its write completes, whether or not we still hold a
+			// reference. If the page was revived dirty (transient-failure
+			// requeue) fall through and take it ourselves.
+			for pg.io != nil && !pg.io.Fired() {
+				pg.io.Wait(p)
+			}
+			if !pg.dirty {
+				continue // the evictor's write-back already made it durable
+			}
+			// Clear the flag with the tree entry, before any later yield: a
+			// crash must never observe a dirty page missing from its tree
+			// (CheckCrashInvariants). Pin the page for the duration of the
+			// write-back — once off the dirty tree it reads as clean, and a
+			// newly started eviction would otherwise free its frame before
+			// the write reaches the device.
+			rt.dirty[pg.dirtyCore].Delete(dirtyKey(pg))
 			pg.dirty = false
+			pg.pins++
+			dirtyPages = append(dirtyPages, pg)
+			taken++
 		}
-		dirtyPages = append(dirtyPages, pgs...)
-		if len(pgs) > 0 {
-			rt.charge(p, "dirty-track", rt.P.DirtyTreeOp*uint64(len(pgs)))
+		if taken > 0 {
+			rt.charge(p, "dirty-track", rt.P.DirtyTreeOp*uint64(taken))
 		}
 	}
 	if rt.P.UnsafeMsyncAtSubmit {
 		rt.writeSortedUnsafe(p, dirtyPages)
+		for _, pg := range dirtyPages {
+			pg.pins--
+		}
 		return
 	}
 	rt.writeSorted(p, dirtyPages, false)
+	for _, pg := range dirtyPages {
+		pg.pins--
+	}
 }
 
 // DirtyPages returns the number of dirty pages across all cores (tests).

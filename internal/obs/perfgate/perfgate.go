@@ -156,6 +156,7 @@ func ParseTolerances(s string) (Tolerances, error) {
 		if !ok {
 			return nil, fmt.Errorf("tolerance %q: want metric=fraction", part)
 		}
+		val = strings.TrimSpace(val)
 		f, err := strconv.ParseFloat(val, 64)
 		if err != nil || f < 0 {
 			return nil, fmt.Errorf("tolerance %q: bad fraction %q", part, val)

@@ -1,0 +1,134 @@
+package perfgate
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"aquila/internal/obs"
+)
+
+// ParseTolerances accepts the aqperf -tol flag grammar and nothing else.
+func TestParseTolerances(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    Tolerances
+		wantErr bool
+	}{
+		{in: "", want: Tolerances{}},
+		{in: "latency=0.02", want: Tolerances{"latency": 0.02}},
+		{in: "latency=0.02,breakdown.msync=0.05",
+			want: Tolerances{"latency": 0.02, "breakdown.msync": 0.05}},
+		{in: " latency = 0.02 , ,extra=0 ", // whitespace and empty parts tolerated
+			want: Tolerances{"latency": 0.02, "extra": 0}},
+		{in: "=0.5", want: Tolerances{"": 0.5}}, // explicit default entry
+		{in: "latency", wantErr: true},          // no '='
+		{in: "latency=two%", wantErr: true},     // not a float
+		{in: "latency=-0.1", wantErr: true},     // negative tolerance
+		{in: "latency=", wantErr: true},         // empty fraction
+	}
+	for _, c := range cases {
+		got, err := ParseTolerances(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParseTolerances(%q): no error, got %v", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseTolerances(%q): %v", c.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ParseTolerances(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// Lookup order: exact metric name, then the family prefix before the first
+// dot, then the "" default — and zero (exact comparison) when none match.
+func TestTolerancesFamilyFallback(t *testing.T) {
+	tol := Tolerances{"latency.p99": 0.10, "latency": 0.02, "": 0.01}
+	if got := tol.For("latency.p99"); got != 0.10 {
+		t.Errorf("exact name: got %v, want 0.10", got)
+	}
+	if got := tol.For("latency.p50"); got != 0.02 {
+		t.Errorf("family fallback: got %v, want 0.02", got)
+	}
+	if got := tol.For("breakdown.msync"); got != 0.01 {
+		t.Errorf("default fallback: got %v, want 0.01", got)
+	}
+	none := Tolerances{"latency": 0.02}
+	if got := none.For("breakdown.msync"); got != 0 {
+		t.Errorf("missing family must mean exact (0), got %v", got)
+	}
+}
+
+// Direction-aware verdicts at the tolerance edges: the same relative drift is
+// Regressed, Improved, or Changed purely by the metric's direction, drift
+// exactly at the tolerance is OK, and one unit past it is not.
+func TestClassifyDirectionEdges(t *testing.T) {
+	tol := Tolerances{"tight": 0.10}
+	rows := []struct {
+		name         string
+		metric       string
+		golden, cand float64
+		dir          Direction
+		want         Status
+	}{
+		{"equal_exact", "m", 100, 100, LowerBetter, OK},
+		{"one_cycle_up_lower_better", "m", 100, 101, LowerBetter, Regressed},
+		{"one_cycle_down_lower_better", "m", 100, 99, LowerBetter, Improved},
+		{"one_cycle_up_higher_better", "m", 100, 101, HigherBetter, Improved},
+		{"one_cycle_down_higher_better", "m", 100, 99, HigherBetter, Regressed},
+		{"neutral_any_drift", "m", 100, 101, Neutral, Changed},
+		{"at_tolerance_ok", "tight", 100, 110, LowerBetter, OK},
+		{"past_tolerance_regressed", "tight", 100, 111, LowerBetter, Regressed},
+		{"at_tolerance_down_ok", "tight", 100, 90, HigherBetter, OK},
+		{"past_tolerance_down_regressed", "tight", 100, 89, HigherBetter, Regressed},
+		{"from_zero_regressed", "m", 0, 5, LowerBetter, Regressed},
+		{"to_zero_improved", "m", 5, 0, LowerBetter, Improved},
+		{"both_zero_ok", "m", 0, 0, Neutral, OK},
+	}
+	for _, r := range rows {
+		d := classify(r.metric, r.golden, r.cand, r.dir, tol)
+		if d.Status != r.want {
+			t.Errorf("%s: classify(%v -> %v, dir %d) = %s, want %s",
+				r.name, r.golden, r.cand, r.dir, d.Status, r.want)
+		}
+	}
+}
+
+// Rel is the report line's headline number; pin the zero-golden conventions.
+func TestDeltaRel(t *testing.T) {
+	if got := (Delta{Golden: 100, Candidate: 110}).Rel(); math.Abs(got-0.10) > 1e-12 {
+		t.Errorf("Rel = %v, want 0.10", got)
+	}
+	if got := (Delta{Golden: 0, Candidate: 1}).Rel(); !math.IsInf(got, 1) {
+		t.Errorf("Rel from zero = %v, want +Inf", got)
+	}
+	if got := (Delta{Golden: 0, Candidate: -1}).Rel(); !math.IsInf(got, -1) {
+		t.Errorf("Rel from zero down = %v, want -Inf", got)
+	}
+	if got := (Delta{Golden: 0, Candidate: 0}).Rel(); got != 0 {
+		t.Errorf("Rel both zero = %v, want 0", got)
+	}
+}
+
+// The aqperf error paths around report loading: a missing file and malformed
+// JSON must both surface as errors, never as a zero report that would gate
+// clean.
+func TestReadReportFileErrors(t *testing.T) {
+	if _, err := obs.ReadReportFile(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("missing report file: no error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obs.ReadReportFile(bad); err == nil {
+		t.Error("malformed report JSON: no error")
+	}
+}

@@ -80,6 +80,13 @@ type Config struct {
 	// TraceLabel prefixes the engine's track-group names in a shared span
 	// tracer (e.g. "aquila", "linux"). Empty defaults to "sim".
 	TraceLabel string
+	// SchedPerturb perturbs the scheduler's tie-breaking among processes
+	// runnable at the same simulated cycle: each process gets a per-seed
+	// hashed schedule key instead of its spawn id. Every value yields a
+	// fully deterministic run; 0 (the default) is the canonical spawn-order
+	// tie-break, bit-identical to the engine before this knob existed. The
+	// torture harness sweeps this seed to explore interleavings.
+	SchedPerturb uint64
 }
 
 // CPU is the per-CPU simulated state tracked by the engine.
@@ -183,6 +190,26 @@ func New(cfg Config) *Engine {
 	return e
 }
 
+// schedKey derives a proc's schedule tie-break key. With SchedPerturb 0 the
+// key is the spawn id itself — the canonical order, bit-identical to the
+// engine before the knob existed. A non-zero seed mixes seed and id through
+// a splitmix64 finalizer, permuting the tie-break order among equal-cycle
+// procs deterministically per seed. Collisions fall back to id order in
+// schedBefore, so every seed still yields a total order.
+func (e *Engine) schedKey(id int) uint64 {
+	if e.cfg.SchedPerturb == 0 {
+		return uint64(id)
+	}
+	z := e.cfg.SchedPerturb + uint64(id)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// SchedPerturb returns the schedule-perturbation seed the engine runs under
+// (0 = canonical spawn-order tie-breaking).
+func (e *Engine) SchedPerturb() uint64 { return e.cfg.SchedPerturb }
+
 // NumCPUs returns the number of simulated CPUs.
 func (e *Engine) NumCPUs() int { return len(e.cpus) }
 
@@ -224,6 +251,7 @@ func (e *Engine) SpawnAt(cpu int, name string, start uint64, fn func(*Proc)) *Pr
 		fn:     fn,
 		resume: make(chan struct{}),
 	}
+	p.skey = e.schedKey(p.id)
 	e.procs = append(e.procs, p)
 	e.runq.Push(p)
 	if e.spans != nil {

@@ -1,20 +1,32 @@
 package engine
 
 // procHeap is a binary min-heap of runnable processes ordered by
-// (wake time, proc id). The id tie-break keeps the schedule deterministic
-// when several processes are runnable at the same simulated cycle.
+// (wake time, schedule key, proc id). The default schedule key is the proc
+// id itself, so ties among equal-cycle processes break in spawn order; a
+// non-zero Config.SchedPerturb replaces the key with a per-proc hash so the
+// torture harness can explore alternative — but still fully deterministic —
+// interleavings of the same workload (see schedBefore).
 type procHeap struct {
 	items []*Proc
 }
 
 func (h *procHeap) Len() int { return len(h.items) }
 
-func (h *procHeap) less(a, b *Proc) bool {
+// schedBefore is THE scheduling order of the engine: every place that
+// decides "who runs first among equal-cycle processes" (the run-queue heap
+// and Proc.Sync's causality check) must agree with it, or perturbed runs
+// would observe shared state in an order the run queue never produces.
+func schedBefore(a, b *Proc) bool {
 	if a.now != b.now {
 		return a.now < b.now
 	}
+	if a.skey != b.skey {
+		return a.skey < b.skey
+	}
 	return a.id < b.id
 }
+
+func (h *procHeap) less(a, b *Proc) bool { return schedBefore(a, b) }
 
 func (h *procHeap) Push(p *Proc) {
 	h.items = append(h.items, p)

@@ -12,6 +12,10 @@ type Proc struct {
 	name string
 	cpu  int
 	now  uint64
+	// skey is the schedule tie-break key among equal-cycle runnable procs:
+	// the spawn id by default, a per-seed hash under Config.SchedPerturb
+	// (see schedBefore in heap.go). Fixed at spawn time.
+	skey uint64
 
 	fn      func(*Proc)
 	resume  chan struct{}
@@ -129,11 +133,14 @@ func (p *Proc) Yield() {
 	p.checkCrash()
 }
 
-// Sync yields only if some other runnable process has an earlier clock.
+// Sync yields only if some other runnable process is scheduled before this
+// one (earlier clock, or an equal clock with a winning tie-break key).
 // Simulated code calls this before touching shared structures that are not
-// guarded by a simulated lock, to keep cross-process causality.
+// guarded by a simulated lock, to keep cross-process causality. The ordering
+// must be exactly the run queue's (schedBefore), or a perturbed schedule
+// would let a process observe state ahead of a proc the queue runs first.
 func (p *Proc) Sync() {
-	if head := p.e.runq.Peek(); head != nil && (head.now < p.now || (head.now == p.now && head.id < p.id)) {
+	if head := p.e.runq.Peek(); head != nil && schedBefore(head, p) {
 		p.Yield()
 	}
 }

@@ -1,0 +1,173 @@
+package pagetable
+
+import "testing"
+
+// Table-driven UnmapRange edges: zero-length ranges, both huge sizes
+// straddled at the front, the back, and in the middle, and mixed-size
+// neighborhoods. Each case declares the mappings to install, the range to
+// unmap, the expected removal count, and probe addresses that must (or must
+// not) still translate afterwards.
+func TestUnmapRangeEdges(t *testing.T) {
+	type mapping struct {
+		va, frame, size uint64
+	}
+	cases := []struct {
+		name        string
+		maps        []mapping
+		va, length  uint64
+		wantRemoved int
+		// stillMapped/gone are probe VAs checked against Lookup after the call.
+		stillMapped []uint64
+		gone        []uint64
+	}{
+		{
+			name:        "zero_length_noop",
+			maps:        []mapping{{0, 100, Size4K}, {Size2M, 200, Size2M}},
+			va:          0,
+			length:      0,
+			wantRemoved: 0,
+			stillMapped: []uint64{0, Size2M, Size2M + Size4K},
+		},
+		{
+			name:        "zero_length_inside_huge_noop",
+			maps:        []mapping{{0, 100, Size2M}},
+			va:          17 * Size4K,
+			length:      0,
+			wantRemoved: 0,
+			stillMapped: []uint64{0, 17 * Size4K, Size2M - Size4K},
+		},
+		{
+			name:        "range_over_hole_noop",
+			maps:        []mapping{{0, 100, Size4K}},
+			va:          Size2M,
+			length:      Size2M,
+			wantRemoved: 0,
+			stillMapped: []uint64{0},
+		},
+		{
+			name:        "2m_front_straddle",
+			maps:        []mapping{{0, 0x1000, Size2M}},
+			va:          0,
+			length:      4 * Size4K,
+			wantRemoved: 1,
+			gone:        []uint64{0, 3 * Size4K},
+			stillMapped: []uint64{4 * Size4K, Size2M - Size4K},
+		},
+		{
+			name:        "2m_back_straddle",
+			maps:        []mapping{{0, 0x1000, Size2M}},
+			va:          Size2M - 4*Size4K,
+			length:      4 * Size4K,
+			wantRemoved: 1,
+			gone:        []uint64{Size2M - 4*Size4K, Size2M - Size4K},
+			stillMapped: []uint64{0, Size2M - 5*Size4K},
+		},
+		{
+			name:        "2m_middle_hole_keeps_both_sides",
+			maps:        []mapping{{0, 0x1000, Size2M}},
+			va:          256 * Size4K,
+			length:      4 * Size4K,
+			wantRemoved: 1,
+			gone:        []uint64{256 * Size4K, 259 * Size4K},
+			stillMapped: []uint64{0, 255 * Size4K, 260 * Size4K, Size2M - Size4K},
+		},
+		{
+			name:        "1g_whole",
+			maps:        []mapping{{0, 0x40000, Size1G}},
+			va:          0,
+			length:      Size1G,
+			wantRemoved: 1,
+			gone:        []uint64{0, Size1G - Size4K, Size2M},
+		},
+		{
+			name:        "1g_front_straddle",
+			maps:        []mapping{{0, 0x40000, Size1G}},
+			va:          0,
+			length:      Size2M,
+			wantRemoved: 1,
+			gone:        []uint64{0, Size2M - Size4K},
+			stillMapped: []uint64{Size2M, Size1G - Size4K},
+		},
+		{
+			name:        "1g_back_straddle",
+			maps:        []mapping{{0, 0x40000, Size1G}},
+			va:          Size1G - Size2M,
+			length:      Size2M,
+			wantRemoved: 1,
+			gone:        []uint64{Size1G - Size2M, Size1G - Size4K},
+			stillMapped: []uint64{0, Size1G - Size2M - Size4K},
+		},
+		{
+			name: "range_spans_4k_and_2m_neighbors",
+			maps: []mapping{
+				{Size2M - Size4K, 100, Size4K},
+				{Size2M, 0x2000, Size2M},
+				{2 * Size2M, 200, Size4K},
+			},
+			va:          Size2M - Size4K,
+			length:      Size2M + 2*Size4K,
+			wantRemoved: 3,
+			gone:        []uint64{Size2M - Size4K, Size2M, 2 * Size2M, 2*Size2M - Size4K},
+		},
+		{
+			// Page-base granularity: an unaligned range drops exactly the 4 KB
+			// pieces whose page base lies inside [va, va+length) — here only
+			// page 2; page 1 (base below the unaligned start) survives.
+			name:        "unaligned_start_drops_by_page_base",
+			maps:        []mapping{{0, 0x1000, Size2M}},
+			va:          Size4K + 512,
+			length:      Size4K,
+			wantRemoved: 1,
+			gone:        []uint64{2 * Size4K},
+			stillMapped: []uint64{0, Size4K, 3 * Size4K, Size2M - Size4K},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			pt := New(1)
+			for _, m := range c.maps {
+				pt.Map(m.va, m.frame, FlagWritable, m.size)
+			}
+			if got := pt.UnmapRange(c.va, c.length); got != c.wantRemoved {
+				t.Errorf("UnmapRange(%#x, %#x) removed %d entries, want %d",
+					c.va, c.length, got, c.wantRemoved)
+			}
+			for _, va := range c.stillMapped {
+				if _, ok := pt.Lookup(va); !ok {
+					t.Errorf("va %#x lost its mapping", va)
+				}
+			}
+			for _, va := range c.gone {
+				if e, ok := pt.Lookup(va); ok {
+					t.Errorf("va %#x still maps to frame %#x", va, e.Frame)
+				}
+			}
+		})
+	}
+}
+
+// A split must preserve the frame arithmetic: the surviving 4 KB pieces of a
+// huge page translate to the same physical bytes they did before the split.
+func TestUnmapRangeSplitPreservesFrames(t *testing.T) {
+	pt := New(1)
+	pt.Map(0, 0x1000, FlagWritable|FlagUser, Size2M)
+	pt.UnmapRange(4*Size4K, 4*Size4K)
+	for _, page := range []uint64{0, 3, 8, 511} {
+		e, ok := pt.Lookup(page * Size4K)
+		if !ok {
+			t.Fatalf("page %d unmapped by an unrelated split", page)
+		}
+		if e.Frame != 0x1000+page {
+			t.Errorf("page %d: frame %#x, want %#x", page, e.Frame, 0x1000+page)
+		}
+		if e.PageSize != Size4K {
+			t.Errorf("page %d: size %d after split, want 4K", page, e.PageSize)
+		}
+		if !e.Flags.Has(FlagWritable | FlagUser) {
+			t.Errorf("page %d: flags %b lost on split", page, e.Flags)
+		}
+	}
+	if pt.Mapped() != 512-4 {
+		t.Errorf("Mapped() = %d after split, want %d", pt.Mapped(), 512-4)
+	}
+}

@@ -1,0 +1,124 @@
+package torture
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// A slice of the CI bank, small enough for go test: every seed's oracle
+// battery must come back clean. The full 64-seed bank runs under
+// `make torture`.
+func TestBankShort(t *testing.T) {
+	n := int64(8)
+	if testing.Short() {
+		n = 3
+	}
+	for s := int64(0); s < n; s++ {
+		pl := Generate(s, 80)
+		if err := pl.Validate(); err != nil {
+			t.Fatalf("seed %d: generated invalid plan: %v", s, err)
+		}
+		o := Execute(pl)
+		if o.Failed() {
+			t.Errorf("seed %d (%s/%s): %v", s, pl.World, pl.Device, o.Failures)
+		}
+	}
+}
+
+// Same plan, same fingerprint — the property shrinking and checked-in repros
+// rest on. Seed 1 exercises a perturbed schedule if the generator picked one;
+// either way the double-run must agree bit for bit.
+func TestExecuteDeterministic(t *testing.T) {
+	for _, s := range []int64{0, 1, 5} {
+		pl := Generate(s, 60)
+		a, b := Execute(pl), Execute(pl)
+		if a.Fingerprint != b.Fingerprint {
+			t.Fatalf("seed %d: fingerprints %016x then %016x", s, a.Fingerprint, b.Fingerprint)
+		}
+		if a.Failed() != b.Failed() || len(a.Failures) != len(b.Failures) {
+			t.Fatalf("seed %d: verdicts differ: %v vs %v", s, a.Failures, b.Failures)
+		}
+	}
+}
+
+// Generate must be a pure function of (seed, nops).
+func TestGenerateDeterministic(t *testing.T) {
+	a, b := Generate(17, 80), Generate(17, 80)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Generate(17, 80) returned two different plans")
+	}
+}
+
+// Oracle soundness: the planted UnsafeMsyncAtSubmit bug MUST be caught, and
+// the shrinker must reduce it to a small repro that still fails.
+func TestProofPlanCaughtAndShrunk(t *testing.T) {
+	pl := ProofPlan()
+	o := Execute(pl)
+	if !o.Failed() {
+		t.Fatal("oracle battery did not catch UnsafeMsyncAtSubmit — the harness is vacuous")
+	}
+	res := Shrink(pl, 200)
+	if res.ToOps > 20 {
+		t.Fatalf("shrunk proof plan still has %d ops, want <= 20", res.ToOps)
+	}
+	if !res.Outcome.Failed() {
+		t.Fatal("shrunk plan no longer fails")
+	}
+}
+
+// The checked-in repro (written by `aqtort -prove-unsafe`) must load and
+// still fail on replay; a silently passing repro means the executor's
+// semantics drifted without a PlanVersion bump.
+func TestCheckedInReproStillFails(t *testing.T) {
+	path := filepath.Join("testdata", "repros", "unsafe_msync.json")
+	pl, err := Load(path)
+	if err != nil {
+		t.Fatalf("loading %s: %v", path, err)
+	}
+	o := Execute(pl)
+	if !o.Failed() {
+		t.Fatalf("%s replayed clean; it must reproduce the acked-then-lost failure", path)
+	}
+}
+
+// Save/Load round-trip: the JSON fixture format preserves every field the
+// executor reads.
+func TestPlanRoundTrip(t *testing.T) {
+	pl := Generate(3, 40)
+	path := filepath.Join(t.TempDir(), "plan.json")
+	if err := pl.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pl, got) {
+		t.Fatalf("round-trip mismatch:\nsaved  %+v\nloaded %+v", pl, got)
+	}
+}
+
+// Load rejects stale and malformed fixtures loudly.
+func TestLoadRejects(t *testing.T) {
+	pl := Generate(3, 10)
+	pl.Version = PlanVersion + 1
+	path := filepath.Join(t.TempDir(), "stale.json")
+	if err := pl.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("Load accepted a plan with a future version")
+	}
+}
+
+// Shrink must refuse a passing plan instead of "reducing" it to nothing.
+func TestShrinkPanicsOnPassingPlan(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Shrink accepted a passing plan")
+		}
+	}()
+	pl := Generate(0, 10)
+	Shrink(pl, 50)
+}
